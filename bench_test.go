@@ -1,0 +1,539 @@
+// Package sparqlog's root benchmark harness: one benchmark per table and
+// figure of the paper (see DESIGN.md's experiment index), plus ablation
+// benchmarks for the design choices called out there. Each BenchmarkXxx
+// regenerates its table/figure end to end; EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by cmd/sparqlanalyze.
+package sparqlog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlog/internal/analysis"
+	"sparqlog/internal/core"
+	"sparqlog/internal/engine"
+	"sparqlog/internal/eval"
+	"sparqlog/internal/gmark"
+	"sparqlog/internal/graph"
+	"sparqlog/internal/loggen"
+	"sparqlog/internal/repro"
+	"sparqlog/internal/shapes"
+	"sparqlog/internal/sparql"
+	"sparqlog/internal/streaks"
+)
+
+// benchConfig keeps the full suite runnable in a few minutes.
+func benchConfig() repro.Config {
+	return repro.Config{
+		Scale:         0.00005,
+		Seed:          2017,
+		GraphNodes:    6000,
+		WorkloadSize:  8,
+		Timeout:       400 * time.Millisecond,
+		StreakLogSize: 1500,
+	}
+}
+
+var (
+	corpusOnce sync.Once
+	corpus     []loggen.Dataset
+)
+
+func benchCorpus() []loggen.Dataset {
+	corpusOnce.Do(func() {
+		corpus = loggen.GenerateCorpus(benchConfig().Scale, benchConfig().Seed)
+	})
+	return corpus
+}
+
+// BenchmarkTable1CorpusSizes regenerates Table 1: cleaning, parsing, and
+// deduplicating all 13 logs.
+func BenchmarkTable1CorpusSizes(b *testing.B) {
+	ds := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := core.NewCorpusReport("Total")
+		for _, d := range ds {
+			total.Merge(core.AnalyzeLog(d.Name, d.Entries, core.Options{SkipShapes: true}))
+		}
+		if total.Unique == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkTable2Keywords regenerates the keyword counts of Table 2.
+func BenchmarkTable2Keywords(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := 0
+		for _, q := range qs {
+			k := analysis.QueryKeywords(q)
+			if k.Select || k.Ask {
+				counts++
+			}
+		}
+		if counts == 0 {
+			b.Fatal("no queries")
+		}
+	}
+}
+
+// BenchmarkFigure1Triples regenerates the triple-count histogram.
+func BenchmarkFigure1Triples(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var hist [core.SizeHistBuckets]int
+		for _, q := range qs {
+			tc := analysis.TripleCount(q)
+			if tc >= len(hist) {
+				tc = len(hist) - 1
+			}
+			hist[tc]++
+		}
+	}
+}
+
+// BenchmarkTable3OperatorSets regenerates the operator-set distribution.
+func BenchmarkTable3OperatorSets(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := analysis.NewDistribution()
+		for _, q := range qs {
+			if q.Type == sparql.SelectQuery || q.Type == sparql.AskQuery {
+				d.Add(analysis.Operators(q))
+			}
+		}
+		if d.Total == 0 {
+			b.Fatal("no select/ask queries")
+		}
+	}
+}
+
+// BenchmarkSec44Projection regenerates the projection and subquery rates.
+func BenchmarkSec44Projection(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var yes, ind, sub int
+		for _, q := range qs {
+			switch analysis.Projection(q) {
+			case analysis.UsesProjection:
+				yes++
+			case analysis.Indeterminate:
+				ind++
+			}
+			if analysis.UsesSubqueries(q) {
+				sub++
+			}
+		}
+		_ = yes + ind + sub
+	}
+}
+
+// BenchmarkFigure3ChainCycle regenerates the chain/cycle engine
+// comparison (scaled down; run cmd/shapebench for the full figure).
+func BenchmarkFigure3ChainCycle(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, data := repro.Figure3(cfg)
+		if len(data.Lengths) != 6 {
+			b.Fatal("missing workloads")
+		}
+	}
+}
+
+// BenchmarkFigure5FragmentSizes regenerates the CQ-like size histogram.
+func BenchmarkFigure5FragmentSizes(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cq, cqf, cqof int
+		for _, q := range qs {
+			f := analysis.ClassifyFragments(q)
+			if f.CQ {
+				cq++
+			}
+			if f.CQF {
+				cqf++
+			}
+			if f.CQOF {
+				cqof++
+			}
+		}
+		if cq > cqf || cqf > cqof+cq {
+			_ = cq
+		}
+	}
+}
+
+// BenchmarkTable4Shapes regenerates the cumulative shape analysis.
+func BenchmarkTable4Shapes(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var counts core.ShapeCounts
+		_ = counts
+		classified := 0
+		for _, q := range qs {
+			f := analysis.ClassifyFragments(q)
+			if !f.CQ || f.HasVarPredicate {
+				continue
+			}
+			g, _ := shapes.CanonicalGraph(q.Triples(), shapes.Options{})
+			r := shapes.Classify(g)
+			if r.FlowerSet || r.Treewidth >= 0 {
+				classified++
+			}
+		}
+		if classified == 0 {
+			b.Fatal("nothing classified")
+		}
+	}
+}
+
+// BenchmarkSec61Girth regenerates the shortest-cycle analysis.
+func BenchmarkSec61Girth(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist := map[int]int{}
+		for _, q := range qs {
+			f := analysis.ClassifyFragments(q)
+			if !f.CQ || f.HasVarPredicate {
+				continue
+			}
+			g, _ := shapes.CanonicalGraph(q.Triples(), shapes.Options{})
+			if gi := g.Girth(); gi > 0 {
+				hist[gi]++
+			}
+		}
+	}
+}
+
+// BenchmarkSec62Hypertree regenerates the hypertree-width analysis of
+// predicate-variable queries.
+func BenchmarkSec62Hypertree(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			f := analysis.ClassifyFragments(q)
+			if !f.CQOF || !f.HasVarPredicate {
+				continue
+			}
+			h := shapes.CanonicalHypergraph(q.Triples(), shapes.Options{})
+			h.GHW(3)
+		}
+	}
+}
+
+// BenchmarkTable5Paths regenerates the property-path classification.
+func BenchmarkTable5Paths(b *testing.B) {
+	qs := parsedBenchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := core.NewCorpusReport("paths").Paths
+		for _, q := range qs {
+			for _, pp := range q.PathPatterns() {
+				tab.Add(pp.Path)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6Streaks regenerates the streak-length histogram on one
+// synthetic single-day DBpedia log.
+func BenchmarkTable6Streaks(b *testing.B) {
+	prof := loggen.Profiles()[2] // DBpedia14
+	ds := loggen.Generate(prof, benchConfig().StreakLogSize, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := streaks.Find(ds.Entries, streaks.Options{})
+		streaks.HistogramOf(found)
+	}
+}
+
+// BenchmarkAppendixValidCorpus regenerates the appendix variant (Tables
+// 7-9): the duplicate-containing Valid corpus.
+func BenchmarkAppendixValidCorpus(b *testing.B) {
+	ds := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := core.NewCorpusReport("Total")
+		for _, d := range ds {
+			total.Merge(core.AnalyzeLog(d.Name, d.Entries, core.Options{KeepDuplicates: true, SkipShapes: true}))
+		}
+	}
+}
+
+// ---------- Ablation benchmarks (DESIGN.md "Design choices") ----------
+
+// BenchmarkAblationJoinOrder contrasts the graph engine's greedy join
+// ordering with syntactic ordering and with the relational engine's
+// pipelined-EXISTS mode on cycle workloads.
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	g := gmark.Generate(gmark.Config{Nodes: 4000, Seed: 1})
+	queries := g.Workload(gmark.Cycle, 5, 10, 3)
+	var cqs []engine.CQ
+	for _, q := range queries {
+		cqs = append(cqs, q.CQ)
+	}
+	engines := map[string]engine.Engine{
+		"greedy":       &engine.GraphEngine{},
+		"syntactic":    &engine.GraphEngine{Order: engine.OrderSyntactic},
+		"pipelined-pg": &engine.RelationalEngine{PipelinedAsk: true},
+	}
+	for name, e := range engines {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.RunWorkload(e, g.Store, cqs, 300*time.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLevenshtein contrasts the full edit-distance DP with
+// the banded early-exit variant used by streak detection.
+func BenchmarkAblationLevenshtein(b *testing.B) {
+	prof := loggen.Profiles()[0]
+	ds := loggen.Generate(prof, 200, 11)
+	qs := ds.Entries
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 1; j < len(qs); j++ {
+				a, c := qs[j-1], qs[j]
+				longer := len(a)
+				if len(c) > longer {
+					longer = len(c)
+				}
+				_ = streaks.Levenshtein(a, c) <= longer/4
+			}
+		}
+	})
+	b.Run("banded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 1; j < len(qs); j++ {
+				streaks.Similar(qs[j-1], qs[j], 0.25)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationShapeFastPath contrasts the O(V+E) shape predicates
+// with the generic exact treewidth computation they short-circuit.
+func BenchmarkAblationShapeFastPath(b *testing.B) {
+	// A 60-node tree: the predicate answers instantly; exact treewidth
+	// has to work for it.
+	g := graph.New(60)
+	for i := 1; i < 60; i++ {
+		g.AddEdge(i, (i-1)/2)
+	}
+	b.Run("predicates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !g.IsTree() {
+				b.Fatal("not a tree")
+			}
+		}
+	})
+	b.Run("treewidth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Treewidth() != 1 {
+				b.Fatal("bad width")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIndexes contrasts indexed lookup with a full predicate
+// scan for bound-subject access, justifying the store's four index
+// orderings.
+func BenchmarkAblationIndexes(b *testing.B) {
+	g := gmark.Generate(gmark.Config{Nodes: 4000, Seed: 5})
+	st := g.Store
+	pid := g.PredID["cites"]
+	subjects := g.Nodes[gmark.Paper]
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := subjects[i%len(subjects)]
+			_ = st.Objects(s, pid)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := subjects[i%len(subjects)]
+			n := 0
+			for _, t := range st.ScanPredicate(pid) {
+				if t.S == s {
+					n++
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelPipeline contrasts the sequential analyzer
+// with the worker-pool variant (the paper's corpus is 180M queries; the
+// pipeline must scale with cores).
+func BenchmarkAblationParallelPipeline(b *testing.B) {
+	ds := loggen.Generate(loggen.Profiles()[0], 3000, 21)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeLog(ds.Name, ds.Entries, core.Options{})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeLogParallel(ds.Name, ds.Entries, core.Options{}, 0)
+		}
+	})
+}
+
+// BenchmarkAblationDedup contrasts exact-text with structural
+// (fingerprint) deduplication.
+func BenchmarkAblationDedup(b *testing.B) {
+	ds := loggen.Generate(loggen.Profiles()[0], 2000, 23)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeLog(ds.Name, ds.Entries, core.Options{SkipShapes: true})
+		}
+	})
+	b.Run("structural", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeLog(ds.Name, ds.Entries, core.Options{SkipShapes: true, StructuralDedup: true})
+		}
+	})
+}
+
+// ---------- Component micro-benchmarks ----------
+
+// BenchmarkParser measures single-query parse throughput.
+func BenchmarkParser(b *testing.B) {
+	src := `PREFIX dbo: <http://dbpedia.org/ontology/>
+		SELECT DISTINCT ?s ?o WHERE {
+			?s dbo:birthPlace ?o . ?o dbo:country ?c .
+			OPTIONAL { ?s dbo:deathPlace ?d }
+			FILTER (lang(?o) = "en")
+		} ORDER BY ?s LIMIT 100`
+	p := &sparql.Parser{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerializer measures AST-to-text throughput.
+func BenchmarkSerializer(b *testing.B) {
+	q, err := sparql.Parse("SELECT * WHERE { ?s <p> ?o . ?o <q> ?z FILTER(?z > 3) }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.String()
+	}
+}
+
+// BenchmarkEvaluator measures full SPARQL evaluation (parse + algebra)
+// over a gMark Bib instance.
+func BenchmarkEvaluator(b *testing.B) {
+	g := gmark.Generate(gmark.Config{Nodes: 2000, Seed: 7})
+	q, err := sparql.Parse(`PREFIX bib: <http://gmark.bib/p/>
+		SELECT ?r (COUNT(*) AS ?n) WHERE { ?p bib:authoredBy ?r . ?p bib:cites ?q }
+		GROUP BY ?r ORDER BY DESC(?n) LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Query(g.Store, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathEvaluation measures transitive-closure path evaluation.
+func BenchmarkPathEvaluation(b *testing.B) {
+	g := gmark.Generate(gmark.Config{Nodes: 4000, Seed: 7})
+	q, err := sparql.Parse(`PREFIX bib: <http://gmark.bib/p/>
+		SELECT ?x WHERE { <http://gmark.bib/paper/2000> bib:cites+ ?x }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Query(g.Store, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShapeClassifier measures the full shape pipeline on a flower.
+func BenchmarkShapeClassifier(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("SELECT * WHERE { ")
+	for p := 0; p < 4; p++ {
+		sb.WriteString("?c <p> ?a")
+		sb.WriteString(itoa(p))
+		sb.WriteString(" . ?a")
+		sb.WriteString(itoa(p))
+		sb.WriteString(" <p> ?t . ")
+	}
+	sb.WriteString("}")
+	q, err := sparql.Parse(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	triples := q.Triples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := shapes.CanonicalGraph(triples, shapes.Options{})
+		shapes.Classify(g)
+	}
+}
+
+// ---------- helpers ----------
+
+var (
+	parsedOnce sync.Once
+	parsed     []*sparql.Query
+)
+
+// parsedBenchQueries parses the bench corpus once and shares the ASTs.
+func parsedBenchQueries(b *testing.B) []*sparql.Query {
+	b.Helper()
+	parsedOnce.Do(func() {
+		p := &sparql.Parser{}
+		seen := map[string]bool{}
+		for _, ds := range benchCorpus() {
+			for _, e := range ds.Entries {
+				if seen[e] {
+					continue
+				}
+				q, err := p.Parse(e)
+				if err != nil {
+					continue
+				}
+				seen[e] = true
+				parsed = append(parsed, q)
+			}
+		}
+	})
+	if len(parsed) == 0 {
+		b.Fatal("no parsed queries")
+	}
+	return parsed
+}
+
+func itoa(v int) string {
+	return string(rune('0' + v))
+}

@@ -1,0 +1,121 @@
+// Command sparqlanalyze runs the full sparqlog analytics pipeline and
+// prints every table and figure of the paper. With -log it analyzes a
+// query log file (one query per line, tab- or newline-separated); without
+// it, it generates the calibrated synthetic corpus first.
+//
+// Usage:
+//
+//	sparqlanalyze [-scale 0.0001] [-seed 2017] [-log file] [-valid] [-experiment all]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparqlog/internal/core"
+	"sparqlog/internal/repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0001, "corpus scale relative to the paper's 180M queries")
+	seed := flag.Int64("seed", 2017, "generator seed")
+	logFile := flag.String("log", "", "analyze this log file instead of generating a corpus")
+	valid := flag.Bool("valid", false, "keep duplicates (appendix Tables 7-9 variant)")
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, table1, table2, table3, table4, table5, table6, figure1, figure3, figure5, sec44, sec61, sec62, appendix, windows")
+	graphNodes := flag.Int("graph-nodes", 20000, "gMark Bib graph size for figure3")
+	workload := flag.Int("workload", 20, "queries per chain/cycle workload for figure3")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-query engine timeout for figure3")
+	flag.Parse()
+
+	cfg := repro.Config{
+		Scale:         *scale,
+		Seed:          *seed,
+		GraphNodes:    *graphNodes,
+		WorkloadSize:  *workload,
+		Timeout:       *timeout,
+		StreakLogSize: 4000,
+	}
+
+	if *logFile != "" {
+		entries, err := readLog(*logFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqlanalyze:", err)
+			os.Exit(1)
+		}
+		rep := core.AnalyzeLog(*logFile, entries, core.Options{KeepDuplicates: *valid})
+		c := &repro.Corpus{Reports: []*core.DatasetReport{rep}, Total: rep}
+		fmt.Print(repro.Table1(c), "\n", repro.Table2(c), "\n", repro.Figure1(c), "\n",
+			repro.Table3(c), "\n", repro.Section44(c), "\n", repro.Figure5(c), "\n",
+			repro.Table4(c), "\n", repro.Section61(c), "\n", repro.Section62(c), "\n",
+			repro.Table5(c))
+		return
+	}
+
+	switch *experiment {
+	case "all":
+		fmt.Print(repro.All(cfg))
+	case "figure3":
+		out, _ := repro.Figure3(cfg)
+		fmt.Print(out)
+	case "table6":
+		fmt.Print(repro.Table6(cfg))
+	case "appendix":
+		fmt.Print(repro.Appendix(cfg))
+	case "windows":
+		fmt.Print(repro.Table6Windows(cfg, []int{10, 30, 100}))
+	default:
+		var c *repro.Corpus
+		if *valid {
+			c = repro.BuildValidCorpus(cfg)
+		} else {
+			c = repro.BuildCorpus(cfg)
+		}
+		switch *experiment {
+		case "table1":
+			fmt.Print(repro.Table1(c))
+		case "table2":
+			fmt.Print(repro.Table2(c))
+		case "table3":
+			fmt.Print(repro.Table3(c))
+		case "table4":
+			fmt.Print(repro.Table4(c))
+		case "table5":
+			fmt.Print(repro.Table5(c))
+		case "figure1":
+			fmt.Print(repro.Figure1(c))
+		case "figure5":
+			fmt.Print(repro.Figure5(c))
+		case "sec44":
+			fmt.Print(repro.Section44(c))
+		case "sec61":
+			fmt.Print(repro.Section61(c))
+		case "sec62":
+			fmt.Print(repro.Section62(c))
+		default:
+			fmt.Fprintf(os.Stderr, "sparqlanalyze: unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+	}
+}
+
+func readLog(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}

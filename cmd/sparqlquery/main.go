@@ -1,0 +1,76 @@
+// Command sparqlquery runs a SPARQL query against an N-Triples data file
+// using the eval package — a miniature offline SPARQL endpoint.
+//
+// Usage:
+//
+//	sparqlquery -data graph.nt 'SELECT * WHERE { ?s ?p ?o } LIMIT 10'
+//	sparqlquery -bib 5000 'PREFIX bib: <http://gmark.bib/p/> ASK { ?p bib:cites ?q }'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparqlog/internal/eval"
+	"sparqlog/internal/gmark"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+func main() {
+	data := flag.String("data", "", "N-Triples data file")
+	bib := flag.Int("bib", 0, "generate a gMark Bib graph of this many nodes instead of loading data")
+	seed := flag.Int64("seed", 1, "generator seed for -bib")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sparqlquery [-data file.nt | -bib N] '<query>'")
+		os.Exit(2)
+	}
+	src := strings.Join(flag.Args(), " ")
+
+	var st *rdf.Store
+	switch {
+	case *bib > 0:
+		g := gmark.Generate(gmark.Config{Nodes: *bib, Seed: *seed})
+		st = g.Store
+		fmt.Fprintf(os.Stderr, "generated Bib graph: %d triples\n", g.Triples)
+	case *data != "":
+		f, err := os.Open(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqlquery:", err)
+			os.Exit(1)
+		}
+		st = rdf.NewStore()
+		n, err := st.ReadNTriples(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqlquery:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
+	default:
+		fmt.Fprintln(os.Stderr, "sparqlquery: provide -data or -bib")
+		os.Exit(2)
+	}
+
+	q, err := sparql.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse error:", err)
+		os.Exit(1)
+	}
+	res, err := eval.Query(st, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eval error:", err)
+		os.Exit(1)
+	}
+	if q.Type == sparql.AskQuery {
+		fmt.Println(res.Bool)
+		return
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+}

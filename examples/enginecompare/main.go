@@ -1,0 +1,41 @@
+// Enginecompare: a miniature Figure 3. Generates a Bib graph, builds
+// chain and cycle workloads, and races the graph engine against the
+// relational engine, printing average runtimes and timeout rates.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/gmark"
+)
+
+func main() {
+	g := gmark.Generate(gmark.Config{Nodes: 8000, Seed: 42})
+	fmt.Printf("Bib graph: %d nodes, %d triples\n\n", g.N, g.Triples)
+
+	bg := &engine.GraphEngine{}
+	pg := &engine.RelationalEngine{}
+	timeout := time.Second
+
+	fmt.Printf("%-10s %-6s %14s %10s\n", "workload", "engine", "avg ns/query", "timeouts")
+	for _, shape := range []gmark.QueryShape{gmark.Chain, gmark.Cycle} {
+		for _, k := range []int{3, 5, 7} {
+			queries := g.Workload(shape, k, 10, int64(k))
+			var cqs []engine.CQ
+			for _, q := range queries {
+				cqs = append(cqs, q.CQ)
+			}
+			for _, e := range []engine.Engine{bg, pg} {
+				stats := engine.RunWorkload(e, g.Store, cqs, timeout)
+				fmt.Printf("%s-%-8d %-6s %14d %9.0f%%\n",
+					shape, k, stats.Engine, stats.AvgNanos(), 100*stats.TimeoutRate())
+			}
+		}
+	}
+
+	// Show one generated query of each shape.
+	fmt.Println("\nsample chain query: ", g.Workload(gmark.Chain, 4, 1, 7)[0].SPARQL)
+	fmt.Println("sample cycle query: ", g.Workload(gmark.Cycle, 4, 1, 7)[0].SPARQL)
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+func parse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func TestKeywordsBasic(t *testing.T) {
+	q := parse(t, `SELECT DISTINCT ?s WHERE {
+		?s <p> ?o .
+		OPTIONAL { ?s <q> ?x }
+		FILTER (?o > 1)
+		{ ?s <a> ?b } UNION { ?s <c> ?d }
+		GRAPH <g> { ?s <e> ?f }
+	} ORDER BY ?s LIMIT 10 OFFSET 5`)
+	k := QueryKeywords(q)
+	if !k.Select || k.Ask {
+		t.Error("query type flags wrong")
+	}
+	for name, got := range map[string]bool{
+		"Distinct": k.Distinct, "Limit": k.Limit, "Offset": k.Offset,
+		"OrderBy": k.OrderBy, "Filter": k.Filter, "And": k.And,
+		"Union": k.Union, "Opt": k.Opt, "Graph": k.Graph,
+	} {
+		if !got {
+			t.Errorf("keyword %s not detected", name)
+		}
+	}
+	if k.Minus || k.NotExists || k.GroupBy {
+		t.Error("false positives in keyword scan")
+	}
+}
+
+func TestKeywordsAndSemantics(t *testing.T) {
+	// A single triple has no And.
+	if QueryKeywords(parse(t, "SELECT * WHERE { ?s <p> ?o }")).And {
+		t.Error("single triple must not set And")
+	}
+	// Two triples have And.
+	if !QueryKeywords(parse(t, "SELECT * WHERE { ?s <p> ?o . ?o <q> ?z }")).And {
+		t.Error("two triples must set And")
+	}
+	// Triple + FILTER does not create And.
+	if QueryKeywords(parse(t, "SELECT * WHERE { ?s <p> ?o FILTER(?o > 1) }")).And {
+		t.Error("triple+filter must not set And")
+	}
+	// Triple + OPTIONAL does not create And.
+	if QueryKeywords(parse(t, "SELECT * WHERE { ?s <p> ?o OPTIONAL { ?s <q> ?x } }")).And {
+		t.Error("triple+optional must not set And")
+	}
+}
+
+func TestKeywordsAggregatesAndNegation(t *testing.T) {
+	q := parse(t, `SELECT (COUNT(*) AS ?n) (MAX(?v) AS ?m) WHERE {
+		?s <p> ?v FILTER NOT EXISTS { ?s <bad> ?x }
+		MINUS { ?s <worse> ?y }
+	} GROUP BY ?s HAVING (SUM(?v) > 10)`)
+	k := QueryKeywords(q)
+	if !k.Count || !k.Max || !k.Sum || !k.GroupBy || !k.Having {
+		t.Errorf("aggregate flags = %+v", k)
+	}
+	if !k.NotExists || !k.Minus {
+		t.Error("negation flags missing")
+	}
+	if k.Exists {
+		t.Error("plain EXISTS should not be set for NOT EXISTS")
+	}
+}
+
+func TestKeywordsSubquery(t *testing.T) {
+	q := parse(t, `SELECT ?s WHERE { { SELECT DISTINCT ?s WHERE { ?s <p> ?o } LIMIT 3 } }`)
+	k := QueryKeywords(q)
+	if !k.SubQuery || !k.Distinct || !k.Limit {
+		t.Errorf("subquery keyword merge failed: %+v", k)
+	}
+	if k.Ask {
+		t.Error("inner select must not set outer type flags")
+	}
+}
+
+func TestTripleCount(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{"SELECT * WHERE { ?s ?p ?o }", 1},
+		{"SELECT * WHERE { ?s <p> ?o . ?o <q> ?z . ?z <r> ?w }", 3},
+		{"ASK { ?x <a>/<b>* ?y }", 1}, // property path counts as one
+		{"DESCRIBE <x>", 0},
+		{"SELECT * WHERE { ?s <p> ?o OPTIONAL { ?o <q> ?z . ?z <r> ?w } }", 3},
+	}
+	for _, tc := range tests {
+		if got := TripleCount(parse(t, tc.src)); got != tc.want {
+			t.Errorf("TripleCount(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestOperatorSets(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT * WHERE { ?s ?p ?o }", "none"},
+		{"SELECT * WHERE { ?s ?p ?o . ?o ?q ?z }", "A"},
+		{"SELECT * WHERE { ?s ?p ?o FILTER(?o > 1) }", "F"},
+		{"SELECT * WHERE { ?s ?p ?o . ?o ?q ?z FILTER(?o > 1) }", "A, F"},
+		{"SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?x } }", "O"},
+		{"SELECT * WHERE { { ?s <a> ?o } UNION { ?s <b> ?o } }", "U"},
+		{"SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }", "G"},
+		{"SELECT * WHERE { ?s <p> ?o . ?o <q> ?z OPTIONAL { ?s <r> ?w } FILTER(?z != 1) }", "A, O, F"},
+		{"SELECT * WHERE { ?s <p> ?o BIND(?o AS ?b) }", "other"},
+		{"SELECT * WHERE { ?s <p>* ?o }", "other"},
+		{"SELECT * WHERE { ?s <p> ?o MINUS { ?s <q> ?o } }", "other"},
+		{"SELECT * WHERE { ?s <p> ?o FILTER EXISTS { ?s <q> ?x } }", "other"},
+		{"DESCRIBE <x>", "none"},
+	}
+	for _, tc := range tests {
+		if got := Operators(parse(t, tc.src)).Key(); got != tc.want {
+			t.Errorf("Operators(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestDistributionSubtotals(t *testing.T) {
+	d := NewDistribution()
+	for _, src := range []string{
+		"SELECT * WHERE { ?s ?p ?o }",                          // none
+		"SELECT * WHERE { ?s ?p ?o FILTER(?o>1) }",             // F
+		"SELECT * WHERE { ?s ?p ?o . ?o ?q ?z }",               // A
+		"SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?x } }",   // O
+		"SELECT * WHERE { { ?s <a> ?o } UNION { ?s <b> ?o } }", // U
+		"SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }",            // G
+	} {
+		d.Add(Operators(parse(t, src)))
+	}
+	if got := d.CPFSubtotal(); got != 3 {
+		t.Errorf("CPF subtotal = %d, want 3", got)
+	}
+	if d.PlusOpt() != 1 || d.PlusUnion() != 1 || d.PlusGraph() != 1 {
+		t.Errorf("plus counts = %d/%d/%d", d.PlusOpt(), d.PlusUnion(), d.PlusGraph())
+	}
+}
+
+func TestProjection(t *testing.T) {
+	tests := []struct {
+		src  string
+		want ProjectionVerdict
+	}{
+		{"SELECT * WHERE { ?s ?p ?o }", NoProjection},
+		{"SELECT ?s ?p ?o WHERE { ?s ?p ?o }", NoProjection},
+		{"SELECT ?s WHERE { ?s ?p ?o }", UsesProjection},
+		{"ASK { <s> <p> <o> }", NoProjection},
+		{"ASK { ?s <p> <o> }", UsesProjection},
+		// Variables only inside a FILTER are not in scope.
+		{"SELECT ?s WHERE { ?s <p> <o> FILTER(?x > 1) }", NoProjection},
+		// MINUS does not bind outer variables.
+		{"SELECT ?s WHERE { ?s <p> <o> MINUS { ?s <q> ?hidden } }", NoProjection},
+		// BIND-only unprojected variable: indeterminate.
+		{"SELECT ?s WHERE { ?s <p> ?o BIND(str(?o) AS ?b) }", UsesProjection},
+		{"SELECT ?s ?o WHERE { ?s <p> ?o BIND(str(?o) AS ?b) }", Indeterminate},
+		// Subquery exposes only its projection.
+		{"SELECT ?s WHERE { { SELECT ?s WHERE { ?s <p> ?inner } } }", NoProjection},
+		{"SELECT ?s WHERE { ?s <p> ?o . { SELECT ?o WHERE { ?o <q> ?z } } }", UsesProjection},
+		// Describe/Construct are not classified.
+		{"DESCRIBE ?x WHERE { ?x <p> ?y }", NoProjection},
+	}
+	for _, tc := range tests {
+		if got := Projection(parse(t, tc.src)); got != tc.want {
+			t.Errorf("Projection(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestUsesSubqueries(t *testing.T) {
+	if UsesSubqueries(parse(t, "SELECT * WHERE { ?s ?p ?o }")) {
+		t.Error("false positive")
+	}
+	if !UsesSubqueries(parse(t, "SELECT ?s WHERE { { SELECT ?s WHERE { ?s <p> ?o } } }")) {
+		t.Error("subquery not detected")
+	}
+}
+
+func TestFragmentsCQ(t *testing.T) {
+	f := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <p> ?o . ?o <q> ?z }"))
+	if !f.AOF || !f.CQ || !f.CPF || !f.CQF || !f.WellDesigned || !f.CQOF {
+		t.Errorf("fragments = %+v, want all CQ-like flags", f)
+	}
+	if f.HasVarPredicate {
+		t.Error("no variable predicates here")
+	}
+}
+
+func TestFragmentsCPFAndCQF(t *testing.T) {
+	// Simple filter (one variable): CQF.
+	f := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <p> ?o FILTER(?o > 1) }"))
+	if !f.CPF || !f.CQF || f.CQ {
+		t.Errorf("simple filter: %+v", f)
+	}
+	// Equality of two variables: still CQF.
+	f2 := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <p> ?o . ?s <q> ?z FILTER(?o = ?z) }"))
+	if !f2.CQF {
+		t.Errorf("?x=?y filter should be simple: %+v", f2)
+	}
+	// Two-variable non-equality filter: CPF but not CQF.
+	f3 := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <p> ?o . ?s <q> ?z FILTER(?o > ?z) }"))
+	if !f3.CPF || f3.CQF {
+		t.Errorf("complex filter: %+v", f3)
+	}
+}
+
+func TestFragmentsAOF(t *testing.T) {
+	f := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <p> ?o OPTIONAL { ?s <q> ?x } }"))
+	if !f.AOF || f.CQ || f.CPF {
+		t.Errorf("AOF with OPT: %+v", f)
+	}
+	// UNION leaves AOF.
+	f2 := ClassifyFragments(parse(t, "SELECT * WHERE { { ?s <a> ?o } UNION { ?s <b> ?o } }"))
+	if f2.AOF {
+		t.Errorf("union must not be AOF: %+v", f2)
+	}
+	// Property path leaves AOF.
+	f3 := ClassifyFragments(parse(t, "SELECT * WHERE { ?s <a>* ?o }"))
+	if f3.AOF {
+		t.Errorf("path must not be AOF: %+v", f3)
+	}
+	// CONSTRUCT is never AOF.
+	f4 := ClassifyFragments(parse(t, "CONSTRUCT { ?s <p> ?o } WHERE { ?s <p> ?o }"))
+	if f4.AOF {
+		t.Error("construct must not be AOF")
+	}
+}
+
+func TestWellDesignedPaperExamples(t *testing.T) {
+	// P1 and P2 from Example 5.4 are well-designed with interface width 1.
+	p1 := `SELECT * WHERE { { ?A <name> ?N OPTIONAL { ?A <email> ?E } } OPTIONAL { ?A <webPage> ?W } }`
+	f1 := ClassifyFragments(parse(t, p1))
+	if !f1.WellDesigned || f1.InterfaceWidth != 1 || !f1.CQOF {
+		t.Errorf("P1: %+v", f1)
+	}
+	p2 := `SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E OPTIONAL { ?A <webPage> ?W } } }`
+	f2 := ClassifyFragments(parse(t, p2))
+	if !f2.WellDesigned || f2.InterfaceWidth != 1 || !f2.CQOF {
+		t.Errorf("P2: %+v", f2)
+	}
+}
+
+func TestNotWellDesigned(t *testing.T) {
+	// ?x appears in the OPTIONAL (not in its left side) and outside it.
+	src := `SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?x } ?c <r> ?x }`
+	f := ClassifyFragments(parse(t, src))
+	if !f.AOF {
+		t.Fatal("should be AOF")
+	}
+	if f.WellDesigned {
+		t.Error("pattern must not be well-designed")
+	}
+	if f.CQOF {
+		t.Error("not CQOF when not well-designed")
+	}
+}
+
+func TestInterfaceWidthTwo(t *testing.T) {
+	// Root shares two variables with the OPTIONAL child.
+	src := `SELECT * WHERE { ?A <knows> ?B OPTIONAL { ?A <worksWith> ?B } }`
+	f := ClassifyFragments(parse(t, src))
+	if !f.WellDesigned {
+		t.Fatal("well-designed expected")
+	}
+	if f.InterfaceWidth != 2 {
+		t.Errorf("interface width = %d, want 2", f.InterfaceWidth)
+	}
+	if f.CQOF {
+		t.Error("interface width 2 is not CQOF")
+	}
+}
+
+func TestEqualityCollapses(t *testing.T) {
+	q := parse(t, "SELECT * WHERE { ?a <p> ?b . ?c <q> ?d FILTER(?b = ?c) FILTER(?a > 1) }")
+	pairs := EqualityCollapses(q)
+	if len(pairs) != 1 || pairs[0] != [2]string{"b", "c"} {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestVarPredicateFlag(t *testing.T) {
+	f := ClassifyFragments(parse(t, "ASK { ?x ?p ?y . ?y ?p ?z }"))
+	if !f.HasVarPredicate || !f.CQ {
+		t.Errorf("var predicate CQ: %+v", f)
+	}
+}
+
+func TestPatternTreeShape(t *testing.T) {
+	q := parse(t, `SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } OPTIONAL { ?A <web> ?W } }`)
+	pt := buildPatternTree(q.Where)
+	if len(pt.Triples) != 1 || len(pt.Children) != 2 {
+		t.Fatalf("pattern tree root: %d triples, %d children", len(pt.Triples), len(pt.Children))
+	}
+	if pt.Size() != 3 {
+		t.Errorf("size = %d, want 3", pt.Size())
+	}
+}
+
+func TestBodylessQueryFragments(t *testing.T) {
+	f := ClassifyFragments(parse(t, "DESCRIBE <x>"))
+	if f.AOF || f.CQ {
+		t.Error("bodyless describe must not be classified")
+	}
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import "sparqlog/internal/sparql"
+
+// Fragments classifies a query into the fragment hierarchy of Section 5.2.
+// All flags refer to the query body; AOF and its subclasses are only
+// defined for Select and Ask queries.
+type Fragments struct {
+	// AOF: triple patterns with And, Opt, Filter only (Section 5).
+	AOF bool
+	// CQ: triple patterns and And only (Definition 3.1).
+	CQ bool
+	// CPF: triples, And, Filter (Definition 4.1).
+	CPF bool
+	// CQF: CPF with only simple filters (Definition 5.2).
+	CQF bool
+	// WellDesigned: Definition 5.3, checked on the binary fold of the
+	// pattern. Only meaningful when AOF.
+	WellDesigned bool
+	// CQOF: well-designed with a pattern tree of interface width <= 1
+	// (Definition 5.5). Only meaningful when AOF.
+	CQOF bool
+	// InterfaceWidth of the pattern tree; 0 for patterns without Opt.
+	// Valid when WellDesigned.
+	InterfaceWidth int
+	// HasVarPredicate: some triple uses a variable in predicate position,
+	// requiring hypergraph analysis (Section 6.2).
+	HasVarPredicate bool
+}
+
+// ClassifyFragments computes the fragment membership of one query.
+func ClassifyFragments(q *sparql.Query) Fragments {
+	var f Fragments
+	if q.Type != sparql.SelectQuery && q.Type != sparql.AskQuery {
+		return f
+	}
+	if q.Where == nil {
+		return f
+	}
+	feats := scanFeatures(q.Where)
+	for _, t := range q.Triples() {
+		if t.P.IsVar() {
+			f.HasVarPredicate = true
+			break
+		}
+	}
+	f.AOF = !feats.beyondAOF
+	f.CQ = f.AOF && !feats.opt && !feats.filter
+	f.CPF = f.AOF && !feats.opt
+	f.CQF = f.CPF && feats.allFiltersSimple
+	if !f.AOF {
+		return f
+	}
+	bt := foldBinary(q.Where)
+	f.WellDesigned = wellDesigned(bt)
+	if f.WellDesigned {
+		pt := buildPatternTree(q.Where)
+		f.InterfaceWidth = interfaceWidth(pt)
+		f.CQOF = f.InterfaceWidth <= 1
+	}
+	return f
+}
+
+// bodyFeatures summarizes the feature scan used by the fragment tests.
+type bodyFeatures struct {
+	opt              bool
+	filter           bool
+	allFiltersSimple bool
+	beyondAOF        bool
+}
+
+func scanFeatures(p sparql.Pattern) bodyFeatures {
+	f := bodyFeatures{allFiltersSimple: true}
+	sparql.Walk(p, func(n sparql.Pattern) bool {
+		switch t := n.(type) {
+		case *sparql.Group, *sparql.TriplePattern:
+		case *sparql.Optional:
+			f.opt = true
+		case *sparql.Filter:
+			f.filter = true
+			if !SimpleFilter(t.Constraint) {
+				f.allFiltersSimple = false
+			}
+			// EXISTS embeds patterns, leaving the AOF fragment.
+			sparql.WalkExpr(t.Constraint, func(x sparql.Expr) bool {
+				if _, ok := x.(*sparql.ExistsExpr); ok {
+					f.beyondAOF = true
+				}
+				return true
+			})
+		default:
+			f.beyondAOF = true
+			return false
+		}
+		return true
+	})
+	return f
+}
+
+// SimpleFilter implements Definition 5.2's filter condition: the constraint
+// has at most one variable, or is exactly of the form ?x = ?y.
+func SimpleFilter(e sparql.Expr) bool {
+	if len(sparql.ExprVars(e)) <= 1 {
+		return true
+	}
+	_, _, ok := equalityVars(e)
+	return ok
+}
+
+// equalityVars matches constraints of the exact form ?x = ?y.
+func equalityVars(e sparql.Expr) (string, string, bool) {
+	be, ok := e.(*sparql.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return "", "", false
+	}
+	l, lok := be.L.(*sparql.TermExpr)
+	r, rok := be.R.(*sparql.TermExpr)
+	if !lok || !rok || l.Term.Kind != sparql.TermVar || r.Term.Kind != sparql.TermVar {
+		return "", "", false
+	}
+	return l.Term.Value, r.Term.Value, true
+}
+
+// EqualityCollapses extracts the ?x = ?y filter pairs used to collapse
+// canonical-graph nodes (footnote 20 of the paper).
+func EqualityCollapses(q *sparql.Query) [][2]string {
+	var out [][2]string
+	sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+		if f, ok := p.(*sparql.Filter); ok {
+			if x, y, ok := equalityVars(f.Constraint); ok {
+				out = append(out, [2]string{x, y})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------- Binary algebra fold and well-designedness ----------
+
+// binNode is the binary And/Opt algebra tree of an AOF pattern. Leaves are
+// triple patterns or filter constraints (filters contribute variable
+// occurrences per the paper's variable condition).
+type binNode struct {
+	kind   byte // 't' triple, 'f' filter, 'a' And, 'o' Opt
+	triple *sparql.TriplePattern
+	filter sparql.Expr
+	l, r   *binNode
+}
+
+// foldBinary converts a group-structured AOF pattern into the binary
+// algebra: elements fold left-to-right, OPTIONAL elements become Opt nodes
+// whose left operand is the accumulated prefix.
+func foldBinary(p sparql.Pattern) *binNode {
+	switch n := p.(type) {
+	case nil:
+		return nil
+	case *sparql.TriplePattern:
+		return &binNode{kind: 't', triple: n}
+	case *sparql.Filter:
+		return &binNode{kind: 'f', filter: n.Constraint}
+	case *sparql.Optional:
+		return &binNode{kind: 'o', r: foldBinary(n.Inner)}
+	case *sparql.Group:
+		var acc *binNode
+		for _, el := range n.Elems {
+			child := foldBinary(el)
+			if child == nil {
+				continue
+			}
+			if child.kind == 'o' && child.l == nil {
+				// OPTIONAL folds against the accumulated prefix (possibly
+				// empty, representing the unit pattern).
+				child.l = acc
+				acc = child
+				continue
+			}
+			if acc == nil {
+				acc = child
+			} else {
+				acc = &binNode{kind: 'a', l: acc, r: child}
+			}
+		}
+		return acc
+	}
+	return nil
+}
+
+func binVars(n *binNode, out map[string]int) {
+	if n == nil {
+		return
+	}
+	switch n.kind {
+	case 't':
+		for _, t := range []sparql.Term{n.triple.S, n.triple.P, n.triple.O} {
+			if t.Kind == sparql.TermVar {
+				out[t.Value]++
+			}
+		}
+	case 'f':
+		for v := range sparql.ExprVars(n.filter) {
+			out[v]++
+		}
+	default:
+		binVars(n.l, out)
+		binVars(n.r, out)
+	}
+}
+
+// wellDesigned checks Definition 5.3 on the binary tree: for every Opt
+// node (L Opt R), each variable of R that does not occur in L must occur
+// nowhere outside this Opt node.
+func wellDesigned(root *binNode) bool {
+	if root == nil {
+		return true
+	}
+	total := map[string]int{}
+	binVars(root, total)
+	ok := true
+	var visit func(n *binNode)
+	visit = func(n *binNode) {
+		if n == nil || !ok {
+			return
+		}
+		if n.kind == 'o' {
+			lv := map[string]int{}
+			binVars(n.l, lv)
+			rv := map[string]int{}
+			binVars(n.r, rv)
+			self := map[string]int{}
+			binVars(n, self)
+			for v := range rv {
+				if lv[v] > 0 {
+					continue
+				}
+				// v must occur only inside this Opt occurrence.
+				if total[v] != self[v] {
+					ok = false
+					return
+				}
+			}
+		}
+		visit(n.l)
+		visit(n.r)
+	}
+	visit(root)
+	return ok
+}
+
+// ---------- Pattern trees and interface width ----------
+
+// PatternTree is the Currying-based tree encoding of Example 5.4: each
+// node holds the conjunctive part at its level; each OPTIONAL becomes a
+// child subtree.
+type PatternTree struct {
+	Triples  []*sparql.TriplePattern
+	Filters  []sparql.Expr
+	Children []*PatternTree
+}
+
+// buildPatternTree constructs the pattern tree of a well-designed AOF
+// pattern directly from the group structure (the Opt-normal-form
+// transformation is semantics-preserving exactly for well-designed
+// patterns, which is the only case this function is used in).
+func buildPatternTree(p sparql.Pattern) *PatternTree {
+	node := &PatternTree{}
+	var absorb func(q sparql.Pattern)
+	absorb = func(q sparql.Pattern) {
+		switch n := q.(type) {
+		case nil:
+		case *sparql.TriplePattern:
+			node.Triples = append(node.Triples, n)
+		case *sparql.Filter:
+			node.Filters = append(node.Filters, n.Constraint)
+		case *sparql.Optional:
+			node.Children = append(node.Children, buildPatternTree(n.Inner))
+		case *sparql.Group:
+			for _, el := range n.Elems {
+				absorb(el)
+			}
+		}
+	}
+	absorb(p)
+	return node
+}
+
+// NodeVars returns the variables of the node's own conjunctive part.
+func (t *PatternTree) NodeVars() map[string]bool {
+	out := make(map[string]bool)
+	for _, tr := range t.Triples {
+		for _, term := range []sparql.Term{tr.S, tr.P, tr.O} {
+			if term.Kind == sparql.TermVar {
+				out[term.Value] = true
+			}
+		}
+	}
+	for _, f := range t.Filters {
+		for v := range sparql.ExprVars(f) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// SubtreeVars returns the variables of the whole subtree.
+func (t *PatternTree) SubtreeVars() map[string]bool {
+	out := t.NodeVars()
+	for _, c := range t.Children {
+		for v := range c.SubtreeVars() {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Size returns the number of nodes in the pattern tree.
+func (t *PatternTree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// interfaceWidth computes the maximum number of variables shared between a
+// node's conjunctive part and any child subtree (Example 5.4).
+func interfaceWidth(t *PatternTree) int {
+	if t == nil {
+		return 0
+	}
+	width := 0
+	nv := t.NodeVars()
+	for _, c := range t.Children {
+		shared := 0
+		for v := range c.SubtreeVars() {
+			if nv[v] {
+				shared++
+			}
+		}
+		if shared > width {
+			width = shared
+		}
+		if w := interfaceWidth(c); w > width {
+			width = w
+		}
+	}
+	return width
+}

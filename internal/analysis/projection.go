@@ -1,0 +1,156 @@
+package analysis
+
+import "sparqlog/internal/sparql"
+
+// ProjectionVerdict is the tri-state result of the projection test of
+// Section 4.4. The paper reports 14.98% definite projection plus 1.3%
+// indeterminate because of BIND.
+type ProjectionVerdict int
+
+// Projection verdicts.
+const (
+	NoProjection ProjectionVerdict = iota
+	UsesProjection
+	Indeterminate
+)
+
+// String names the verdict.
+func (v ProjectionVerdict) String() string {
+	switch v {
+	case NoProjection:
+		return "no"
+	case UsesProjection:
+		return "yes"
+	default:
+		return "indeterminate"
+	}
+}
+
+// Projection classifies one query following the test in Section 18.2.1 of
+// the SPARQL 1.1 recommendation, as interpreted by the paper:
+//
+//   - a SELECT query uses projection when some in-scope variable of its
+//     body is not in the projection list (SELECT * never projects);
+//   - an ASK query uses projection when its body has in-scope variables
+//     (the Boolean answer projects them all away); ASK queries over
+//     concrete triples do not project;
+//   - DESCRIBE and CONSTRUCT queries are not classified (the paper's
+//     14.98% consists of SELECT and ASK queries only);
+//   - when BIND-introduced variables are the only candidates, the verdict
+//     is Indeterminate, mirroring the paper's 1.3% undetermined share.
+func Projection(q *sparql.Query) ProjectionVerdict {
+	switch q.Type {
+	case sparql.SelectQuery, sparql.AskQuery:
+	default:
+		return NoProjection
+	}
+	inScope, bindVars := inScopeVars(q.Where)
+	switch q.Type {
+	case sparql.AskQuery:
+		if len(inScope) > 0 {
+			return UsesProjection
+		}
+		if len(bindVars) > 0 {
+			return Indeterminate
+		}
+		return NoProjection
+	default: // SELECT
+		if q.SelectStar {
+			return NoProjection
+		}
+		projected := q.ProjectedVars()
+		for v := range inScope {
+			if !projected[v] {
+				return UsesProjection
+			}
+		}
+		for v := range bindVars {
+			if !projected[v] {
+				return Indeterminate
+			}
+		}
+		return NoProjection
+	}
+}
+
+// inScopeVars returns the variables in scope for the projection test,
+// separating variables introduced solely by BIND. Variables occurring only
+// inside FILTER constraints (including EXISTS), MINUS blocks, or
+// non-projected positions of subqueries are not in scope, per the SPARQL
+// recommendation's variable-scope table.
+func inScopeVars(p sparql.Pattern) (scope, bindOnly map[string]bool) {
+	scope = make(map[string]bool)
+	bindOnly = make(map[string]bool)
+	var walk func(n sparql.Pattern)
+	walk = func(n sparql.Pattern) {
+		switch t := n.(type) {
+		case nil:
+		case *sparql.TriplePattern:
+			markVar(t.S, scope)
+			markVar(t.P, scope)
+			markVar(t.O, scope)
+		case *sparql.PathPattern:
+			markVar(t.S, scope)
+			markVar(t.O, scope)
+		case *sparql.Group:
+			for _, el := range t.Elems {
+				walk(el)
+			}
+		case *sparql.Union:
+			walk(t.Left)
+			walk(t.Right)
+		case *sparql.Optional:
+			walk(t.Inner)
+		case *sparql.GraphGraph:
+			markVar(t.Name, scope)
+			walk(t.Inner)
+		case *sparql.ServiceGraph:
+			markVar(t.Name, scope)
+			walk(t.Inner)
+		case *sparql.MinusGraph:
+			// MINUS does not bind variables in the outer scope.
+		case *sparql.Filter:
+			// Filters do not bind variables.
+		case *sparql.Bind:
+			if t.Var.Kind == sparql.TermVar {
+				bindOnly[t.Var.Value] = true
+			}
+		case *sparql.InlineData:
+			for _, v := range t.Vars {
+				markVar(v, scope)
+			}
+		case *sparql.SubSelect:
+			if t.Query != nil {
+				for v := range t.Query.ProjectedVars() {
+					scope[v] = true
+				}
+			}
+		}
+	}
+	walk(p)
+	// A variable bound both by BIND and by a pattern is simply in scope.
+	for v := range scope {
+		delete(bindOnly, v)
+	}
+	return scope, bindOnly
+}
+
+func markVar(t sparql.Term, set map[string]bool) {
+	if t.Kind == sparql.TermVar && t.Value != "" {
+		set[t.Value] = true
+	}
+}
+
+// UsesSubqueries reports whether the query contains a subquery anywhere in
+// its body (Section 4.4: 0.54% of the corpus).
+func UsesSubqueries(q *sparql.Query) bool {
+	found := false
+	sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+		if _, ok := p.(*sparql.SubSelect); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

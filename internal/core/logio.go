@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Log formats. Real endpoint logs arrive in several shapes: plain text
+// (one query per line), TSV exports (query in some column), and Apache
+// access logs whose GET /sparql?query=... lines carry URL-encoded
+// queries — the USEWOD shape the paper's Section 2 cleaning handles.
+type LogFormat int
+
+// Supported log formats.
+const (
+	// FormatAuto sniffs the format per line: Apache-style lines are
+	// detected by the "?query=" parameter, otherwise the raw line is the
+	// query.
+	FormatAuto LogFormat = iota
+	// FormatPlain treats every line as one query.
+	FormatPlain
+	// FormatApache extracts and URL-decodes the query= parameter from
+	// request lines; lines without one are kept verbatim (and will be
+	// dropped by cleaning if they are not queries).
+	FormatApache
+)
+
+// ReadLog reads log entries from r in the given format. Lines longer
+// than 16 MiB are rejected by the scanner.
+func ReadLog(r io.Reader, format LogFormat) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		out = append(out, DecodeEntry(line, format))
+	}
+	return out, sc.Err()
+}
+
+// DecodeEntry normalizes one raw log line into query text per the format.
+func DecodeEntry(line string, format LogFormat) string {
+	switch format {
+	case FormatPlain:
+		return line
+	case FormatApache:
+		if q, ok := extractQueryParam(line); ok {
+			return q
+		}
+		return line
+	default: // FormatAuto
+		if strings.Contains(line, "query=") {
+			if q, ok := extractQueryParam(line); ok {
+				return q
+			}
+		}
+		return line
+	}
+}
+
+// extractQueryParam pulls the query= URL parameter out of a request line
+// and percent-decodes it.
+func extractQueryParam(line string) (string, bool) {
+	i := strings.Index(line, "query=")
+	if i < 0 {
+		return "", false
+	}
+	// Parameter boundaries: & ends the parameter; a space ends the URL
+	// (Apache log format: "GET /sparql?query=... HTTP/1.1").
+	rest := line[i+len("query="):]
+	if j := strings.IndexAny(rest, "& \""); j >= 0 {
+		rest = rest[:j]
+	}
+	decoded, ok := urlDecode(rest)
+	if !ok {
+		return "", false
+	}
+	return decoded, true
+}
+
+// urlDecode percent-decodes s, treating '+' as space (query strings).
+// It reports ok=false for malformed escapes.
+func urlDecode(s string) (string, bool) {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			sb.WriteByte(' ')
+		case '%':
+			if i+2 >= len(s) {
+				return "", false
+			}
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if !ok1 || !ok2 {
+				return "", false
+			}
+			sb.WriteByte(hi<<4 | lo)
+			i += 2
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

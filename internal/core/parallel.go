@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"sparqlog/internal/analysis"
+	"sparqlog/internal/paths"
+	"sparqlog/internal/sparql"
+)
+
+// AnalyzeLogParallel is AnalyzeLog with a worker pool: the paper's real
+// corpus is 180M queries, where parsing dominates wall time. The
+// sequential pass only cleans and counts occurrences of each distinct
+// entry (no parsing); workers then parse every distinct entry exactly
+// once and run the per-query analysis, scaling the Valid count by the
+// occurrence multiplicity. Results are identical to AnalyzeLog.
+func AnalyzeLogParallel(name string, entries []string, opts Options, workers int) *DatasetReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return AnalyzeLog(name, entries, opts)
+	}
+	rep := &DatasetReport{
+		Name:        name,
+		Keywords:    make(map[string]int),
+		OperatorSet: analysis.NewDistribution(),
+		GirthHist:   make(map[int]int),
+		Paths:       paths.NewTable5(),
+	}
+	// Sequential pass: cleaning and occurrence counting, no parsing.
+	occurrences := make(map[string]int)
+	var distinct []string
+	for _, raw := range entries {
+		if !looksLikeQuery(raw) {
+			rep.NoiseRemoved++
+			continue
+		}
+		rep.Total++
+		if occurrences[raw] == 0 {
+			distinct = append(distinct, raw)
+		}
+		occurrences[raw]++
+	}
+	// Fan out: parse each distinct entry once.
+	type partial struct {
+		rep    *DatasetReport
+		valid  int
+		unique int
+		// fingerprints seen by this worker (structural dedup needs a
+		// global merge afterwards, handled below).
+		fps map[string][]*sparql.Query
+	}
+	parts := make([]*partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(distinct) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(distinct) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(distinct) {
+			hi = len(distinct)
+		}
+		part := &partial{rep: NewCorpusReport(name)}
+		if opts.StructuralDedup {
+			part.fps = make(map[string][]*sparql.Query)
+		}
+		parts[w] = part
+		wg.Add(1)
+		go func(batch []string, out *partial) {
+			defer wg.Done()
+			p := &sparql.Parser{}
+			for _, raw := range batch {
+				q, err := p.Parse(raw)
+				if err != nil {
+					continue
+				}
+				mult := occurrences[raw]
+				out.valid += mult
+				switch {
+				case opts.KeepDuplicates:
+					// The appendix corpus analyzes every duplicate.
+					out.unique += mult
+					for i := 0; i < mult; i++ {
+						out.rep.analyzeQuery(q, opts)
+					}
+				case opts.StructuralDedup:
+					// Defer: structural dedup must be global.
+					fp := sparql.Fingerprint(q)
+					out.fps[fp] = append(out.fps[fp], q)
+				default:
+					out.unique++
+					out.rep.analyzeQuery(q, opts)
+				}
+			}
+		}(distinct[lo:hi], part)
+	}
+	wg.Wait()
+	if opts.StructuralDedup {
+		// Merge fingerprints across workers, analyzing one representative
+		// per class.
+		seen := make(map[string]bool)
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			rep.Valid += part.valid
+			for fp, qs := range part.fps {
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				rep.Unique++
+				rep.analyzeQuery(qs[0], opts)
+			}
+		}
+		return rep
+	}
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		rep.Valid += part.valid
+		rep.Unique += part.unique
+		rep.mergeAnalysis(part.rep)
+	}
+	return rep
+}
+
+// mergeAnalysis merges only the per-query analysis fields (not the
+// Total/Valid/Unique bookkeeping, which the caller owns).
+func (rep *DatasetReport) mergeAnalysis(o *DatasetReport) {
+	saveTotal, saveValid, saveUnique, saveNoise := rep.Total, rep.Valid, rep.Unique, rep.NoiseRemoved
+	rep.Merge(o)
+	rep.Total, rep.Valid, rep.Unique, rep.NoiseRemoved = saveTotal, saveValid, saveUnique, saveNoise
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sparqlog/internal/loggen"
+)
+
+// TestParallelMatchesSequential is the differential test for the worker
+// pool: every aggregate must be byte-identical to the sequential result.
+func TestParallelMatchesSequential(t *testing.T) {
+	ds := loggen.Generate(loggen.Profiles()[0], 1200, 44)
+	seq := AnalyzeLog(ds.Name, ds.Entries, Options{})
+	for _, workers := range []int{2, 4, 8} {
+		par := AnalyzeLogParallel(ds.Name, ds.Entries, Options{}, workers)
+		if seq.Total != par.Total || seq.Valid != par.Valid || seq.Unique != par.Unique {
+			t.Fatalf("workers=%d: bookkeeping differs: %d/%d/%d vs %d/%d/%d",
+				workers, seq.Total, seq.Valid, seq.Unique, par.Total, par.Valid, par.Unique)
+		}
+		if !reflect.DeepEqual(seq.Keywords, par.Keywords) {
+			t.Errorf("workers=%d: keywords differ", workers)
+		}
+		if !reflect.DeepEqual(seq.TripleHist, par.TripleHist) {
+			t.Errorf("workers=%d: triple histograms differ", workers)
+		}
+		if !reflect.DeepEqual(seq.OperatorSet.Counts, par.OperatorSet.Counts) {
+			t.Errorf("workers=%d: operator sets differ", workers)
+		}
+		if seq.CQ != par.CQ || seq.CQF != par.CQF || seq.CQOF != par.CQOF || seq.AOF != par.AOF {
+			t.Errorf("workers=%d: fragments differ", workers)
+		}
+		if seq.ShapeCQ != par.ShapeCQ || seq.ShapeCQOF != par.ShapeCQOF {
+			t.Errorf("workers=%d: shapes differ", workers)
+		}
+		if !reflect.DeepEqual(seq.GirthHist, par.GirthHist) {
+			t.Errorf("workers=%d: girth histograms differ", workers)
+		}
+		if seq.ProjYes != par.ProjYes || seq.Subqueries != par.Subqueries {
+			t.Errorf("workers=%d: projection/subquery counts differ", workers)
+		}
+	}
+}
+
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	ds := loggen.Generate(loggen.Profiles()[1], 300, 3)
+	a := AnalyzeLog(ds.Name, ds.Entries, Options{})
+	b := AnalyzeLogParallel(ds.Name, ds.Entries, Options{}, 1)
+	if a.Unique != b.Unique || a.SelectAsk != b.SelectAsk {
+		t.Error("single worker must match sequential")
+	}
+}
+
+// TestStructuralDedup verifies fingerprint-based deduplication catches
+// alpha-equivalent duplicates that exact-text dedup keeps.
+func TestStructuralDedup(t *testing.T) {
+	entries := []string{
+		"SELECT ?x WHERE { ?x <p> ?y }",
+		"SELECT ?a WHERE { ?a <p> ?b }",                           // alpha-equivalent
+		"PREFIX q: <p-is-not-this> SELECT ?x WHERE { ?x <p> ?y }", // same after prefix drop
+		"SELECT ?x WHERE { ?x <q> ?y }",                           // different
+	}
+	exact := AnalyzeLog("exact", entries, Options{})
+	structural := AnalyzeLog("structural", entries, Options{StructuralDedup: true})
+	if exact.Unique != 4 {
+		t.Errorf("exact dedup unique = %d, want 4", exact.Unique)
+	}
+	if structural.Unique != 2 {
+		t.Errorf("structural dedup unique = %d, want 2", structural.Unique)
+	}
+}

@@ -1,0 +1,481 @@
+// Package core is the sparqlog analytics pipeline: it cleans raw query
+// logs, splits them into valid and invalid queries, deduplicates, and runs
+// every per-query analysis of the paper, aggregating one DatasetReport per
+// log and corpus-level totals. It is the Go counterpart of the scripts the
+// authors describe in Section 9.
+package core
+
+import (
+	"strings"
+
+	"sparqlog/internal/analysis"
+	"sparqlog/internal/paths"
+	"sparqlog/internal/shapes"
+	"sparqlog/internal/sparql"
+)
+
+// KeywordOrder lists Table 2's rows in the paper's order; DatasetReport
+// keyword maps use these keys.
+var KeywordOrder = []string{
+	"Select", "Ask", "Describe", "Construct",
+	"Distinct", "Limit", "Offset", "Order By",
+	"Filter", "And", "Union", "Opt", "Graph",
+	"Not Exists", "Minus", "Exists",
+	"Count", "Max", "Min", "Avg", "Sum",
+	"Group By", "Having",
+}
+
+// ShapeCounts holds the cumulative shape rows of Table 4 for one fragment.
+type ShapeCounts struct {
+	SingleEdge, Chain, ChainSet, Star, Tree, Forest int
+	Cycle, Flower, FlowerSet                        int
+	TW2, TW3, TWOther                               int
+	Total                                           int
+}
+
+func (s *ShapeCounts) add(r shapes.Report) {
+	if r.SingleEdge {
+		s.SingleEdge++
+	}
+	if r.Chain {
+		s.Chain++
+	}
+	if r.ChainSet {
+		s.ChainSet++
+	}
+	if r.Star {
+		s.Star++
+	}
+	if r.Tree {
+		s.Tree++
+	}
+	if r.Forest {
+		s.Forest++
+	}
+	if r.Cycle {
+		s.Cycle++
+	}
+	if r.Flower {
+		s.Flower++
+	}
+	if r.FlowerSet {
+		s.FlowerSet++
+	}
+	switch {
+	case r.Treewidth >= 0 && r.Treewidth <= 2:
+		s.TW2++
+	case r.Treewidth == 3:
+		s.TW3++
+	default:
+		s.TWOther++
+	}
+	s.Total++
+}
+
+func (s *ShapeCounts) merge(o ShapeCounts) {
+	s.SingleEdge += o.SingleEdge
+	s.Chain += o.Chain
+	s.ChainSet += o.ChainSet
+	s.Star += o.Star
+	s.Tree += o.Tree
+	s.Forest += o.Forest
+	s.Cycle += o.Cycle
+	s.Flower += o.Flower
+	s.FlowerSet += o.FlowerSet
+	s.TW2 += o.TW2
+	s.TW3 += o.TW3
+	s.TWOther += o.TWOther
+	s.Total += o.Total
+}
+
+// SizeHistBuckets is the number of buckets of the Figure 1/Figure 5 size
+// histograms: triple counts 0..11 plus a 12th bucket for 12-and-more
+// ("11+" in the paper's rendering, which labels the last bucket 11+ and
+// buckets 0..10 individually; we keep 0..11 exact and bucket 12+).
+const SizeHistBuckets = 13
+
+// DatasetReport aggregates every analysis over one query log.
+type DatasetReport struct {
+	Name string
+
+	// Table 1 columns.
+	Total, Valid, Unique int
+	// NoiseRemoved counts log entries dropped by cleaning (not queries).
+	NoiseRemoved int
+
+	// Bodyless counts queries without a WHERE clause (Section 2).
+	Bodyless int
+
+	// Keywords maps Table 2 rows to counts over analyzed queries.
+	Keywords map[string]int
+
+	// Select/Ask-scoped statistics (Sections 4.2-4.4).
+	SelectAsk   int
+	TripleHist  [SizeHistBuckets]int
+	TripleSum   int
+	OperatorSet *analysis.Distribution
+	ProjYes     int
+	ProjInd     int
+	Subqueries  int
+
+	// Fragment hierarchy (Section 5.2), over Select/Ask queries.
+	AOF, CQ, CPF, CQF, WellDesigned, CQOF int
+	WideInterface                         int // interface width > 1 among well-designed
+	VarPredAOF                            int // AOF patterns with predicate variables
+
+	// Shape analysis (Table 4), per fragment, over queries without
+	// predicate variables.
+	ShapeCQ, ShapeCQF, ShapeCQOF ShapeCounts
+	// Fragment size histograms (Figure 5), indexed by triple count.
+	SizeCQ, SizeCQF, SizeCQOF [SizeHistBuckets]int
+
+	// Variables-only rerun of the CQ shape analysis (Section 6.1):
+	// constants dropped from the canonical graph.
+	ShapeCQNoConst ShapeCounts
+	// SingleEdgeWithConstants counts single-edge CQs whose edge touches
+	// a constant (the paper found 78.70% of single-edge CQs do).
+	SingleEdgeWithConstants int
+
+	// Girth distribution of cyclic queries (Section 6.1): shortest cycle
+	// length -> count.
+	GirthHist map[int]int
+
+	// Hypergraph analysis of predicate-variable CQOF queries (Section
+	// 6.2).
+	GHW1, GHW2, GHW3, GHWOther int
+	MaxDecompNodes             int
+
+	// Property paths (Section 7 / Table 5).
+	Paths *paths.Table5
+}
+
+// Options configures the pipeline.
+type Options struct {
+	// KeepDuplicates analyzes the Valid corpus instead of the Unique one
+	// (the appendix variant, Tables 7-9).
+	KeepDuplicates bool
+	// StructuralDedup deduplicates by sparql.Fingerprint (canonical
+	// variable names, expanded prefixes, normalized whitespace) instead
+	// of exact text, catching alpha-equivalent duplicates the paper's
+	// exact-text dedup misses.
+	StructuralDedup bool
+	// SkipShapes disables the (comparatively expensive) shape and width
+	// analyses; Table 1-3 statistics are still computed.
+	SkipShapes bool
+}
+
+// looksLikeQuery is the cleaning test of Section 2: entries with no
+// query-form keyword at all (HTTP requests, status lines) are removed
+// before any counting.
+func looksLikeQuery(entry string) bool {
+	up := strings.ToUpper(entry)
+	for _, kw := range []string{"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"} {
+		if strings.Contains(up, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeLog runs the full pipeline over one log's raw entries.
+func AnalyzeLog(name string, entries []string, opts Options) *DatasetReport {
+	rep := &DatasetReport{
+		Name:        name,
+		Keywords:    make(map[string]int),
+		OperatorSet: analysis.NewDistribution(),
+		GirthHist:   make(map[int]int),
+		Paths:       paths.NewTable5(),
+	}
+	parser := &sparql.Parser{}
+	seen := make(map[string]bool)
+	for _, raw := range entries {
+		if !looksLikeQuery(raw) {
+			rep.NoiseRemoved++
+			continue
+		}
+		rep.Total++
+		q, err := parser.Parse(raw)
+		if err != nil {
+			continue
+		}
+		rep.Valid++
+		if !opts.KeepDuplicates {
+			key := raw
+			if opts.StructuralDedup {
+				key = sparql.Fingerprint(q)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		rep.Unique++
+		rep.analyzeQuery(q, opts)
+	}
+	return rep
+}
+
+// AnalyzeQueries runs the analysis over already-parsed queries (used by
+// tests and the repro harness).
+func AnalyzeQueries(name string, qs []*sparql.Query, opts Options) *DatasetReport {
+	rep := &DatasetReport{
+		Name:        name,
+		Keywords:    make(map[string]int),
+		OperatorSet: analysis.NewDistribution(),
+		GirthHist:   make(map[int]int),
+		Paths:       paths.NewTable5(),
+	}
+	for _, q := range qs {
+		rep.Total++
+		rep.Valid++
+		rep.Unique++
+		rep.analyzeQuery(q, opts)
+	}
+	return rep
+}
+
+func (rep *DatasetReport) analyzeQuery(q *sparql.Query, opts Options) {
+	if !q.HasBody() {
+		rep.Bodyless++
+	}
+	k := analysis.QueryKeywords(q)
+	rep.addKeywords(k)
+	for _, pp := range q.PathPatterns() {
+		rep.Paths.Add(pp.Path)
+	}
+	if q.Type != sparql.SelectQuery && q.Type != sparql.AskQuery {
+		return
+	}
+	rep.SelectAsk++
+	tc := analysis.TripleCount(q)
+	rep.TripleSum += tc
+	rep.TripleHist[bucket(tc)]++
+	rep.OperatorSet.Add(analysis.Operators(q))
+	switch analysis.Projection(q) {
+	case analysis.UsesProjection:
+		rep.ProjYes++
+	case analysis.Indeterminate:
+		rep.ProjInd++
+	}
+	if analysis.UsesSubqueries(q) {
+		rep.Subqueries++
+	}
+	frag := analysis.ClassifyFragments(q)
+	if !frag.AOF {
+		return
+	}
+	rep.AOF++
+	if frag.CQ {
+		rep.CQ++
+	}
+	if frag.CPF {
+		rep.CPF++
+	}
+	if frag.CQF {
+		rep.CQF++
+	}
+	if frag.WellDesigned {
+		rep.WellDesigned++
+		if frag.InterfaceWidth > 1 {
+			rep.WideInterface++
+		}
+	}
+	if frag.CQOF {
+		rep.CQOF++
+	}
+	if opts.SkipShapes {
+		return
+	}
+	triples := q.Triples()
+	collapses := analysis.EqualityCollapses(q)
+	if frag.HasVarPredicate {
+		if frag.CQOF {
+			rep.VarPredAOF++
+			h := shapes.CanonicalHypergraph(triples, shapes.Options{CollapseEqual: collapses})
+			if d, ok := h.GHW(3); ok {
+				switch d.Width {
+				case 0, 1:
+					rep.GHW1++
+				case 2:
+					rep.GHW2++
+				case 3:
+					rep.GHW3++
+				}
+				if d.Nodes > rep.MaxDecompNodes {
+					rep.MaxDecompNodes = d.Nodes
+				}
+			} else {
+				rep.GHWOther++
+			}
+		}
+		return
+	}
+	// Canonical-graph shape analysis per fragment (Table 4, Figure 5).
+	classify := func(withCollapse bool) shapes.Report {
+		o := shapes.Options{}
+		if withCollapse {
+			o.CollapseEqual = collapses
+		}
+		g, _ := shapes.CanonicalGraph(triples, o)
+		return shapes.Classify(g)
+	}
+	if frag.CQ {
+		r := classify(false)
+		rep.ShapeCQ.add(r)
+		rep.SizeCQ[bucket(tc)]++
+		if g := r.Girth; g > 0 {
+			rep.GirthHist[g]++
+		}
+		// Variables-only rerun (constants dropped).
+		gNoConst, _ := shapes.CanonicalGraph(triples, shapes.Options{ExcludeConstants: true})
+		rep.ShapeCQNoConst.add(shapes.Classify(gNoConst))
+		if r.SingleEdge {
+			for _, t := range triples {
+				if t.S.IsConstant() || t.O.IsConstant() {
+					rep.SingleEdgeWithConstants++
+					break
+				}
+			}
+		}
+	}
+	if frag.CQF {
+		rep.ShapeCQF.add(classify(true))
+		rep.SizeCQF[bucket(tc)]++
+	}
+	if frag.CQOF {
+		rep.ShapeCQOF.add(classify(true))
+		rep.SizeCQOF[bucket(tc)]++
+	}
+}
+
+func bucket(tc int) int {
+	if tc >= SizeHistBuckets-1 {
+		return SizeHistBuckets - 1
+	}
+	return tc
+}
+
+func (rep *DatasetReport) addKeywords(k analysis.Keywords) {
+	inc := func(name string, b bool) {
+		if b {
+			rep.Keywords[name]++
+		}
+	}
+	inc("Select", k.Select)
+	inc("Ask", k.Ask)
+	inc("Describe", k.Describe)
+	inc("Construct", k.Construct)
+	inc("Distinct", k.Distinct)
+	inc("Limit", k.Limit)
+	inc("Offset", k.Offset)
+	inc("Order By", k.OrderBy)
+	inc("Filter", k.Filter)
+	inc("And", k.And)
+	inc("Union", k.Union)
+	inc("Opt", k.Opt)
+	inc("Graph", k.Graph)
+	inc("Not Exists", k.NotExists)
+	inc("Minus", k.Minus)
+	inc("Exists", k.Exists)
+	inc("Count", k.Count)
+	inc("Max", k.Max)
+	inc("Min", k.Min)
+	inc("Avg", k.Avg)
+	inc("Sum", k.Sum)
+	inc("Group By", k.GroupBy)
+	inc("Having", k.Having)
+}
+
+// AvgTriples is the mean triple count over Select/Ask queries (the Avg#T
+// row of Figure 1).
+func (rep *DatasetReport) AvgTriples() float64 {
+	if rep.SelectAsk == 0 {
+		return 0
+	}
+	return float64(rep.TripleSum) / float64(rep.SelectAsk)
+}
+
+// SelectAskShare is the S/A row of Figure 1: the fraction of analyzed
+// queries that are Select or Ask.
+func (rep *DatasetReport) SelectAskShare() float64 {
+	if rep.Unique == 0 {
+		return 0
+	}
+	return float64(rep.SelectAsk) / float64(rep.Unique)
+}
+
+// Merge folds another report into this one (corpus aggregation).
+func (rep *DatasetReport) Merge(o *DatasetReport) {
+	rep.Total += o.Total
+	rep.Valid += o.Valid
+	rep.Unique += o.Unique
+	rep.NoiseRemoved += o.NoiseRemoved
+	rep.Bodyless += o.Bodyless
+	for k, v := range o.Keywords {
+		rep.Keywords[k] += v
+	}
+	rep.SelectAsk += o.SelectAsk
+	for i := range o.TripleHist {
+		rep.TripleHist[i] += o.TripleHist[i]
+		rep.SizeCQ[i] += o.SizeCQ[i]
+		rep.SizeCQF[i] += o.SizeCQF[i]
+		rep.SizeCQOF[i] += o.SizeCQOF[i]
+	}
+	rep.TripleSum += o.TripleSum
+	for k, v := range o.OperatorSet.Counts {
+		rep.OperatorSet.Counts[k] += v
+	}
+	rep.OperatorSet.Total += o.OperatorSet.Total
+	rep.ProjYes += o.ProjYes
+	rep.ProjInd += o.ProjInd
+	rep.Subqueries += o.Subqueries
+	rep.AOF += o.AOF
+	rep.CQ += o.CQ
+	rep.CPF += o.CPF
+	rep.CQF += o.CQF
+	rep.WellDesigned += o.WellDesigned
+	rep.CQOF += o.CQOF
+	rep.WideInterface += o.WideInterface
+	rep.VarPredAOF += o.VarPredAOF
+	rep.ShapeCQ.merge(o.ShapeCQ)
+	rep.ShapeCQF.merge(o.ShapeCQF)
+	rep.ShapeCQOF.merge(o.ShapeCQOF)
+	rep.ShapeCQNoConst.merge(o.ShapeCQNoConst)
+	rep.SingleEdgeWithConstants += o.SingleEdgeWithConstants
+	for k, v := range o.GirthHist {
+		rep.GirthHist[k] += v
+	}
+	rep.GHW1 += o.GHW1
+	rep.GHW2 += o.GHW2
+	rep.GHW3 += o.GHW3
+	rep.GHWOther += o.GHWOther
+	if o.MaxDecompNodes > rep.MaxDecompNodes {
+		rep.MaxDecompNodes = o.MaxDecompNodes
+	}
+	for t, v := range o.Paths.Counts {
+		rep.Paths.Counts[t] += v
+		if mk, ok := o.Paths.MinK[t]; ok {
+			if cur, ok2 := rep.Paths.MinK[t]; !ok2 || mk < cur {
+				rep.Paths.MinK[t] = mk
+			}
+		}
+		if o.Paths.MaxK[t] > rep.Paths.MaxK[t] {
+			rep.Paths.MaxK[t] = o.Paths.MaxK[t]
+		}
+	}
+	rep.Paths.TrivialNeg += o.Paths.TrivialNeg
+	rep.Paths.TrivialInv += o.Paths.TrivialInv
+	rep.Paths.NonCtract += o.Paths.NonCtract
+	rep.Paths.Total += o.Paths.Total
+}
+
+// NewCorpusReport returns an empty report suitable as a Merge target.
+func NewCorpusReport(name string) *DatasetReport {
+	return &DatasetReport{
+		Name:        name,
+		Keywords:    make(map[string]int),
+		OperatorSet: analysis.NewDistribution(),
+		GirthHist:   make(map[int]int),
+		Paths:       paths.NewTable5(),
+	}
+}

@@ -1,0 +1,318 @@
+// Package engine implements two deliberately contrasting conjunctive-query
+// engines over the rdf.Store, reproducing the systems experiment of
+// Section 5.1 (Figure 3): a graph-native engine in the role of Blazegraph
+// and a relational engine in the role of PostgreSQL over a triples table.
+//
+// GraphEngine performs index nested-loop joins with greedy
+// selectivity-based ordering and short-circuits ASK queries at the first
+// result — cheap index-driven traversal, the behaviour that keeps cycle
+// queries tractable on graph engines.
+//
+// RelationalEngine executes a left-deep pipeline of hash joins in the
+// query's syntactic order, fully materializing every intermediate result
+// before the next join, with no structure-aware reordering and no ASK
+// short-circuit. Cyclic queries keep both endpoints of the growing path in
+// the intermediate relation and only prune at the closing join, which is
+// what drives the paper's observed PostgreSQL timeouts on cycles.
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"sparqlog/internal/rdf"
+)
+
+// TermRef is one position of a query atom: either a variable (index into
+// the query's variable table) or a constant store ID.
+type TermRef struct {
+	IsVar bool
+	Var   int
+	ID    rdf.ID
+}
+
+// V constructs a variable reference.
+func V(i int) TermRef { return TermRef{IsVar: true, Var: i} }
+
+// C constructs a constant reference.
+func C(id rdf.ID) TermRef { return TermRef{ID: id} }
+
+// Atom is one triple pattern of a conjunctive query.
+type Atom struct {
+	S, P, O TermRef
+}
+
+// CQ is a conjunctive query over a store.
+type CQ struct {
+	Atoms   []Atom
+	NumVars int
+	// Ask indicates existence semantics: engines that support
+	// short-circuiting may stop at the first result.
+	Ask bool
+}
+
+// Result reports one query execution.
+type Result struct {
+	// Count is the number of result bindings (1/0 for Ask on the graph
+	// engine).
+	Count int64
+	// TimedOut indicates the deadline struck before completion.
+	TimedOut bool
+	Duration time.Duration
+}
+
+// Engine executes conjunctive queries against a store within a timeout.
+type Engine interface {
+	Name() string
+	Execute(st *rdf.Store, q CQ, timeout time.Duration) Result
+}
+
+// errTimeout aborts execution internally.
+var errTimeout = errors.New("engine: timeout")
+
+const unbound = int64(-1)
+
+// ---------- Graph engine ----------
+
+// OrderMode selects the join-ordering strategy of GraphEngine.
+type OrderMode int
+
+// Join orderings.
+const (
+	// OrderGreedy picks the cheapest next atom given current bindings
+	// (most bound positions, then smallest index estimate).
+	OrderGreedy OrderMode = iota
+	// OrderSyntactic processes atoms in query order (ablation mode).
+	OrderSyntactic
+)
+
+// GraphEngine is the Blazegraph stand-in: index nested-loop joins over the
+// store's SPO/POS/OSP indexes.
+type GraphEngine struct {
+	Order OrderMode
+}
+
+// Name identifies the engine in reports.
+func (e *GraphEngine) Name() string {
+	if e.Order == OrderSyntactic {
+		return "graph-syntactic"
+	}
+	return "BG"
+}
+
+// Execute runs the query with backtracking search.
+func (e *GraphEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) Result {
+	st.Freeze()
+	start := time.Now()
+	deadline := start.Add(timeout)
+	ex := &graphExec{
+		st:       st,
+		q:        q,
+		bindings: make([]int64, q.NumVars),
+		used:     make([]bool, len(q.Atoms)),
+		deadline: deadline,
+		order:    e.Order,
+	}
+	for i := range ex.bindings {
+		ex.bindings[i] = unbound
+	}
+	err := ex.search(0)
+	res := Result{Count: ex.count, Duration: time.Since(start)}
+	if errors.Is(err, errTimeout) {
+		res.TimedOut = true
+		res.Duration = timeout
+	}
+	return res
+}
+
+type graphExec struct {
+	st       *rdf.Store
+	q        CQ
+	bindings []int64
+	used     []bool
+	count    int64
+	steps    int
+	deadline time.Time
+	order    OrderMode
+}
+
+func (ex *graphExec) checkDeadline() error {
+	ex.steps++
+	if ex.steps&1023 == 0 && time.Now().After(ex.deadline) {
+		return errTimeout
+	}
+	return nil
+}
+
+// errDone stops the search after the first result for ASK queries.
+var errDone = errors.New("engine: done")
+
+func (ex *graphExec) search(depth int) error {
+	if err := ex.checkDeadline(); err != nil {
+		return err
+	}
+	if depth == len(ex.q.Atoms) {
+		ex.count++
+		if ex.q.Ask {
+			return errDone
+		}
+		return nil
+	}
+	ai := ex.pickAtom()
+	ex.used[ai] = true
+	defer func() { ex.used[ai] = false }()
+	atom := ex.q.Atoms[ai]
+	err := ex.enumerate(atom, func(s, p, o rdf.ID) error {
+		var setVars [3]int
+		n := 0
+		bind := func(ref TermRef, val rdf.ID) bool {
+			if !ref.IsVar {
+				return ref.ID == val
+			}
+			if cur := ex.bindings[ref.Var]; cur != unbound {
+				return cur == int64(val)
+			}
+			ex.bindings[ref.Var] = int64(val)
+			setVars[n] = ref.Var
+			n++
+			return true
+		}
+		ok := bind(atom.S, s) && bind(atom.P, p) && bind(atom.O, o)
+		var err error
+		if ok {
+			err = ex.search(depth + 1)
+		}
+		for i := 0; i < n; i++ {
+			ex.bindings[setVars[i]] = unbound
+		}
+		return err
+	})
+	return err
+}
+
+// pickAtom chooses the next atom to evaluate.
+func (ex *graphExec) pickAtom() int {
+	if ex.order == OrderSyntactic {
+		for i := range ex.q.Atoms {
+			if !ex.used[i] {
+				return i
+			}
+		}
+	}
+	best, bestCost := -1, int64(1)<<62
+	for i, a := range ex.q.Atoms {
+		if ex.used[i] {
+			continue
+		}
+		cost := ex.estimate(a)
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// resolve returns the concrete value of a term ref under current bindings,
+// with ok=false for unbound variables.
+func (ex *graphExec) resolve(r TermRef) (rdf.ID, bool) {
+	if !r.IsVar {
+		return r.ID, true
+	}
+	if v := ex.bindings[r.Var]; v != unbound {
+		return rdf.ID(v), true
+	}
+	return 0, false
+}
+
+// estimate approximates the number of index entries the atom would touch.
+func (ex *graphExec) estimate(a Atom) int64 {
+	s, sb := ex.resolve(a.S)
+	p, pb := ex.resolve(a.P)
+	o, ob := ex.resolve(a.O)
+	switch {
+	case sb && pb && ob:
+		return 1
+	case sb && pb:
+		return int64(len(ex.st.Objects(s, p))) + 1
+	case pb && ob:
+		return int64(len(ex.st.Subjects(p, o))) + 1
+	case sb && ob:
+		return int64(len(ex.st.Predicates(s, o))) + 1
+	case pb:
+		return int64(ex.st.PredicateCardinality(p)) + 2
+	case sb, ob:
+		return int64(ex.st.Len()/max(1, ex.st.NumTerms())) + 4
+	default:
+		return int64(ex.st.Len()) + 8
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// enumerate yields the triples matching the atom under current bindings
+// using the cheapest available index.
+func (ex *graphExec) enumerate(a Atom, yield func(s, p, o rdf.ID) error) error {
+	s, sb := ex.resolve(a.S)
+	p, pb := ex.resolve(a.P)
+	o, ob := ex.resolve(a.O)
+	st := ex.st
+	switch {
+	case sb && pb && ob:
+		if st.Has(s, p, o) {
+			return yield(s, p, o)
+		}
+		return nil
+	case sb && pb:
+		for _, obj := range st.Objects(s, p) {
+			if err := yield(s, p, obj); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pb && ob:
+		for _, sub := range st.Subjects(p, o) {
+			if err := yield(sub, p, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	case sb && ob:
+		for _, pred := range st.Predicates(s, o) {
+			if err := yield(s, pred, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pb:
+		for _, t := range st.ScanPredicate(p) {
+			if err := ex.checkDeadline(); err != nil {
+				return err
+			}
+			if err := yield(t.S, t.P, t.O); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		for _, t := range st.Triples() {
+			if err := ex.checkDeadline(); err != nil {
+				return err
+			}
+			if sb && t.S != s {
+				continue
+			}
+			if ob && t.O != o {
+				continue
+			}
+			if err := yield(t.S, t.P, t.O); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

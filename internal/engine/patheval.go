@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// Property-path evaluation over the triple store, under the W3C SPARQL
+// 1.1 semantics: fixed-length operators (sequence, alternation, inverse,
+// negated property sets) compose relations; arbitrary-length operators
+// (*, +, ?) are evaluated as reachability with node-set semantics, so
+// they terminate on cyclic data. This makes the navigational queries of
+// Section 7 executable, complementing the classification in package
+// paths. (Bagan et al.'s Ctract dichotomy concerns the stricter
+// simple-path semantics, which is NP-hard in general and not used by
+// SPARQL endpoints.)
+
+// PathResolver maps IRI text as written in a path expression to store
+// IDs. Implementations typically expand prefixed names first.
+type PathResolver func(iri string) (rdf.ID, bool)
+
+// StoreResolver resolves IRIs directly against the store dictionary.
+func StoreResolver(st *rdf.Store) PathResolver {
+	return func(iri string) (rdf.ID, bool) { return st.Lookup(iri) }
+}
+
+// EvalPathFrom returns the set of nodes reachable from start via the
+// path expression.
+func EvalPathFrom(st *rdf.Store, start rdf.ID, p sparql.PathExpr, resolve PathResolver) map[rdf.ID]bool {
+	e := &pathEval{st: st, resolve: resolve}
+	out := make(map[rdf.ID]bool)
+	e.from(start, p, func(n rdf.ID) { out[n] = true })
+	return out
+}
+
+// PathHolds reports whether the path connects s to o.
+func PathHolds(st *rdf.Store, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
+	found := false
+	e := &pathEval{st: st, resolve: resolve}
+	e.from(s, p, func(n rdf.ID) {
+		if n == o {
+			found = true
+		}
+	})
+	return found
+}
+
+// EvalPathPairs enumerates all (subject, object) pairs connected by the
+// path, up to limit pairs (0 = unlimited). The subject candidates are
+// all subjects and objects in the store.
+func EvalPathPairs(st *rdf.Store, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
+	e := &pathEval{st: st, resolve: resolve}
+	var out [][2]rdf.ID
+	seenStart := make(map[rdf.ID]bool)
+	for _, t := range st.Triples() {
+		for _, s := range [2]rdf.ID{t.S, t.O} {
+			if seenStart[s] {
+				continue
+			}
+			seenStart[s] = true
+			stop := false
+			e.from(s, p, func(n rdf.ID) {
+				if stop {
+					return
+				}
+				out = append(out, [2]rdf.ID{s, n})
+				if limit > 0 && len(out) >= limit {
+					stop = true
+				}
+			})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+type pathEval struct {
+	st      *rdf.Store
+	resolve PathResolver
+}
+
+// from streams the nodes reachable from start via p (with duplicates
+// possible for fixed-length parts; callers deduplicate as needed).
+func (e *pathEval) from(start rdf.ID, p sparql.PathExpr, yield func(rdf.ID)) {
+	switch n := p.(type) {
+	case *sparql.PathIRI:
+		if pid, ok := e.resolve(n.IRI); ok {
+			for _, o := range e.st.Objects(start, pid) {
+				yield(o)
+			}
+		}
+	case *sparql.PathInverse:
+		e.inverseFrom(start, n.X, yield)
+	case *sparql.PathSeq:
+		e.seqFrom(start, n.Parts, yield)
+	case *sparql.PathAlt:
+		for _, part := range n.Parts {
+			e.from(start, part, yield)
+		}
+	case *sparql.PathMod:
+		switch n.Mod {
+		case '?':
+			yield(start)
+			e.from(start, n.X, yield)
+		case '*', '+':
+			e.closure(start, n.X, n.Mod == '*', yield)
+		}
+	case *sparql.PathNeg:
+		e.negFrom(start, n.Set, yield)
+	}
+}
+
+// inverseFrom follows X backwards. Only the atomic forms the grammar
+// allows under ^ are supported (IRI); general inversion recurses.
+func (e *pathEval) inverseFrom(start rdf.ID, x sparql.PathExpr, yield func(rdf.ID)) {
+	if iri, ok := x.(*sparql.PathIRI); ok {
+		if pid, ok := e.resolve(iri.IRI); ok {
+			for _, s := range e.st.Subjects(pid, start) {
+				yield(s)
+			}
+		}
+		return
+	}
+	// General case: scan candidate sources (rare in practice; the
+	// grammar nests ^ around atoms).
+	for _, t := range e.st.Triples() {
+		src := t.S
+		e.from(src, x, func(n rdf.ID) {
+			if n == start {
+				yield(src)
+			}
+		})
+	}
+}
+
+func (e *pathEval) seqFrom(start rdf.ID, parts []sparql.PathExpr, yield func(rdf.ID)) {
+	if len(parts) == 0 {
+		yield(start)
+		return
+	}
+	// Deduplicate the frontier between stages to avoid exponential
+	// re-exploration on diamond-shaped data.
+	frontier := map[rdf.ID]bool{start: true}
+	for _, part := range parts[:len(parts)-1] {
+		next := make(map[rdf.ID]bool)
+		for n := range frontier {
+			e.from(n, part, func(m rdf.ID) { next[m] = true })
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return
+		}
+	}
+	for n := range frontier {
+		e.from(n, parts[len(parts)-1], yield)
+	}
+}
+
+// closure is BFS reachability via the inner path: reflexive for '*'.
+func (e *pathEval) closure(start rdf.ID, inner sparql.PathExpr, reflexive bool, yield func(rdf.ID)) {
+	visited := make(map[rdf.ID]bool)
+	var queue []rdf.ID
+	push := func(n rdf.ID) {
+		if !visited[n] {
+			visited[n] = true
+			queue = append(queue, n)
+		}
+	}
+	if reflexive {
+		push(start)
+		yield(start)
+	} else {
+		// '+': seed with one step.
+		e.from(start, inner, func(n rdf.ID) {
+			if !visited[n] {
+				yield(n)
+			}
+			push(n)
+		})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		e.from(cur, inner, func(n rdf.ID) {
+			if !visited[n] {
+				yield(n)
+			}
+			push(n)
+		})
+	}
+}
+
+// negFrom implements the W3C negated-property-set semantics: forward
+// members of the set exclude forward edges; inverse members exclude
+// reverse edges. Forward edges are traversed only when the set has
+// forward members (or no inverse members at all, covering !() and the
+// plain !a form); reverse edges only when it has inverse members.
+func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.ID)) {
+	excluded := make(map[rdf.ID]bool)
+	excludedInv := make(map[rdf.ID]bool)
+	var hasForward, hasInverse bool
+	for _, x := range set {
+		switch n := x.(type) {
+		case *sparql.PathIRI:
+			hasForward = true
+			if pid, ok := e.resolve(n.IRI); ok {
+				excluded[pid] = true
+			}
+		case *sparql.PathInverse:
+			if iri, ok := n.X.(*sparql.PathIRI); ok {
+				hasInverse = true
+				if pid, ok := e.resolve(iri.IRI); ok {
+					excludedInv[pid] = true
+				}
+			}
+		}
+	}
+	forwardAllowed := hasForward || !hasInverse
+	for _, t := range e.st.Triples() {
+		if forwardAllowed && t.S == start && !excluded[t.P] {
+			yield(t.O)
+		}
+		if hasInverse && t.O == start && !excludedInv[t.P] {
+			yield(t.S)
+		}
+	}
+}

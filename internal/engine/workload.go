@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"time"
+
+	"sparqlog/internal/rdf"
+)
+
+// WorkloadStats aggregates one workload execution on one engine, matching
+// what Figure 3 reports: average runtime per query (timed-out queries
+// contribute the full timeout, as in the paper) and the timeout rate.
+type WorkloadStats struct {
+	Engine     string
+	Queries    int
+	Timeouts   int
+	TotalNanos int64
+	// Results counts total bindings across completed queries.
+	Results int64
+}
+
+// AvgNanos is the average per-query runtime in nanoseconds.
+func (w WorkloadStats) AvgNanos() int64 {
+	if w.Queries == 0 {
+		return 0
+	}
+	return w.TotalNanos / int64(w.Queries)
+}
+
+// TimeoutRate is the fraction of queries that timed out.
+func (w WorkloadStats) TimeoutRate() float64 {
+	if w.Queries == 0 {
+		return 0
+	}
+	return float64(w.Timeouts) / float64(w.Queries)
+}
+
+// RunWorkload executes every query of the workload on the engine with the
+// per-query timeout.
+func RunWorkload(e Engine, st *rdf.Store, queries []CQ, timeout time.Duration) WorkloadStats {
+	stats := WorkloadStats{Engine: e.Name(), Queries: len(queries)}
+	for _, q := range queries {
+		res := e.Execute(st, q, timeout)
+		stats.TotalNanos += res.Duration.Nanoseconds()
+		if res.TimedOut {
+			stats.Timeouts++
+		} else {
+			stats.Results += res.Count
+		}
+	}
+	return stats
+}

@@ -1,0 +1,899 @@
+// Package eval executes parsed SPARQL queries against the rdf.Store: the
+// group graph pattern algebra (joins, OPTIONAL, UNION, MINUS, FILTER,
+// BIND, VALUES, subqueries, property paths), expression evaluation, and
+// the solution modifiers (projection, DISTINCT, ORDER BY, LIMIT/OFFSET,
+// GROUP BY with aggregates, HAVING).
+//
+// The store's dictionary is untyped text, so literals match on their
+// lexical form; language tags and datatypes are compared syntactically
+// where expressions need them. GRAPH and SERVICE blocks evaluate against
+// the same store (it is a single-graph store); a GRAPH variable binds to
+// the pseudo-IRI DefaultGraph.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// DefaultGraph is the pseudo-IRI a GRAPH variable binds to.
+const DefaultGraph = "urn:sparqlog:default-graph"
+
+// Unbound marks an unbound variable in result rows.
+const Unbound = ""
+
+// Result is the outcome of evaluating a query.
+type Result struct {
+	// Vars is the projection, in order. Empty for ASK.
+	Vars []string
+	// Rows are the solutions, aligned with Vars; Unbound marks holes.
+	Rows [][]string
+	// Bool is the ASK answer.
+	Bool bool
+}
+
+// Limits bounds evaluation.
+type Limits struct {
+	// MaxRows caps any intermediate binding set (0 = DefaultMaxRows).
+	MaxRows int
+}
+
+// DefaultMaxRows bounds intermediate results.
+const DefaultMaxRows = 1_000_000
+
+// Query evaluates a parsed query against the store.
+func Query(st *rdf.Store, q *sparql.Query) (*Result, error) {
+	return QueryWithLimits(st, q, Limits{})
+}
+
+// QueryWithLimits evaluates with explicit bounds.
+func QueryWithLimits(st *rdf.Store, q *sparql.Query, lim Limits) (*Result, error) {
+	if lim.MaxRows <= 0 {
+		lim.MaxRows = DefaultMaxRows
+	}
+	ev := &evaluator{st: st, prefixes: prefixMap(q), lim: lim}
+	return ev.query(q)
+}
+
+type binding map[string]string
+
+func (b binding) clone() binding {
+	c := make(binding, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+type evaluator struct {
+	st       *rdf.Store
+	prefixes map[string]string
+	lim      Limits
+}
+
+func prefixMap(q *sparql.Query) map[string]string {
+	m := make(map[string]string, len(q.Prologue.Prefixes))
+	for _, p := range q.Prologue.Prefixes {
+		m[p.Name] = p.IRI
+	}
+	return m
+}
+
+// expand resolves a prefixed name to its full IRI text.
+func (ev *evaluator) expand(iri string, prefixed bool) string {
+	if !prefixed {
+		return iri
+	}
+	i := strings.IndexByte(iri, ':')
+	if i < 0 {
+		return iri
+	}
+	if base, ok := ev.prefixes[iri[:i]]; ok {
+		return base + iri[i+1:]
+	}
+	return iri
+}
+
+// termText renders a query term as store text; variables and blanks
+// return ok=false.
+func (ev *evaluator) termText(t sparql.Term) (string, bool) {
+	switch t.Kind {
+	case sparql.TermIRI:
+		return ev.expand(t.Value, t.PrefixedForm), true
+	case sparql.TermLiteral:
+		return t.Value, true
+	default:
+		return "", false
+	}
+}
+
+// varName returns the binding key for a variable or blank node (blank
+// nodes act as non-projectable variables in patterns).
+func varName(t sparql.Term) (string, bool) {
+	switch t.Kind {
+	case sparql.TermVar:
+		return t.Value, true
+	case sparql.TermBlank:
+		return "_:" + t.Value, true
+	}
+	return "", false
+}
+
+func (ev *evaluator) query(q *sparql.Query) (*Result, error) {
+	rows := []binding{{}}
+	var err error
+	if q.Where != nil {
+		rows, err = ev.pattern(q.Where, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.TrailingValues != nil {
+		rows, err = ev.values(q.TrailingValues, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch q.Type {
+	case sparql.AskQuery:
+		return &Result{Bool: len(rows) > 0}, nil
+	case sparql.SelectQuery:
+		return ev.finishSelect(q, rows)
+	case sparql.ConstructQuery:
+		return ev.finishConstruct(q, rows)
+	case sparql.DescribeQuery:
+		return ev.finishDescribe(q, rows)
+	}
+	return nil, fmt.Errorf("eval: unknown query type")
+}
+
+// finishConstruct instantiates the template per solution, returning the
+// constructed triples as three-column rows (s, p, o), deduplicated.
+func (ev *evaluator) finishConstruct(q *sparql.Query, rows []binding) (*Result, error) {
+	res := &Result{Vars: []string{"s", "p", "o"}}
+	seen := map[string]bool{}
+	emit := func(s, p, o string) {
+		k := s + "\x00" + p + "\x00" + o
+		if s == "" || p == "" || o == "" || seen[k] {
+			return
+		}
+		seen[k] = true
+		res.Rows = append(res.Rows, []string{s, p, o})
+	}
+	instantiate := func(t sparql.Term, b binding) string {
+		if txt, ok := ev.termText(t); ok {
+			return txt
+		}
+		name, _ := varName(t)
+		return b[name]
+	}
+	for _, b := range rows {
+		for _, tp := range q.Template {
+			emit(instantiate(tp.S, b), instantiate(tp.P, b), instantiate(tp.O, b))
+		}
+	}
+	applySlice(q, res)
+	return res, nil
+}
+
+// finishDescribe returns every triple whose subject or object is one of
+// the described resources (the common "concise bounded description"
+// approximation; the output of DESCRIBE is implementation-defined).
+func (ev *evaluator) finishDescribe(q *sparql.Query, rows []binding) (*Result, error) {
+	targets := map[string]bool{}
+	for _, t := range q.DescribeTerms {
+		if txt, ok := ev.termText(t); ok {
+			targets[txt] = true
+			continue
+		}
+		if name, ok := varName(t); ok {
+			for _, b := range rows {
+				if v, bound := b[name]; bound {
+					targets[v] = true
+				}
+			}
+		}
+	}
+	if q.DescribeStar {
+		for _, b := range rows {
+			for _, v := range b {
+				targets[v] = true
+			}
+		}
+	}
+	res := &Result{Vars: []string{"s", "p", "o"}}
+	for _, t := range ev.st.Triples() {
+		s, p, o := ev.st.TermOf(t.S), ev.st.TermOf(t.P), ev.st.TermOf(t.O)
+		if targets[s] || targets[o] {
+			res.Rows = append(res.Rows, []string{s, p, o})
+		}
+	}
+	applySlice(q, res)
+	return res, nil
+}
+
+// ---------- pattern algebra ----------
+
+// pattern evaluates p against the incoming binding set.
+func (ev *evaluator) pattern(p sparql.Pattern, in []binding) ([]binding, error) {
+	switch n := p.(type) {
+	case *sparql.Group:
+		return ev.group(n, in)
+	case *sparql.TriplePattern:
+		return ev.triple(n, in)
+	case *sparql.PathPattern:
+		return ev.path(n, in)
+	case *sparql.Union:
+		left, err := ev.pattern(n.Left, in)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ev.pattern(n.Right, in)
+		if err != nil {
+			return nil, err
+		}
+		out := append(left, right...)
+		if len(out) > ev.lim.MaxRows {
+			return nil, fmt.Errorf("eval: row limit exceeded")
+		}
+		return out, nil
+	case *sparql.Optional:
+		return ev.optional(n, in)
+	case *sparql.MinusGraph:
+		return ev.minus(n, in)
+	case *sparql.GraphGraph:
+		// Single-graph store: bind a GRAPH variable to the default
+		// graph's pseudo-IRI and evaluate the body as usual.
+		next := in
+		if v, ok := varName(n.Name); ok {
+			next = make([]binding, 0, len(in))
+			for _, b := range in {
+				if cur, bound := b[v]; bound && cur != DefaultGraph {
+					continue
+				}
+				nb := b.clone()
+				nb[v] = DefaultGraph
+				next = append(next, nb)
+			}
+		}
+		return ev.pattern(n.Inner, next)
+	case *sparql.ServiceGraph:
+		// SERVICE against this store (no federation in an offline
+		// library); SILENT semantics are preserved on failure.
+		out, err := ev.pattern(n.Inner, in)
+		if err != nil && n.Silent {
+			return in, nil
+		}
+		return out, err
+	case *sparql.Filter:
+		return ev.filter(n.Constraint, in)
+	case *sparql.Bind:
+		return ev.bind(n, in)
+	case *sparql.InlineData:
+		return ev.values(n, in)
+	case *sparql.SubSelect:
+		return ev.subselect(n, in)
+	}
+	return nil, fmt.Errorf("eval: unsupported pattern %T", p)
+}
+
+// group evaluates elements in order; FILTERs apply after the group's
+// joins, per the SPARQL algebra translation.
+func (ev *evaluator) group(g *sparql.Group, in []binding) ([]binding, error) {
+	rows := in
+	var filters []sparql.Expr
+	var err error
+	for _, el := range g.Elems {
+		if f, ok := el.(*sparql.Filter); ok {
+			filters = append(filters, f.Constraint)
+			continue
+		}
+		rows, err = ev.pattern(el, rows)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			// Joins cannot recover; filters on empty input stay empty.
+			return rows, nil
+		}
+	}
+	for _, f := range filters {
+		rows, err = ev.filter(f, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) triple(tp *sparql.TriplePattern, in []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		err := ev.matchTriple(tp, b, func(nb binding) {
+			out = append(out, nb)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(out) > ev.lim.MaxRows {
+			return nil, fmt.Errorf("eval: row limit exceeded")
+		}
+	}
+	return out, nil
+}
+
+// matchTriple enumerates store matches of tp under b.
+func (ev *evaluator) matchTriple(tp *sparql.TriplePattern, b binding, yield func(binding)) error {
+	resolve := func(t sparql.Term) (id rdf.ID, bound bool, v string, isVar bool) {
+		if txt, ok := ev.termText(t); ok {
+			tid, exists := ev.st.Lookup(txt)
+			if !exists {
+				return 0, false, "", false // constant absent: no matches
+			}
+			return tid, true, "", false
+		}
+		name, _ := varName(t)
+		if cur, ok := b[name]; ok {
+			tid, exists := ev.st.Lookup(cur)
+			if !exists {
+				return 0, false, name, true
+			}
+			return tid, true, name, true
+		}
+		return 0, false, name, true
+	}
+	s, sb, sv, sIsVar := resolve(tp.S)
+	p, pb, pv, pIsVar := resolve(tp.P)
+	o, ob, ov, oIsVar := resolve(tp.O)
+	// A constant or pre-bound term missing from the dictionary cannot
+	// match anything.
+	if (!sb && !sIsVar) || (!pb && !pIsVar) || (!ob && !oIsVar) {
+		return nil
+	}
+	if sIsVar && !sb && b[sv] != "" {
+		return nil // bound to a term unknown to the store
+	}
+	if pIsVar && !pb && b[pv] != "" {
+		return nil
+	}
+	if oIsVar && !ob && b[ov] != "" {
+		return nil
+	}
+	emit := func(ts, tp2, to rdf.ID) {
+		nb := b.clone()
+		if sIsVar {
+			nb[sv] = ev.st.TermOf(ts)
+		}
+		if pIsVar {
+			nb[pv] = ev.st.TermOf(tp2)
+		}
+		if oIsVar {
+			nb[ov] = ev.st.TermOf(to)
+		}
+		yield(nb)
+	}
+	// Repeated-variable consistency within the atom.
+	consistent := func(ts, tp2, to rdf.ID) bool {
+		if sIsVar && pIsVar && sv == pv && ts != tp2 {
+			return false
+		}
+		if sIsVar && oIsVar && sv == ov && ts != to {
+			return false
+		}
+		if pIsVar && oIsVar && pv == ov && tp2 != to {
+			return false
+		}
+		return true
+	}
+	st := ev.st
+	switch {
+	case sb && pb && ob:
+		if st.Has(s, p, o) {
+			emit(s, p, o)
+		}
+	case sb && pb:
+		for _, obj := range st.Objects(s, p) {
+			if consistent(s, p, obj) {
+				emit(s, p, obj)
+			}
+		}
+	case pb && ob:
+		for _, sub := range st.Subjects(p, o) {
+			if consistent(sub, p, o) {
+				emit(sub, p, o)
+			}
+		}
+	case sb && ob:
+		for _, pred := range st.Predicates(s, o) {
+			if consistent(s, pred, o) {
+				emit(s, pred, o)
+			}
+		}
+	case pb:
+		for _, t := range st.ScanPredicate(p) {
+			if consistent(t.S, t.P, t.O) {
+				emit(t.S, t.P, t.O)
+			}
+		}
+	default:
+		for _, t := range st.Triples() {
+			if sb && t.S != s {
+				continue
+			}
+			if ob && t.O != o {
+				continue
+			}
+			if consistent(t.S, t.P, t.O) {
+				emit(t.S, t.P, t.O)
+			}
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) path(pp *sparql.PathPattern, in []binding) ([]binding, error) {
+	resolver := func(iri string) (rdf.ID, bool) {
+		// Path IRIs may be prefixed; expand against the prologue.
+		full := ev.expand(iri, strings.Contains(iri, ":") && !strings.Contains(iri, "://"))
+		if iri == sparql.RDFType {
+			full = sparql.RDFType
+		}
+		return ev.st.Lookup(full)
+	}
+	var out []binding
+	for _, b := range in {
+		sTxt, sConst := ev.termText(pp.S)
+		sName, _ := varName(pp.S)
+		if !sConst {
+			if cur, ok := b[sName]; ok {
+				sTxt, sConst = cur, true
+			}
+		}
+		oTxt, oConst := ev.termText(pp.O)
+		oName, _ := varName(pp.O)
+		if !oConst {
+			if cur, ok := b[oName]; ok {
+				oTxt, oConst = cur, true
+			}
+		}
+		switch {
+		case sConst && oConst:
+			sid, ok1 := ev.st.Lookup(sTxt)
+			oid, ok2 := ev.st.Lookup(oTxt)
+			if ok1 && ok2 && engine.PathHolds(ev.st, sid, oid, pp.Path, resolver) {
+				out = append(out, b.clone())
+			}
+		case sConst:
+			sid, ok := ev.st.Lookup(sTxt)
+			if !ok {
+				continue
+			}
+			for n := range engine.EvalPathFrom(ev.st, sid, pp.Path, resolver) {
+				nb := b.clone()
+				nb[oName] = ev.st.TermOf(n)
+				out = append(out, nb)
+			}
+		default:
+			// Both ends open (or only the object bound): enumerate pairs.
+			for _, pair := range engine.EvalPathPairs(ev.st, pp.Path, resolver, ev.lim.MaxRows) {
+				sT := ev.st.TermOf(pair[0])
+				oT := ev.st.TermOf(pair[1])
+				if oConst && oT != oTxt {
+					continue
+				}
+				nb := b.clone()
+				nb[sName] = sT
+				if !oConst {
+					nb[oName] = oT
+				}
+				out = append(out, nb)
+			}
+		}
+		if len(out) > ev.lim.MaxRows {
+			return nil, fmt.Errorf("eval: row limit exceeded")
+		}
+	}
+	return out, nil
+}
+
+func (ev *evaluator) optional(opt *sparql.Optional, in []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		extended, err := ev.pattern(opt.Inner, []binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(extended) > 0 {
+			out = append(out, extended...)
+		} else {
+			out = append(out, b)
+		}
+		if len(out) > ev.lim.MaxRows {
+			return nil, fmt.Errorf("eval: row limit exceeded")
+		}
+	}
+	return out, nil
+}
+
+func (ev *evaluator) minus(m *sparql.MinusGraph, in []binding) ([]binding, error) {
+	removed, err := ev.pattern(m.Inner, []binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	var out []binding
+	for _, b := range in {
+		excluded := false
+		for _, r := range removed {
+			if compatibleSharing(b, r) {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// compatibleSharing implements MINUS semantics: b is removed when it is
+// compatible with r and they share at least one variable.
+func compatibleSharing(b, r binding) bool {
+	shared := false
+	for k, v := range r {
+		if bv, ok := b[k]; ok {
+			if bv != v {
+				return false
+			}
+			shared = true
+		}
+	}
+	return shared
+}
+
+func (ev *evaluator) bind(bn *sparql.Bind, in []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		v, err := ev.eval(bn.Expr, b)
+		nb := b.clone()
+		if err == nil {
+			nb[bn.Var.Value] = v.text()
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
+
+func (ev *evaluator) values(vd *sparql.InlineData, in []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		for ri, row := range vd.Rows {
+			nb := b.clone()
+			ok := true
+			for ci, v := range vd.Vars {
+				if ci < len(vd.Undef[ri]) && vd.Undef[ri][ci] {
+					continue
+				}
+				if ci >= len(row) {
+					continue
+				}
+				txt, _ := ev.termText(row[ci])
+				if cur, bound := nb[v.Value]; bound && cur != txt {
+					ok = false
+					break
+				}
+				nb[v.Value] = txt
+			}
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ev *evaluator) subselect(ss *sparql.SubSelect, in []binding) ([]binding, error) {
+	sub, err := ev.query(ss.Query)
+	if err != nil {
+		return nil, err
+	}
+	var out []binding
+	for _, b := range in {
+		for _, row := range sub.Rows {
+			nb := b.clone()
+			ok := true
+			for i, v := range sub.Vars {
+				if row[i] == Unbound {
+					continue
+				}
+				if cur, bound := nb[v]; bound && cur != row[i] {
+					ok = false
+					break
+				}
+				nb[v] = row[i]
+			}
+			if ok {
+				out = append(out, nb)
+			}
+		}
+		if len(out) > ev.lim.MaxRows {
+			return nil, fmt.Errorf("eval: row limit exceeded")
+		}
+	}
+	return out, nil
+}
+
+func (ev *evaluator) filter(c sparql.Expr, in []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		v, err := ev.eval(c, b)
+		if err == nil && v.truthy() {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// ---------- SELECT finishing: grouping, ordering, projection ----------
+
+func (ev *evaluator) finishSelect(q *sparql.Query, rows []binding) (*Result, error) {
+	hasAgg := false
+	for _, it := range q.Select {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if len(q.Mods.GroupBy) > 0 || hasAgg {
+		return ev.finishAggregate(q, rows)
+	}
+	res := &Result{}
+	if q.SelectStar {
+		seen := map[string]bool{}
+		for _, b := range rows {
+			for v := range b {
+				if !strings.HasPrefix(v, "_:") && !seen[v] {
+					seen[v] = true
+					res.Vars = append(res.Vars, v)
+				}
+			}
+		}
+		sort.Strings(res.Vars)
+	} else {
+		for _, it := range q.Select {
+			res.Vars = append(res.Vars, it.Var.Value)
+		}
+	}
+	for _, b := range rows {
+		row := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			row[i] = b[v]
+		}
+		// Expression projections.
+		for i, it := range q.Select {
+			if it.Expr != nil {
+				if val, err := ev.eval(it.Expr, b); err == nil {
+					row[i] = val.text()
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	ev.applyOrder(q, res, rows)
+	applyDistinct(q, res)
+	applySlice(q, res)
+	return res, nil
+}
+
+func containsAggregate(e sparql.Expr) bool {
+	found := false
+	sparql.WalkExpr(e, func(x sparql.Expr) bool {
+		if _, ok := x.(*sparql.AggregateExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// groupData is one GROUP BY group: its key values and member bindings.
+type groupData struct {
+	key     []string
+	members []binding
+}
+
+func (ev *evaluator) finishAggregate(q *sparql.Query, rows []binding) (*Result, error) {
+	// Group rows by the GROUP BY keys.
+	groups := map[string]*groupData{}
+	var order []string
+	for _, b := range rows {
+		var key []string
+		for _, gk := range q.Mods.GroupBy {
+			v, err := ev.eval(gk.Expr, b)
+			if err != nil {
+				key = append(key, "")
+				continue
+			}
+			key = append(key, v.text())
+		}
+		ks := strings.Join(key, "\x00")
+		g, ok := groups[ks]
+		if !ok {
+			g = &groupData{key: key}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		g.members = append(g.members, b)
+	}
+	if len(groups) == 0 && len(q.Mods.GroupBy) == 0 {
+		// Aggregation without GROUP BY over the empty solution produces
+		// one group (COUNT(*) = 0).
+		groups[""] = &groupData{}
+		order = append(order, "")
+	}
+	res := &Result{}
+	for _, it := range q.Select {
+		res.Vars = append(res.Vars, it.Var.Value)
+	}
+	var rowGroups []*groupData
+	for _, ks := range order {
+		g := groups[ks]
+		// HAVING.
+		keep := true
+		for _, h := range q.Mods.Having {
+			v, err := ev.evalAggregateExpr(h, g.members)
+			if err != nil || !v.truthy() {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		row := make([]string, len(q.Select))
+		for i, it := range q.Select {
+			if it.Expr != nil {
+				v, err := ev.evalAggregateExpr(it.Expr, g.members)
+				if err == nil {
+					row[i] = v.text()
+				}
+				continue
+			}
+			// A plain variable in an aggregate query is a group key;
+			// take it from any member.
+			if len(g.members) > 0 {
+				row[i] = g.members[0][it.Var.Value]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		rowGroups = append(rowGroups, g)
+	}
+	ev.orderAggregated(q, res, rowGroups)
+	applyDistinct(q, res)
+	applySlice(q, res)
+	return res, nil
+}
+
+// orderAggregated sorts aggregate results: order keys referring to a
+// projected alias sort by that column; other keys (including aggregate
+// expressions) evaluate per group.
+func (ev *evaluator) orderAggregated(q *sparql.Query, res *Result, rowGroups []*groupData) {
+	if len(q.Mods.OrderBy) == 0 || len(res.Rows) != len(rowGroups) {
+		return
+	}
+	colOf := func(name string) int {
+		for i, v := range res.Vars {
+			if v == name {
+				return i
+			}
+		}
+		return -1
+	}
+	type pair struct {
+		row []string
+		g   *groupData
+	}
+	pairs := make([]pair, len(res.Rows))
+	for i := range res.Rows {
+		pairs[i] = pair{res.Rows[i], rowGroups[i]}
+	}
+	keyValue := func(p pair, k sparql.OrderKey) (value, bool) {
+		if te, ok := k.Expr.(*sparql.TermExpr); ok && te.Term.Kind == sparql.TermVar {
+			if c := colOf(te.Term.Value); c >= 0 {
+				return textValue(p.row[c]), true
+			}
+		}
+		v, err := ev.evalAggregateExpr(k.Expr, p.g.members)
+		return v, err == nil
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		for _, k := range q.Mods.OrderBy {
+			vi, oki := keyValue(pairs[i], k)
+			vj, okj := keyValue(pairs[j], k)
+			if !oki || !okj {
+				continue
+			}
+			c := compareValues(vi, vj)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range pairs {
+		res.Rows[i] = pairs[i].row
+	}
+}
+
+func (ev *evaluator) applyOrder(q *sparql.Query, res *Result, rows []binding) {
+	if len(q.Mods.OrderBy) == 0 || len(res.Rows) != len(rows) {
+		return
+	}
+	type pair struct {
+		row []string
+		b   binding
+	}
+	pairs := make([]pair, len(res.Rows))
+	for i := range res.Rows {
+		pairs[i] = pair{res.Rows[i], rows[i]}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		for _, k := range q.Mods.OrderBy {
+			vi, ei := ev.eval(k.Expr, pairs[i].b)
+			vj, ej := ev.eval(k.Expr, pairs[j].b)
+			if ei != nil || ej != nil {
+				continue
+			}
+			c := compareValues(vi, vj)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range pairs {
+		res.Rows[i] = pairs[i].row
+	}
+}
+
+func applyDistinct(q *sparql.Query, res *Result) {
+	if !q.Distinct && !q.Reduced {
+		return
+	}
+	seen := map[string]bool{}
+	var out [][]string
+	for _, row := range res.Rows {
+		k := strings.Join(row, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	res.Rows = out
+}
+
+func applySlice(q *sparql.Query, res *Result) {
+	if q.Mods.HasOffset {
+		off := int(q.Mods.Offset)
+		if off >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[off:]
+		}
+	}
+	if q.Mods.HasLimit && int64(len(res.Rows)) > q.Mods.Limit {
+		res.Rows = res.Rows[:q.Mods.Limit]
+	}
+}

@@ -1,0 +1,525 @@
+package eval
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sparqlog/internal/sparql"
+)
+
+// value is a runtime SPARQL value. The store is untyped text, so numeric
+// interpretation is by lexical form; booleans arise from comparisons and
+// logical operators.
+type value struct {
+	lex    string
+	num    float64
+	isNum  bool
+	isBool bool
+	b      bool
+}
+
+func textValue(s string) value {
+	if n, err := strconv.ParseFloat(s, 64); err == nil && s != "" {
+		return value{lex: s, num: n, isNum: true}
+	}
+	return value{lex: s}
+}
+
+func numValue(n float64) value {
+	return value{lex: strconv.FormatFloat(n, 'g', -1, 64), num: n, isNum: true}
+}
+
+func boolValue(b bool) value {
+	v := value{isBool: true, b: b}
+	if b {
+		v.lex = "true"
+	} else {
+		v.lex = "false"
+	}
+	return v
+}
+
+func (v value) text() string { return v.lex }
+
+// truthy implements the effective boolean value.
+func (v value) truthy() bool {
+	if v.isBool {
+		return v.b
+	}
+	if v.isNum {
+		return v.num != 0
+	}
+	return v.lex != "" && v.lex != "false"
+}
+
+var errEval = fmt.Errorf("eval: expression error")
+
+// eval evaluates an expression under one binding. Unbound variables and
+// type errors return errEval (SPARQL expression errors), which filters
+// treat as false.
+func (ev *evaluator) eval(e sparql.Expr, b binding) (value, error) {
+	switch n := e.(type) {
+	case *sparql.TermExpr:
+		switch n.Term.Kind {
+		case sparql.TermVar:
+			if v, ok := b[n.Term.Value]; ok {
+				return textValue(v), nil
+			}
+			return value{}, errEval
+		case sparql.TermLiteral:
+			if n.Term.Lang != "" {
+				// Keep the language tag available to LANG() via a
+				// combined internal form.
+				return value{lex: n.Term.Value}, nil
+			}
+			return textValue(n.Term.Value), nil
+		case sparql.TermIRI:
+			return value{lex: ev.expand(n.Term.Value, n.Term.PrefixedForm)}, nil
+		default:
+			return value{}, errEval
+		}
+	case *sparql.BinaryExpr:
+		return ev.evalBinary(n, b)
+	case *sparql.UnaryExpr:
+		x, err := ev.eval(n.X, b)
+		if err != nil {
+			return value{}, err
+		}
+		switch n.Op {
+		case "!":
+			return boolValue(!x.truthy()), nil
+		case "-":
+			if !x.isNum {
+				return value{}, errEval
+			}
+			return numValue(-x.num), nil
+		default:
+			return x, nil
+		}
+	case *sparql.FuncCall:
+		return ev.evalFunc(n, b)
+	case *sparql.ExistsExpr:
+		rows, err := ev.pattern(n.Pattern, []binding{b})
+		if err != nil {
+			return value{}, errEval
+		}
+		found := len(rows) > 0
+		if n.Not {
+			found = !found
+		}
+		return boolValue(found), nil
+	case *sparql.InExpr:
+		x, err := ev.eval(n.X, b)
+		if err != nil {
+			return value{}, err
+		}
+		found := false
+		for _, item := range n.List {
+			v, err := ev.eval(item, b)
+			if err == nil && compareValues(x, v) == 0 {
+				found = true
+				break
+			}
+		}
+		if n.Not {
+			found = !found
+		}
+		return boolValue(found), nil
+	case *sparql.AggregateExpr:
+		return value{}, errEval // aggregates need group context
+	}
+	return value{}, errEval
+}
+
+func (ev *evaluator) evalBinary(n *sparql.BinaryExpr, b binding) (value, error) {
+	switch n.Op {
+	case "&&":
+		l, errL := ev.eval(n.L, b)
+		r, errR := ev.eval(n.R, b)
+		// SPARQL logical AND tolerates one error when the other operand
+		// is false.
+		if errL == nil && errR == nil {
+			return boolValue(l.truthy() && r.truthy()), nil
+		}
+		if errL == nil && !l.truthy() || errR == nil && !r.truthy() {
+			return boolValue(false), nil
+		}
+		return value{}, errEval
+	case "||":
+		l, errL := ev.eval(n.L, b)
+		r, errR := ev.eval(n.R, b)
+		if errL == nil && errR == nil {
+			return boolValue(l.truthy() || r.truthy()), nil
+		}
+		if errL == nil && l.truthy() || errR == nil && r.truthy() {
+			return boolValue(true), nil
+		}
+		return value{}, errEval
+	}
+	l, err := ev.eval(n.L, b)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := ev.eval(n.R, b)
+	if err != nil {
+		return value{}, err
+	}
+	switch n.Op {
+	case "=":
+		return boolValue(compareValues(l, r) == 0), nil
+	case "!=":
+		return boolValue(compareValues(l, r) != 0), nil
+	case "<":
+		return boolValue(compareValues(l, r) < 0), nil
+	case ">":
+		return boolValue(compareValues(l, r) > 0), nil
+	case "<=":
+		return boolValue(compareValues(l, r) <= 0), nil
+	case ">=":
+		return boolValue(compareValues(l, r) >= 0), nil
+	case "+", "-", "*", "/":
+		if !l.isNum || !r.isNum {
+			return value{}, errEval
+		}
+		switch n.Op {
+		case "+":
+			return numValue(l.num + r.num), nil
+		case "-":
+			return numValue(l.num - r.num), nil
+		case "*":
+			return numValue(l.num * r.num), nil
+		default:
+			if r.num == 0 {
+				return value{}, errEval
+			}
+			return numValue(l.num / r.num), nil
+		}
+	}
+	return value{}, errEval
+}
+
+// compareValues orders numerically when both operands are numeric, else
+// lexicographically.
+func compareValues(l, r value) int {
+	if l.isNum && r.isNum {
+		switch {
+		case l.num < r.num:
+			return -1
+		case l.num > r.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(l.lex, r.lex)
+}
+
+func (ev *evaluator) evalFunc(n *sparql.FuncCall, b binding) (value, error) {
+	arg := func(i int) (value, error) {
+		if i >= len(n.Args) {
+			return value{}, errEval
+		}
+		return ev.eval(n.Args[i], b)
+	}
+	switch n.Name {
+	case "BOUND":
+		if len(n.Args) == 1 {
+			if te, ok := n.Args[0].(*sparql.TermExpr); ok && te.Term.Kind == sparql.TermVar {
+				_, ok := b[te.Term.Value]
+				return boolValue(ok), nil
+			}
+		}
+		return value{}, errEval
+	case "STR":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return value{lex: v.lex}, nil
+	case "LANG", "DATATYPE":
+		// The store keeps lexical forms only; tags and datatypes are not
+		// preserved at evaluation time.
+		if _, err := arg(0); err != nil {
+			return value{}, err
+		}
+		return value{lex: ""}, nil
+	case "STRLEN":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return numValue(float64(len(v.lex))), nil
+	case "UCASE":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return value{lex: strings.ToUpper(v.lex)}, nil
+	case "LCASE":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return value{lex: strings.ToLower(v.lex)}, nil
+	case "CONTAINS", "STRSTARTS", "STRENDS":
+		x, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		y, err := arg(1)
+		if err != nil {
+			return value{}, err
+		}
+		switch n.Name {
+		case "CONTAINS":
+			return boolValue(strings.Contains(x.lex, y.lex)), nil
+		case "STRSTARTS":
+			return boolValue(strings.HasPrefix(x.lex, y.lex)), nil
+		default:
+			return boolValue(strings.HasSuffix(x.lex, y.lex)), nil
+		}
+	case "CONCAT":
+		var sb strings.Builder
+		for i := range n.Args {
+			v, err := arg(i)
+			if err != nil {
+				return value{}, err
+			}
+			sb.WriteString(v.lex)
+		}
+		return value{lex: sb.String()}, nil
+	case "REGEX":
+		x, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		pat, err := arg(1)
+		if err != nil {
+			return value{}, err
+		}
+		expr := pat.lex
+		if len(n.Args) >= 3 {
+			if flags, err := arg(2); err == nil && strings.Contains(flags.lex, "i") {
+				expr = "(?i)" + expr
+			}
+		}
+		re, rerr := regexp.Compile(expr)
+		if rerr != nil {
+			return value{}, errEval
+		}
+		return boolValue(re.MatchString(x.lex)), nil
+	case "ABS", "CEIL", "FLOOR", "ROUND":
+		v, err := arg(0)
+		if err != nil || !v.isNum {
+			return value{}, errEval
+		}
+		switch n.Name {
+		case "ABS":
+			if v.num < 0 {
+				return numValue(-v.num), nil
+			}
+			return v, nil
+		case "CEIL":
+			return numValue(ceil(v.num)), nil
+		case "FLOOR":
+			return numValue(floor(v.num)), nil
+		default:
+			return numValue(floor(v.num + 0.5)), nil
+		}
+	case "SAMETERM":
+		x, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		y, err := arg(1)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(x.lex == y.lex), nil
+	case "ISIRI", "ISURI":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(looksLikeIRI(v.lex)), nil
+	case "ISLITERAL":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(!looksLikeIRI(v.lex)), nil
+	case "ISBLANK":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(strings.HasPrefix(v.lex, "_:")), nil
+	case "ISNUMERIC":
+		v, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(v.isNum), nil
+	case "IF":
+		c, err := arg(0)
+		if err != nil {
+			return value{}, err
+		}
+		if c.truthy() {
+			return arg(1)
+		}
+		return arg(2)
+	case "COALESCE":
+		for i := range n.Args {
+			if v, err := arg(i); err == nil {
+				return v, nil
+			}
+		}
+		return value{}, errEval
+	}
+	return value{}, errEval
+}
+
+func looksLikeIRI(s string) bool {
+	return strings.Contains(s, "://") || strings.HasPrefix(s, "urn:") ||
+		strings.HasPrefix(s, "mailto:") || strings.HasPrefix(s, "http:")
+}
+
+func ceil(f float64) float64 {
+	i := float64(int64(f))
+	if f > i {
+		return i + 1
+	}
+	return i
+}
+
+func floor(f float64) float64 {
+	i := float64(int64(f))
+	if f < i {
+		return i - 1
+	}
+	return i
+}
+
+// evalAggregateExpr evaluates an expression that may contain aggregate
+// nodes, over a group's member bindings. Non-aggregate subexpressions
+// are evaluated against the group's first member (they are group keys,
+// constant within the group).
+func (ev *evaluator) evalAggregateExpr(e sparql.Expr, members []binding) (value, error) {
+	if agg, ok := e.(*sparql.AggregateExpr); ok {
+		return ev.computeAggregate(agg, members)
+	}
+	switch n := e.(type) {
+	case *sparql.BinaryExpr:
+		l, err := ev.evalAggregateExpr(n.L, members)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := ev.evalAggregateExpr(n.R, members)
+		if err != nil {
+			return value{}, err
+		}
+		return ev.evalBinary(&sparql.BinaryExpr{
+			Op: n.Op,
+			L:  litExpr(l),
+			R:  litExpr(r),
+		}, binding{})
+	case *sparql.UnaryExpr:
+		x, err := ev.evalAggregateExpr(n.X, members)
+		if err != nil {
+			return value{}, err
+		}
+		return ev.eval(&sparql.UnaryExpr{Op: n.Op, X: litExpr(x)}, binding{})
+	default:
+		if len(members) == 0 {
+			return value{}, errEval
+		}
+		return ev.eval(e, members[0])
+	}
+}
+
+// litExpr wraps a computed value back into an expression leaf.
+func litExpr(v value) sparql.Expr {
+	t := sparql.Term{Kind: sparql.TermLiteral, Value: v.lex}
+	if v.isNum {
+		t.Datatype = "http://www.w3.org/2001/XMLSchema#decimal"
+	}
+	return &sparql.TermExpr{Term: t}
+}
+
+func (ev *evaluator) computeAggregate(agg *sparql.AggregateExpr, members []binding) (value, error) {
+	var vals []value
+	if !agg.Star {
+		for _, m := range members {
+			if v, err := ev.eval(agg.Arg, m); err == nil {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if agg.Distinct {
+		seen := map[string]bool{}
+		var ded []value
+		for _, v := range vals {
+			if !seen[v.lex] {
+				seen[v.lex] = true
+				ded = append(ded, v)
+			}
+		}
+		vals = ded
+	}
+	switch agg.Name {
+	case "COUNT":
+		if agg.Star {
+			return numValue(float64(len(members))), nil
+		}
+		return numValue(float64(len(vals))), nil
+	case "SUM", "AVG":
+		sum := 0.0
+		n := 0
+		for _, v := range vals {
+			if v.isNum {
+				sum += v.num
+				n++
+			}
+		}
+		if agg.Name == "SUM" {
+			return numValue(sum), nil
+		}
+		if n == 0 {
+			return value{}, errEval
+		}
+		return numValue(sum / float64(n)), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return value{}, errEval
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := compareValues(v, best)
+			if agg.Name == "MIN" && c < 0 || agg.Name == "MAX" && c > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	case "SAMPLE":
+		if len(vals) == 0 {
+			return value{}, errEval
+		}
+		return vals[0], nil
+	case "GROUP_CONCAT":
+		sep := " "
+		if agg.HasSep {
+			sep = agg.Separator
+		}
+		parts := make([]string, 0, len(vals))
+		for _, v := range vals {
+			parts = append(parts, v.lex)
+		}
+		sort.Strings(parts) // deterministic output
+		return value{lex: strings.Join(parts, sep)}, nil
+	}
+	return value{}, errEval
+}

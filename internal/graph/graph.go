@@ -1,0 +1,296 @@
+// Package graph implements the undirected graphs and graph algorithms used
+// by the shape analysis of Section 6 of the paper: connectivity, girth,
+// the tree-like shape predicates (chain, chain set, star, tree, forest,
+// cycle), the petal/flower decomposition of Definition 6.1, and exact
+// treewidth for the small graphs that arise from queries.
+//
+// Graphs here are canonical graphs of queries: simple undirected graphs
+// (edge sets, so parallel query edges collapse) that may contain self-loops
+// (from triples like ?x :p ?x).
+package graph
+
+import "sort"
+
+// Graph is an undirected graph over nodes 0..N-1 with set semantics for
+// edges. Self-loops are permitted and tracked separately from the simple
+// adjacency structure.
+type Graph struct {
+	n     int
+	adj   []map[int]bool
+	loops map[int]bool
+	edges int // number of non-loop edges
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	return &Graph{n: n, adj: adj, loops: make(map[int]bool)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of distinct non-loop edges.
+func (g *Graph) M() int { return g.edges }
+
+// Loops returns the number of nodes carrying a self-loop.
+func (g *Graph) Loops() int { return len(g.loops) }
+
+// AddEdge inserts the undirected edge {u, v}. Adding an existing edge is a
+// no-op (edges form a set); u == v records a self-loop.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		g.loops[u] = true
+		return
+	}
+	if !g.adj[u][v] {
+		g.adj[u][v] = true
+		g.adj[v][u] = true
+		g.edges++
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge (or a self-loop when u == v).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return g.loops[u]
+	}
+	return g.adj[u][v]
+}
+
+// Degree returns the number of distinct non-loop neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// HasLoop reports whether node u has a self-loop.
+func (g *Graph) HasLoop(u int) bool { return g.loops[u] }
+
+// Neighbors returns the sorted neighbor list of u (self-loops excluded).
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Components returns the connected components as sorted node slices, in
+// order of smallest contained node.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether the graph is connected (true for the empty and
+// single-node graphs).
+func (g *Graph) Connected() bool { return len(g.Components()) <= 1 }
+
+// Subgraph returns the induced subgraph on nodes, together with the mapping
+// from new node index to original node index.
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
+	idx := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, u := range nodes {
+		idx[u] = i
+		orig[i] = u
+	}
+	sub := New(len(nodes))
+	for i, u := range nodes {
+		if g.loops[u] {
+			sub.loops[i] = true
+		}
+		for v := range g.adj[u] {
+			if j, ok := idx[v]; ok && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// edgeCount of component nodes (assumes comp is a component: counts edges
+// with both endpoints inside).
+func (g *Graph) componentEdges(comp []int) int {
+	in := make(map[int]bool, len(comp))
+	for _, u := range comp {
+		in[u] = true
+	}
+	cnt := 0
+	for _, u := range comp {
+		for v := range g.adj[u] {
+			if in[v] && u < v {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+func (g *Graph) componentHasLoop(comp []int) bool {
+	for _, u := range comp {
+		if g.loops[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsChain reports whether the graph is a single chain (path) of length >= 1:
+// connected, acyclic, all degrees at most two, no self-loops. A single edge
+// is a chain of length one.
+func (g *Graph) IsChain() bool {
+	if g.n == 0 || g.edges == 0 || len(g.loops) > 0 {
+		return false
+	}
+	if !g.Connected() || g.edges != g.n-1 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsChainSet reports whether every connected component is a chain.
+// The empty graph is vacuously a chain set (a query without triples).
+func (g *Graph) IsChainSet() bool {
+	if g.n == 0 {
+		return true
+	}
+	if len(g.loops) > 0 {
+		return false
+	}
+	for _, comp := range g.Components() {
+		m := g.componentEdges(comp)
+		if m != len(comp)-1 {
+			return false
+		}
+		for _, u := range comp {
+			if len(g.adj[u]) > 2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSingleEdge reports whether the graph is exactly one edge.
+func (g *Graph) IsSingleEdge() bool {
+	return g.n == 2 && g.edges == 1 && len(g.loops) == 0
+}
+
+// IsTree reports whether the graph is connected and acyclic with at least
+// one node.
+func (g *Graph) IsTree() bool {
+	if g.n == 0 || len(g.loops) > 0 {
+		return false
+	}
+	return g.Connected() && g.edges == g.n-1
+}
+
+// IsForest reports whether every component is a tree.
+func (g *Graph) IsForest() bool {
+	if len(g.loops) > 0 {
+		return false
+	}
+	for _, comp := range g.Components() {
+		if g.componentEdges(comp) != len(comp)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStar reports whether the graph is a tree with exactly one node having
+// more than two neighbors (Definition in Section 6.1).
+func (g *Graph) IsStar() bool {
+	if !g.IsTree() {
+		return false
+	}
+	centers := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > 2 {
+			centers++
+		}
+	}
+	return centers == 1
+}
+
+// IsCycle reports whether the graph is a single cycle: connected, every
+// degree exactly two, edges == nodes, no self-loops, length >= 3.
+func (g *Graph) IsCycle() bool {
+	if g.n < 3 || len(g.loops) > 0 || g.edges != g.n || !g.Connected() {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Girth returns the length of the shortest cycle, or 0 if the graph is
+// acyclic. Self-loops count as cycles of length one.
+func (g *Graph) Girth() int {
+	if len(g.loops) > 0 {
+		return 1
+	}
+	best := 0
+	// BFS from every node; a non-tree edge at depth d closes a cycle of
+	// length dist(u)+dist(v)+1.
+	dist := make([]int, g.n)
+	parent := make([]int, g.n)
+	for s := 0; s < g.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g.adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				} else if v != parent[u] {
+					cyc := dist[u] + dist[v] + 1
+					if best == 0 || cyc < best {
+						best = cyc
+					}
+				}
+			}
+		}
+	}
+	return best
+}

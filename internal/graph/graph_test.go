@@ -1,0 +1,465 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path builds a chain 0-1-2-...-k.
+func path(k int) *Graph {
+	g := New(k + 1)
+	for i := 0; i < k; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// cycle builds a cycle of length k.
+func cycle(k int) *Graph {
+	g := New(k)
+	for i := 0; i < k; i++ {
+		g.AddEdge(i, (i+1)%k)
+	}
+	return g
+}
+
+// star builds a star with k leaves around node 0.
+func star(k int) *Graph {
+	g := New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// clique builds K_n.
+func clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestEdgeSetSemantics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 1)
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1 (parallel edges collapse)", g.M())
+	}
+	g.AddEdge(1, 1)
+	if g.Loops() != 1 || g.M() != 1 {
+		t.Errorf("loops = %d, M = %d", g.Loops(), g.M())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if !g.Connected() {
+		_ = 0 // expected: not connected
+	} else {
+		t.Error("graph should not be connected")
+	}
+}
+
+func TestShapePredicates(t *testing.T) {
+	tests := []struct {
+		name                                                             string
+		g                                                                *Graph
+		singleEdge, chain, chainSet, tree, forest, starP, cycleP, flower bool
+	}{
+		{"single edge", path(1), true, true, true, true, true, false, false, true},
+		{"chain3", path(3), false, true, true, true, true, false, false, true},
+		{"cycle3", cycle(3), false, false, false, false, false, false, true, true},
+		{"cycle5", cycle(5), false, false, false, false, false, false, true, true},
+		{"star4", star(4), false, false, false, true, true, true, false, true},
+		{"K4", clique(4), false, false, false, false, false, false, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.IsSingleEdge(); got != tc.singleEdge {
+				t.Errorf("IsSingleEdge = %v, want %v", got, tc.singleEdge)
+			}
+			if got := tc.g.IsChain(); got != tc.chain {
+				t.Errorf("IsChain = %v, want %v", got, tc.chain)
+			}
+			if got := tc.g.IsChainSet(); got != tc.chainSet {
+				t.Errorf("IsChainSet = %v, want %v", got, tc.chainSet)
+			}
+			if got := tc.g.IsTree(); got != tc.tree {
+				t.Errorf("IsTree = %v, want %v", got, tc.tree)
+			}
+			if got := tc.g.IsForest(); got != tc.forest {
+				t.Errorf("IsForest = %v, want %v", got, tc.forest)
+			}
+			if got := tc.g.IsStar(); got != tc.starP {
+				t.Errorf("IsStar = %v, want %v", got, tc.starP)
+			}
+			if got := tc.g.IsCycle(); got != tc.cycleP {
+				t.Errorf("IsCycle = %v, want %v", got, tc.cycleP)
+			}
+			if got := tc.g.IsFlower(); got != tc.flower {
+				t.Errorf("IsFlower = %v, want %v", got, tc.flower)
+			}
+		})
+	}
+}
+
+func TestChainSetMultipleChains(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	if !g.IsChainSet() {
+		t.Error("two disjoint chains should form a chain set")
+	}
+	if g.IsChain() {
+		t.Error("disconnected graph is not a chain")
+	}
+	if !g.IsForest() || g.IsTree() {
+		t.Error("chain set should be forest but not tree")
+	}
+}
+
+func TestStarRequiresBranchNode(t *testing.T) {
+	// A chain has no node with three neighbors, so it is not a star.
+	if path(5).IsStar() {
+		t.Error("chain must not be a star")
+	}
+	// Two branch nodes: not a star.
+	g := New(8)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(4, 6)
+	g.AddEdge(4, 7)
+	if g.IsStar() {
+		t.Error("double star must not be a star")
+	}
+	if !g.IsTree() {
+		t.Error("double star is still a tree")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"acyclic", path(4), 0},
+		{"triangle", cycle(3), 3},
+		{"C4", cycle(4), 4},
+		{"C5", cycle(5), 5},
+		{"C14", cycle(14), 14},
+		{"K4", clique(4), 3},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Girth(); got != tc.want {
+			t.Errorf("%s: girth = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Self-loop has girth 1.
+	g := path(2)
+	g.AddEdge(1, 1)
+	if got := g.Girth(); got != 1 {
+		t.Errorf("self-loop girth = %d, want 1", got)
+	}
+	// Cycle with a chord: girth is the shorter sub-cycle.
+	g2 := cycle(6)
+	g2.AddEdge(0, 3)
+	if got := g2.Girth(); got != 4 {
+		t.Errorf("chorded C6 girth = %d, want 4", got)
+	}
+}
+
+// buildFlower constructs the Figure 6 anatomy: a center with p petals
+// (each two paths of length 2), s stamens (chains of length 2), and
+// m stems (a 3-leaf star hanging off the center).
+func buildFlower(p, s, m int) *Graph {
+	// Nodes: center 0; each petal needs 3 nodes; each stamen 2; each stem 4.
+	n := 1 + 3*p + 2*s + 4*m
+	g := New(n)
+	next := 1
+	for i := 0; i < p; i++ {
+		a, b, t := next, next+1, next+2
+		next += 3
+		g.AddEdge(0, a)
+		g.AddEdge(a, t)
+		g.AddEdge(0, b)
+		g.AddEdge(b, t)
+	}
+	for i := 0; i < s; i++ {
+		a, b := next, next+1
+		next += 2
+		g.AddEdge(0, a)
+		g.AddEdge(a, b)
+	}
+	for i := 0; i < m; i++ {
+		hub := next
+		g.AddEdge(0, hub)
+		g.AddEdge(hub, next+1)
+		g.AddEdge(hub, next+2)
+		g.AddEdge(hub, next+3)
+		next += 4
+	}
+	return g
+}
+
+func TestFlowerFigure6(t *testing.T) {
+	// The paper's Figure 6 flower: 4 petals, 10 stamens, 0 stems.
+	g := buildFlower(4, 10, 0)
+	if !g.IsFlower() {
+		t.Fatal("Figure 6 graph should be a flower")
+	}
+	a, ok := g.Anatomy()
+	if !ok {
+		t.Fatal("anatomy failed")
+	}
+	if a.Petals != 4 || a.Stamens != 10 || a.Stems != 0 {
+		t.Errorf("anatomy = %+v, want 4 petals, 10 stamens, 0 stems", a)
+	}
+	if got := g.Treewidth(); got != 2 {
+		t.Errorf("flower treewidth = %d, want 2", got)
+	}
+}
+
+func TestFlowerWithStems(t *testing.T) {
+	g := buildFlower(1, 2, 1)
+	a, ok := g.Anatomy()
+	if !ok {
+		t.Fatal("should be flower")
+	}
+	if a.Petals != 1 || a.Stamens != 2 || a.Stems != 1 {
+		t.Errorf("anatomy = %+v", a)
+	}
+}
+
+func TestPetalWithThreePaths(t *testing.T) {
+	// s=0, t=4, three node-disjoint paths: 0-1-4, 0-2-4, 0-3-4.
+	g := New(5)
+	for i := 1; i <= 3; i++ {
+		g.AddEdge(0, i)
+		g.AddEdge(i, 4)
+	}
+	if !g.IsFlower() {
+		t.Error("theta graph (petal) should be a flower")
+	}
+	if g.Treewidth() != 2 {
+		t.Errorf("theta treewidth = %d, want 2", g.Treewidth())
+	}
+}
+
+func TestTwoCyclesSharingNoNodeNotFlower(t *testing.T) {
+	// Two triangles joined by a bridge: cyclic BCCs do not share a node.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(2, 3)
+	if g.IsFlower() {
+		t.Error("two disjoint cycles cannot form a flower")
+	}
+	if !New(6).IsFlowerSet() == false {
+		_ = 0
+	}
+	// But as separate components they form a flower set.
+	g2 := New(6)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 2)
+	g2.AddEdge(2, 0)
+	g2.AddEdge(3, 4)
+	g2.AddEdge(4, 5)
+	g2.AddEdge(5, 3)
+	if !g2.IsFlowerSet() {
+		t.Error("two separate triangles are a flower set")
+	}
+	if g2.IsFlower() {
+		t.Error("disconnected graph is not a single flower")
+	}
+}
+
+func TestTwoCyclesSharingCenterIsFlower(t *testing.T) {
+	// Two triangles sharing node 0.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 0)
+	if !g.IsFlower() {
+		t.Error("two triangles sharing a node form a flower")
+	}
+	a, _ := g.Anatomy()
+	if a.Petals != 2 {
+		t.Errorf("petals = %d, want 2", a.Petals)
+	}
+}
+
+func TestTreewidthExact(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", New(3), 0},
+		{"edge", path(1), 1},
+		{"chain", path(6), 1},
+		{"star", star(5), 1},
+		{"cycle3", cycle(3), 2},
+		{"cycle8", cycle(8), 2},
+		{"theta", buildFlower(1, 0, 0), 2},
+		{"K4", clique(4), 3},
+		{"K5", clique(5), 4},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Treewidth(); got != tc.want {
+			t.Errorf("%s: treewidth = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFigure7Treewidth3(t *testing.T) {
+	// The paper's Figure 7 query: complete bipartite-like join of
+	// ?subject and ?object through nationality, birthPlace, genre:
+	// K_{2,3}-plus structure. Build it exactly: two "hub" variables
+	// subject(0), object(1), and three shared value variables 2,3,4,
+	// where both hubs connect to all three values... that is K_{2,3},
+	// treewidth 2. Figure 7 actually joins subject and object via SIX
+	// distinct value nodes in a crossed pattern; the published query is
+	// the K_{3,3}-like grid with treewidth 3. We reproduce it as the
+	// 3x3 rook-ish join: subject-vals a,b,c, object-vals a,b,c crossed.
+	// The documented real query is:
+	//   ?s nationality ?x . ?s birthPlace ?y . ?s genre ?z .
+	//   ?o genre ?x    . ?o birthPlace ?y ... (crossing through shared vars)
+	// A faithful small graph with treewidth 3 is K_{3,3}:
+	g := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if got := g.Treewidth(); got != 3 {
+		t.Errorf("K33 treewidth = %d, want 3", got)
+	}
+}
+
+func TestTreewidthDisconnected(t *testing.T) {
+	// Max over components.
+	g := New(8)
+	g.AddEdge(0, 1) // tw 1
+	// K4 on 4..7: tw 3.
+	for i := 4; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if got := g.Treewidth(); got != 3 {
+		t.Errorf("treewidth = %d, want 3", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := cycle(5)
+	sub, orig := g.Subgraph([]int{0, 1, 2})
+	if sub.M() != 2 {
+		t.Errorf("subgraph edges = %d, want 2", sub.M())
+	}
+	if len(orig) != 3 || orig[0] != 0 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+}
+
+// Property: for random graphs, the fast tw<=2 certificate agrees with the
+// exact branch-and-bound.
+func TestWidthTwoCertificateAgreesWithExact(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(7))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		g := New(n)
+		m := rng.Intn(n * 2)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		// Strip loops: widthAtMostTwo ignores loops by construction but
+		// the exact check operates on simple adjacency too.
+		fast := g.widthAtMostTwo()
+		exact := g.Treewidth() <= 2
+		return fast == exact
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forests are always flowers-sets and have treewidth <= 1;
+// adding one extra edge to a tree yields treewidth 2 and girth > 0.
+func TestTreePlusEdgeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := New(n)
+		// Random tree via random parent attachment.
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i))
+		}
+		if !g.IsTree() || g.Treewidth() != 1 || !g.IsFlowerSet() || g.Girth() != 0 {
+			return false
+		}
+		// Add one non-tree edge.
+		for {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+				break
+			}
+		}
+		return g.Treewidth() == 2 && g.Girth() >= 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiconnectedComponents(t *testing.T) {
+	// Triangle with a tail: one cyclic BCC (the triangle) and one bridge.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.biconnectedComponents()
+	var cyclic int
+	for _, c := range comps {
+		if g.componentEdges(c) > len(c)-1 {
+			cyclic++
+		}
+	}
+	if cyclic != 1 {
+		t.Errorf("cyclic BCCs = %d, want 1", cyclic)
+	}
+	if len(comps) != 3 {
+		t.Errorf("BCCs = %d, want 3", len(comps))
+	}
+}

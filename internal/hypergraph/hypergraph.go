@@ -1,0 +1,378 @@
+// Package hypergraph implements hypergraphs, the GYO acyclicity test, and
+// a bounded exact search for generalized hypertree width (ghw), standing in
+// for the detkdecomp tool the paper used in Section 6.2.
+//
+// The paper needs three verdicts about canonical hypergraphs of queries:
+// ghw = 1 (equivalently, alpha-acyclicity), ghw = 2, and ghw = 3, plus the
+// number of nodes in a witnessing decomposition. Queries with variables in
+// the predicate position are the ones requiring hypergraph analysis; they
+// are small (the cyclic ones have at most a few dozen vertices), so an
+// exact search over edge covers with memoization is practical.
+package hypergraph
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Hypergraph is a hypergraph over vertices 0..N-1. The exact width search
+// requires N <= 64 and at most 64 edges; larger hypergraphs can still be
+// tested for acyclicity.
+type Hypergraph struct {
+	n     int
+	edges [][]int
+}
+
+// New creates a hypergraph with n vertices and no edges.
+func New(n int) *Hypergraph {
+	return &Hypergraph{n: n}
+}
+
+// N returns the vertex count.
+func (h *Hypergraph) N() int { return h.n }
+
+// NumEdges returns the number of hyperedges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// AddEdge inserts a hyperedge over the given vertices. Duplicate vertices
+// within an edge are collapsed; an empty edge is ignored.
+func (h *Hypergraph) AddEdge(vertices ...int) {
+	if len(vertices) == 0 {
+		return
+	}
+	seen := make(map[int]bool, len(vertices))
+	var e []int
+	for _, v := range vertices {
+		if !seen[v] {
+			seen[v] = true
+			e = append(e, v)
+		}
+	}
+	sort.Ints(e)
+	h.edges = append(h.edges, e)
+}
+
+// Edges returns the hyperedges (shared backing; callers must not mutate).
+func (h *Hypergraph) Edges() [][]int { return h.edges }
+
+// Acyclic reports whether the hypergraph is alpha-acyclic, via GYO
+// reduction: repeatedly (a) remove vertices occurring in exactly one edge
+// and (b) remove edges contained in another edge, until fixpoint. The
+// hypergraph is acyclic iff all edges disappear. Acyclicity coincides with
+// generalized hypertree width <= 1 for non-trivial hypergraphs.
+func (h *Hypergraph) Acyclic() bool {
+	// Work on copies of the edge sets.
+	edges := make([]map[int]bool, 0, len(h.edges))
+	for _, e := range h.edges {
+		m := make(map[int]bool, len(e))
+		for _, v := range e {
+			m[v] = true
+		}
+		edges = append(edges, m)
+	}
+	for {
+		changed := false
+		// Vertex occurrence counts.
+		occ := make(map[int]int)
+		for _, e := range edges {
+			for v := range e {
+				occ[v]++
+			}
+		}
+		for _, e := range edges {
+			for v := range e {
+				if occ[v] == 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Remove empty edges and edges contained in another edge.
+		var kept []map[int]bool
+		for i, e := range edges {
+			if len(e) == 0 {
+				changed = true
+				continue
+			}
+			contained := false
+			for j, f := range edges {
+				if i == j || len(e) > len(f) {
+					continue
+				}
+				if j < i && len(e) == len(f) && equalSets(e, f) {
+					contained = true // duplicate: keep only the first
+					break
+				}
+				if isSubset(e, f) && !(len(e) == len(f) && j > i) {
+					if len(e) < len(f) {
+						contained = true
+						break
+					}
+				}
+			}
+			if contained {
+				changed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+		if !changed {
+			return len(edges) == 0
+		}
+		if len(edges) == 0 {
+			return true
+		}
+	}
+}
+
+func equalSets(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func isSubset(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximalEdges returns the number of edges that are not contained in
+// another edge. For acyclic hypergraphs this is the node count of the
+// natural join-tree decomposition, which the paper uses as a caching
+// indicator (Section 6.2).
+func (h *Hypergraph) MaximalEdges() int {
+	cnt := 0
+	for i, e := range h.edges {
+		maximal := true
+		for j, f := range h.edges {
+			if i == j {
+				continue
+			}
+			if len(e) < len(f) && sliceSubset(e, f) {
+				maximal = false
+				break
+			}
+			if len(e) == len(f) && j < i && sliceEqual(e, f) {
+				maximal = false // deduplicate equal edges
+				break
+			}
+		}
+		if maximal {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func sliceSubset(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+func sliceEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decomposition summarizes a witnessing generalized hypertree
+// decomposition found by GHW.
+type Decomposition struct {
+	Width int
+	Nodes int // number of bags
+}
+
+// GHW computes the generalized hypertree width, trying k = 1, 2, ... up to
+// maxK, and returns the width with a witnessing decomposition size. If the
+// width exceeds maxK (or the hypergraph is too large for the exact search),
+// ok is false.
+func (h *Hypergraph) GHW(maxK int) (Decomposition, bool) {
+	if len(h.edges) == 0 {
+		return Decomposition{Width: 0, Nodes: 0}, true
+	}
+	if h.Acyclic() {
+		return Decomposition{Width: 1, Nodes: h.MaximalEdges()}, true
+	}
+	if h.n > 64 || len(h.edges) > 64 {
+		return Decomposition{}, false
+	}
+	for k := 2; k <= maxK; k++ {
+		if nodes, ok := h.ghwAtMost(k); ok {
+			return Decomposition{Width: k, Nodes: nodes}, true
+		}
+	}
+	return Decomposition{}, false
+}
+
+// ghwAtMost searches for a generalized hypertree decomposition of width at
+// most k over the dual view: a decomposition node is a bag formed by the
+// union of at most k edges; uncovered edges must split into components
+// connected through shared vertices outside the bag, each recursively
+// decomposable with its interface to the bag covered by the child bag.
+func (h *Hypergraph) ghwAtMost(k int) (int, bool) {
+	m := len(h.edges)
+	edgeMask := make([]uint64, m) // vertex bitmask per edge
+	for i, e := range h.edges {
+		var b uint64
+		for _, v := range e {
+			b |= 1 << uint(v)
+		}
+		edgeMask[i] = b
+	}
+	allEdges := uint64(1)<<uint(m) - 1
+
+	type key struct{ rem, conn uint64 }
+	memo := make(map[key]int) // -1: impossible; >0: node count
+
+	var rec func(rem uint64, conn uint64) int
+	rec = func(rem, conn uint64) int {
+		if rem == 0 && conn == 0 {
+			return 0
+		}
+		kk := key{rem, conn}
+		if v, ok := memo[kk]; ok {
+			return v
+		}
+		memo[kk] = -1 // guard against cycles
+		// Candidate edges for the cover: any edge touching the remaining
+		// edges' vertices or the connector.
+		var needVerts uint64 = conn
+		for i := 0; i < m; i++ {
+			if rem&(1<<uint(i)) != 0 {
+				needVerts |= edgeMask[i]
+			}
+		}
+		var cands []int
+		for i := 0; i < m; i++ {
+			if edgeMask[i]&needVerts != 0 {
+				cands = append(cands, i)
+			}
+		}
+		best := -1
+		// Enumerate covers of size 1..k from candidates.
+		var choose func(start int, left int, bag uint64)
+		choose = func(start, left int, bag uint64) {
+			if best != -1 {
+				return
+			}
+			if conn&^bag == 0 && bag != 0 {
+				// Viable bag: edges fully covered disappear.
+				newRem := rem
+				for i := 0; i < m; i++ {
+					if newRem&(1<<uint(i)) != 0 && edgeMask[i]&^bag == 0 {
+						newRem &^= 1 << uint(i)
+					}
+				}
+				if newRem == 0 {
+					best = 1
+					return
+				}
+				// Split remaining edges into components connected through
+				// vertices outside the bag.
+				comps := splitComponents(edgeMask, newRem, bag)
+				total := 1
+				ok := true
+				for _, c := range comps {
+					// Child connector: vertices of the component inside
+					// this bag (the interface it must keep connected).
+					var cv uint64
+					for i := 0; i < m; i++ {
+						if c&(1<<uint(i)) != 0 {
+							cv |= edgeMask[i]
+						}
+					}
+					childConn := cv & bag
+					sub := rec(c, childConn)
+					if sub < 0 {
+						ok = false
+						break
+					}
+					total += sub
+				}
+				if ok {
+					best = total
+					return
+				}
+			}
+			if left == 0 {
+				return
+			}
+			for i := start; i < len(cands); i++ {
+				choose(i+1, left-1, bag|edgeMask[cands[i]])
+				if best != -1 {
+					return
+				}
+			}
+		}
+		choose(0, k, 0)
+		memo[kk] = best
+		return best
+	}
+	nodes := rec(allEdges, 0)
+	return nodes, nodes >= 0
+}
+
+// splitComponents partitions the remaining edges (bitmask rem over edge
+// indices) into groups connected through vertices not in bag.
+func splitComponents(edgeMask []uint64, rem uint64, bag uint64) []uint64 {
+	var comps []uint64
+	unassigned := rem
+	for unassigned != 0 {
+		seed := uint64(1) << uint(bits.TrailingZeros64(unassigned))
+		comp := seed
+		verts := uint64(0)
+		for i := range edgeMask {
+			if seed&(1<<uint(i)) != 0 {
+				verts = edgeMask[i] &^ bag
+			}
+		}
+		for {
+			grew := false
+			for i := range edgeMask {
+				bit := uint64(1) << uint(i)
+				if unassigned&bit != 0 && comp&bit == 0 && edgeMask[i]&verts != 0 {
+					comp |= bit
+					verts |= edgeMask[i] &^ bag
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+		comps = append(comps, comp)
+		unassigned &^= comp
+	}
+	return comps
+}

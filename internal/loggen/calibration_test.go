@@ -1,0 +1,114 @@
+package loggen
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+// rateOf measures how many valid unique queries of a generated log
+// satisfy pred.
+func rateOf(t *testing.T, p Profile, n int, seed int64, pred func(*sparql.Query) bool) float64 {
+	t.Helper()
+	ds := Generate(p, n, seed)
+	parser := &sparql.Parser{}
+	seen := map[string]bool{}
+	var total, hits int
+	for _, e := range ds.Entries {
+		if seen[e] {
+			continue
+		}
+		q, err := parser.Parse(e)
+		if err != nil {
+			continue
+		}
+		seen[e] = true
+		total++
+		if pred(q) {
+			hits++
+		}
+	}
+	if total == 0 {
+		t.Fatalf("%s: no valid queries", p.Name)
+	}
+	return float64(hits) / float64(total)
+}
+
+func profileByName(t *testing.T, name string) Profile {
+	t.Helper()
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no profile %s", name)
+	return Profile{}
+}
+
+// The paper's Section 4.1 singles out several per-dataset rates; the
+// generator must reproduce them within tolerance.
+func TestPerDatasetCalibration(t *testing.T) {
+	tests := []struct {
+		profile string
+		label   string
+		paper   float64
+		tol     float64
+		pred    func(*sparql.Query) bool
+	}{
+		// "Almost all (97%) of BritM14 queries use Distinct."
+		{"BritM14", "distinct", 0.97, 0.08, func(q *sparql.Query) bool { return q.Distinct }},
+		// "in BioP13 (82%)" distinct.
+		{"BioP13", "distinct", 0.82, 0.10, func(q *sparql.Query) bool { return q.Distinct }},
+		// "In these logs, 80% ... of the queries use Graph" (BioP13).
+		{"BioP13", "graph", 0.80, 0.10, func(q *sparql.Query) bool {
+			found := false
+			sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+				if _, ok := p.(*sparql.GraphGraph); ok {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}},
+		// "Limit is used most widely in SWDF13 (47%)".
+		{"SWDF13", "limit", 0.47, 0.12, func(q *sparql.Query) bool { return q.Mods.HasLimit }},
+		// "The use of Filter ranges from 61% (LGD14)".
+		{"LGD14", "filter", 0.61, 0.15, func(q *sparql.Query) bool {
+			found := false
+			sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+				if _, ok := p.(*sparql.Filter); ok {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}},
+		// "Order By is used by far the most in WikiData (42%)".
+		{"WikiData17", "orderBy", 0.42, 0.15, func(q *sparql.Query) bool { return len(q.Mods.OrderBy) > 0 }},
+	}
+	for _, tc := range tests {
+		p := profileByName(t, tc.profile)
+		got := rateOf(t, p, 800, 99, tc.pred)
+		if got < tc.paper-tc.tol || got > tc.paper+tc.tol {
+			t.Errorf("%s %s rate = %.2f, paper %.2f (±%.2f)", tc.profile, tc.label, got, tc.paper, tc.tol)
+		}
+	}
+}
+
+// BioMed13 is dominated by Describe queries (84.71% per Section 4.2).
+func TestBioMedDescribeDominance(t *testing.T) {
+	p := profileByName(t, "BioMed13")
+	got := rateOf(t, p, 800, 11, func(q *sparql.Query) bool { return q.Type == sparql.DescribeQuery })
+	if got < 0.75 || got > 0.95 {
+		t.Errorf("BioMed13 describe rate = %.2f, paper 0.85", got)
+	}
+}
+
+// LGD13 is dominated by Construct queries (71%).
+func TestLGDConstructDominance(t *testing.T) {
+	p := profileByName(t, "LGD13")
+	got := rateOf(t, p, 800, 12, func(q *sparql.Query) bool { return q.Type == sparql.ConstructQuery })
+	if got < 0.60 || got > 0.82 {
+		t.Errorf("LGD13 construct rate = %.2f, paper 0.71", got)
+	}
+}

@@ -1,0 +1,165 @@
+package loggen
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	a := Generate(p, 200, 7)
+	b := Generate(p, 200, 7)
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs between same-seed runs", i)
+		}
+	}
+	c := Generate(p, 200, 8)
+	same := 0
+	for i := range c.Entries {
+		if c.Entries[i] == a.Entries[i] {
+			same++
+		}
+	}
+	if same == len(a.Entries) {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestGeneratedQueriesMostlyParse(t *testing.T) {
+	for _, p := range Profiles()[:3] {
+		ds := Generate(p, 400, 99)
+		parser := &sparql.Parser{}
+		var parsed, failed, noise int
+		for _, e := range ds.Entries {
+			up := strings.ToUpper(e)
+			isQuery := false
+			for _, kw := range []string{"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"} {
+				if strings.Contains(up, kw) {
+					isQuery = true
+					break
+				}
+			}
+			if !isQuery {
+				noise++
+				continue
+			}
+			if _, err := parser.Parse(e); err != nil {
+				failed++
+			} else {
+				parsed++
+			}
+		}
+		total := parsed + failed
+		if total == 0 {
+			t.Fatalf("%s: no queries generated", p.Name)
+		}
+		wantValid := float64(p.PaperValid) / float64(p.PaperTotal)
+		gotValid := float64(parsed) / float64(total)
+		if gotValid < wantValid-0.06 || gotValid > wantValid+0.06 {
+			t.Errorf("%s: parse rate %.3f, want ~%.3f", p.Name, gotValid, wantValid)
+		}
+	}
+}
+
+func TestDuplicateRateCalibration(t *testing.T) {
+	// BioMed13 has an extreme duplicate rate (27k unique of 880k valid).
+	var biomed Profile
+	for _, p := range Profiles() {
+		if p.Name == "BioMed13" {
+			biomed = p
+		}
+	}
+	ds := Generate(biomed, 3000, 3)
+	uniq := map[string]bool{}
+	valid := 0
+	parser := &sparql.Parser{}
+	for _, e := range ds.Entries {
+		if _, err := parser.Parse(e); err == nil {
+			valid++
+			uniq[e] = true
+		}
+	}
+	gotDup := 1 - float64(len(uniq))/float64(valid)
+	wantDup := 1 - float64(biomed.PaperUnique)/float64(biomed.PaperValid)
+	if gotDup < wantDup-0.15 {
+		t.Errorf("duplicate rate %.2f too low, want near %.2f", gotDup, wantDup)
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	corpus := GenerateCorpus(0.00002, 1)
+	if len(corpus) != 13 {
+		t.Fatalf("datasets = %d, want 13", len(corpus))
+	}
+	names := map[string]bool{}
+	for _, ds := range corpus {
+		names[ds.Name] = true
+		if len(ds.Entries) == 0 {
+			t.Errorf("%s: empty log", ds.Name)
+		}
+	}
+	for _, want := range []string{"DBpedia9/12", "WikiData17", "BioP14", "BritM14"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+	// WikiData17 keeps its full (tiny) size.
+	for _, ds := range corpus {
+		if ds.Name == "WikiData17" && len(ds.Entries) != 309 {
+			t.Errorf("WikiData17 size = %d, want 309", len(ds.Entries))
+		}
+	}
+}
+
+func TestMutatePreservesParseability(t *testing.T) {
+	p := Profiles()[0]
+	g := newGenerator(p, 21)
+	parser := &sparql.Parser{}
+	for i := 0; i < 50; i++ {
+		q := g.query()
+		m := g.mutate(q)
+		if m == q {
+			t.Error("mutation should change the query")
+		}
+		if _, err := parser.Parse(m); err != nil {
+			t.Fatalf("mutated query unparseable: %v\nbefore: %s\nafter: %s", err, q, m)
+		}
+	}
+}
+
+func TestStreaksPresentInDBpediaLogs(t *testing.T) {
+	p := Profiles()[2] // DBpedia14
+	ds := Generate(p, 1500, 77)
+	// Count adjacent near-duplicates as a cheap streak proxy: at least
+	// some consecutive entries should be small modifications.
+	close := 0
+	for i := 1; i < len(ds.Entries); i++ {
+		a, b := ds.Entries[i-1], ds.Entries[i]
+		if a == b || len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		dl := len(a) - len(b)
+		if dl < 0 {
+			dl = -dl
+		}
+		if dl <= 12 && a[:min(10, len(a))] == b[:min(10, len(b))] {
+			close++
+		}
+	}
+	if close < 50 {
+		t.Errorf("expected streaky log, found only %d adjacent near-duplicates", close)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

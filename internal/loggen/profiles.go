@@ -1,0 +1,274 @@
+// Package loggen generates synthetic SPARQL query logs calibrated to the
+// published per-dataset marginals of the paper (Tables 1-3, Figure 1),
+// standing in for the proprietary USEWOD / OpenLink / LSQ logs that cannot
+// be redistributed. Queries are synthesized as ASTs, serialized to text,
+// and re-enter the analyzer through the same lexer and parser used for
+// real logs; noise entries and malformed queries model the cleaning and
+// validity split of Section 2.
+package loggen
+
+// Profile calibrates one dataset's generator to the paper's published
+// marginals. Rates are probabilities in [0, 1].
+type Profile struct {
+	Name string
+	// PaperTotal is the log size reported in Table 1; generation scales
+	// it by the corpus Scale factor.
+	PaperTotal int
+	// PaperValid and PaperUnique calibrate the invalid and duplicate
+	// rates.
+	PaperValid  int
+	PaperUnique int
+	// NoiseRate is the fraction of log entries that are not queries at
+	// all (HTTP requests etc., removed by cleaning).
+	NoiseRate float64
+
+	// Query type mix (must sum to <= 1; remainder goes to Select).
+	AskRate       float64
+	DescribeRate  float64
+	ConstructRate float64
+	// BodylessDescribe is the fraction of Describe queries without a
+	// WHERE clause (97% corpus-wide).
+	BodylessDescribe float64
+
+	// Solution modifier rates.
+	DistinctRate float64
+	LimitRate    float64
+	OffsetRate   float64
+	OrderByRate  float64
+
+	// Triple-count distribution for Select/Ask queries: probability of
+	// 0,1,...,11 triples; remainder is 12+ (Figure 1).
+	TripleDist [12]float64
+
+	// Body operator rates for Select/Ask queries.
+	FilterRate float64
+	OptRate    float64
+	UnionRate  float64
+	GraphRate  float64
+	// ComplexFilterRate: among filters, fraction that are not simple
+	// (two-variable comparisons), driving the CQF gap.
+	ComplexFilterRate float64
+	// EqualityFilterRate: among filters, fraction of exact ?x = ?y.
+	EqualityFilterRate float64
+	// NotWellDesignedRate: among OPT queries, fraction violating
+	// Definition 5.3 (the corpus-wide figure is 1.47% of AOF).
+	NotWellDesignedRate float64
+	// WideInterfaceRate: among well-designed OPT queries, fraction with
+	// interface width 2 (310 queries corpus-wide, i.e. tiny).
+	WideInterfaceRate float64
+
+	// VarPredicateRate: fraction of triples using a variable predicate.
+	VarPredicateRate float64
+	// ConstantObjectRate: fraction of leaf objects that are constants.
+	ConstantObjectRate float64
+
+	// Shape mix for multi-triple Select/Ask bodies (normalized
+	// internally): chains, stars, trees, flowers (cyclic), cycles.
+	ShapeChain, ShapeStar, ShapeTree, ShapeFlower, ShapeCycle float64
+
+	// Rare features.
+	SubqueryRate  float64
+	PathRate      float64 // property-path patterns
+	AggregateRate float64 // COUNT etc. with GROUP BY sometimes
+	GroupByRate   float64
+	ServiceRate   float64
+	BindRate      float64
+	MinusRate     float64
+	NotExistsRate float64
+
+	// ComboRate: fraction of multi-triple queries decorated with the
+	// full And/Opt/Union/Filter combination at once, modelling the
+	// correlated operator usage behind Table 3's "A, O, U, F" row.
+	ComboRate float64
+
+	// Streakiness: probability that the next query is a modification of
+	// a recent one (drives Table 6; only meaningful for DBpedia logs).
+	StreakRate float64
+	// StreakContinue is the chance a streak keeps going after each step.
+	StreakContinue float64
+}
+
+// Profiles returns the 13 dataset profiles of Table 1 in paper order.
+// Calibration sources: Table 1 (sizes), Section 4.1 (type and modifier
+// mixes), Figure 1 (triple distributions, S/A shares), Section 4.3
+// (operator rates), Sections 4.4-7 (subqueries, projection, paths).
+func Profiles() []Profile {
+	// dbpediaTriples approximates the DBpedia triple-count mix of
+	// Figure 1: heavy 0-2, visible tail, ~2-4 average.
+	dbpediaTriples := [12]float64{0.02, 0.55, 0.13, 0.08, 0.05, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01, 0.01}
+	smallTriples := [12]float64{0.01, 0.84, 0.10, 0.03, 0.01, 0.005, 0.002, 0.001, 0.001, 0, 0, 0}
+	bigTriples := [12]float64{0.0, 0.18, 0.13, 0.12, 0.11, 0.10, 0.08, 0.06, 0.05, 0.04, 0.03, 0.03}
+
+	return []Profile{
+		{
+			Name: "DBpedia9/12", PaperTotal: 28534301, PaperValid: 27097467, PaperUnique: 13437966,
+			AskRate: 0.004, DescribeRate: 0.004, ConstructRate: 0.0005,
+			DistinctRate: 0.18, LimitRate: 0.15, OffsetRate: 0.05, OrderByRate: 0.02,
+			TripleDist: dbpediaTriples,
+			FilterRate: 0.45, OptRate: 0.18, UnionRate: 0.20, GraphRate: 0.002,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.015, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.10, ConstantObjectRate: 0.55,
+			ShapeChain: 0.45, ShapeStar: 0.35, ShapeTree: 0.17, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.003, PathRate: 0.002, AggregateRate: 0.004, GroupByRate: 0.002,
+			BindRate: 0.004, MinusRate: 0.002, NotExistsRate: 0.004,
+			ComboRate: 0.18, StreakRate: 0.35, StreakContinue: 0.80,
+		},
+		{
+			Name: "DBpedia13", PaperTotal: 5243853, PaperValid: 4819837, PaperUnique: 2628005,
+			AskRate: 0.04, DescribeRate: 0.03, ConstructRate: 0.01,
+			DistinctRate: 0.08, LimitRate: 0.14, OffsetRate: 0.12, OrderByRate: 0.02,
+			TripleDist: [12]float64{0.01, 0.42, 0.12, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02, 0.02},
+			FilterRate: 0.42, OptRate: 0.20, UnionRate: 0.22, GraphRate: 0.002,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.015, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.10, ConstantObjectRate: 0.55,
+			ShapeChain: 0.42, ShapeStar: 0.36, ShapeTree: 0.18, ShapeFlower: 0.03, ShapeCycle: 0.01,
+			SubqueryRate: 0.004, PathRate: 0.003, AggregateRate: 0.005, GroupByRate: 0.003,
+			BindRate: 0.005, MinusRate: 0.002, NotExistsRate: 0.005,
+			ComboRate: 0.18, StreakRate: 0.35, StreakContinue: 0.80,
+		},
+		{
+			Name: "DBpedia14", PaperTotal: 37219788, PaperValid: 33996480, PaperUnique: 17217448,
+			AskRate: 0.03, DescribeRate: 0.015, ConstructRate: 0.005,
+			DistinctRate: 0.11, LimitRate: 0.16, OffsetRate: 0.06, OrderByRate: 0.02,
+			TripleDist: dbpediaTriples,
+			FilterRate: 0.40, OptRate: 0.17, UnionRate: 0.18, GraphRate: 0.002,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.015, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.10, ConstantObjectRate: 0.55,
+			ShapeChain: 0.45, ShapeStar: 0.35, ShapeTree: 0.17, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.004, PathRate: 0.003, AggregateRate: 0.004, GroupByRate: 0.002,
+			BindRate: 0.005, MinusRate: 0.002, NotExistsRate: 0.004,
+			ComboRate: 0.18, StreakRate: 0.38, StreakContinue: 0.82,
+		},
+		{
+			Name: "DBpedia15", PaperTotal: 43478986, PaperValid: 42709778, PaperUnique: 13253845,
+			AskRate: 0.115, DescribeRate: 0.025, ConstructRate: 0.01,
+			DistinctRate: 0.38, LimitRate: 0.18, OffsetRate: 0.07, OrderByRate: 0.025,
+			TripleDist: [12]float64{0.01, 0.50, 0.12, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01},
+			FilterRate: 0.42, OptRate: 0.17, UnionRate: 0.19, GraphRate: 0.002,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.015, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.11, ConstantObjectRate: 0.55,
+			ShapeChain: 0.44, ShapeStar: 0.35, ShapeTree: 0.18, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.005, PathRate: 0.004, AggregateRate: 0.005, GroupByRate: 0.003,
+			BindRate: 0.006, MinusRate: 0.003, NotExistsRate: 0.005,
+			ComboRate: 0.18, StreakRate: 0.40, StreakContinue: 0.83,
+		},
+		{
+			Name: "DBpedia16", PaperTotal: 15098176, PaperValid: 14687869, PaperUnique: 4369781,
+			AskRate: 0.02, DescribeRate: 0.34, ConstructRate: 0.02,
+			DistinctRate: 0.08, LimitRate: 0.14, OffsetRate: 0.05, OrderByRate: 0.02,
+			TripleDist: [12]float64{0.01, 0.44, 0.12, 0.08, 0.06, 0.05, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02},
+			FilterRate: 0.40, OptRate: 0.18, UnionRate: 0.18, GraphRate: 0.002,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.015, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.11, ConstantObjectRate: 0.55,
+			ShapeChain: 0.44, ShapeStar: 0.35, ShapeTree: 0.18, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.005, PathRate: 0.005, AggregateRate: 0.006, GroupByRate: 0.003,
+			BindRate: 0.006, MinusRate: 0.003, NotExistsRate: 0.005,
+			ComboRate: 0.18, StreakRate: 0.45, StreakContinue: 0.85,
+		},
+		{
+			Name: "LGD13", PaperTotal: 1841880, PaperValid: 1513868, PaperUnique: 357842,
+			AskRate: 0.005, DescribeRate: 0.005, ConstructRate: 0.71,
+			DistinctRate: 0.10, LimitRate: 0.22, OffsetRate: 0.13, OrderByRate: 0.01,
+			TripleDist: [12]float64{0.01, 0.40, 0.20, 0.12, 0.08, 0.05, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01},
+			FilterRate: 0.45, OptRate: 0.12, UnionRate: 0.10, GraphRate: 0.001,
+			ComplexFilterRate: 0.20, EqualityFilterRate: 0.04,
+			NotWellDesignedRate: 0.01, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.06, ConstantObjectRate: 0.50,
+			ShapeChain: 0.40, ShapeStar: 0.40, ShapeTree: 0.17, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.001, PathRate: 0.001, AggregateRate: 0.01, GroupByRate: 0.004,
+			BindRate: 0.002, MinusRate: 0.001, NotExistsRate: 0.002,
+		},
+		{
+			Name: "LGD14", PaperTotal: 1999961, PaperValid: 1929130, PaperUnique: 628640,
+			AskRate: 0.01, DescribeRate: 0.01, ConstructRate: 0.005,
+			DistinctRate: 0.12, LimitRate: 0.41, OffsetRate: 0.38, OrderByRate: 0.01,
+			TripleDist: [12]float64{0.005, 0.38, 0.22, 0.13, 0.08, 0.06, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01},
+			FilterRate: 0.61, OptRate: 0.10, UnionRate: 0.08, GraphRate: 0.001,
+			ComplexFilterRate: 0.22, EqualityFilterRate: 0.04,
+			NotWellDesignedRate: 0.01, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.05, ConstantObjectRate: 0.50,
+			ShapeChain: 0.40, ShapeStar: 0.40, ShapeTree: 0.17, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.002, PathRate: 0.001, AggregateRate: 0.31, GroupByRate: 0.05,
+			BindRate: 0.002, MinusRate: 0.001, NotExistsRate: 0.002,
+		},
+		{
+			Name: "BioP13", PaperTotal: 4627271, PaperValid: 4624430, PaperUnique: 687773,
+			AskRate: 0.0, DescribeRate: 0.0, ConstructRate: 0.0,
+			DistinctRate: 0.82, LimitRate: 0.10, OffsetRate: 0.03, OrderByRate: 0.005,
+			TripleDist: smallTriples,
+			FilterRate: 0.03, OptRate: 0.03, UnionRate: 0.02, GraphRate: 0.80,
+			ComplexFilterRate: 0.10, EqualityFilterRate: 0.03,
+			NotWellDesignedRate: 0.005, WideInterfaceRate: 0,
+			VarPredicateRate: 0.25, ConstantObjectRate: 0.60,
+			ShapeChain: 0.70, ShapeStar: 0.20, ShapeTree: 0.09, ShapeFlower: 0.007, ShapeCycle: 0.003,
+			SubqueryRate: 0.0005, PathRate: 0.0002, AggregateRate: 0.002, GroupByRate: 0.001,
+		},
+		{
+			Name: "BioP14", PaperTotal: 26438933, PaperValid: 26404710, PaperUnique: 2191152,
+			AskRate: 0.002, DescribeRate: 0.0005, ConstructRate: 0.0005,
+			DistinctRate: 0.69, LimitRate: 0.12, OffsetRate: 0.04, OrderByRate: 0.005,
+			TripleDist: [12]float64{0.005, 0.70, 0.18, 0.06, 0.02, 0.01, 0.005, 0.002, 0.001, 0, 0, 0},
+			FilterRate: 0.05, OptRate: 0.04, UnionRate: 0.03, GraphRate: 0.40,
+			ComplexFilterRate: 0.10, EqualityFilterRate: 0.03,
+			NotWellDesignedRate: 0.005, WideInterfaceRate: 0,
+			VarPredicateRate: 0.22, ConstantObjectRate: 0.60,
+			ShapeChain: 0.68, ShapeStar: 0.22, ShapeTree: 0.09, ShapeFlower: 0.007, ShapeCycle: 0.003,
+			SubqueryRate: 0.0005, PathRate: 0.0005, AggregateRate: 0.002, GroupByRate: 0.001,
+		},
+		{
+			Name: "BioMed13", PaperTotal: 883374, PaperValid: 882809, PaperUnique: 27030,
+			AskRate: 0.002, DescribeRate: 0.8471, ConstructRate: 0.0242,
+			DistinctRate: 0.05, LimitRate: 0.08, OffsetRate: 0.02, OrderByRate: 0.005,
+			TripleDist: [12]float64{0.01, 0.45, 0.15, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01},
+			FilterRate: 0.03, OptRate: 0.08, UnionRate: 0.06, GraphRate: 0.01,
+			ComplexFilterRate: 0.10, EqualityFilterRate: 0.03,
+			NotWellDesignedRate: 0.01, WideInterfaceRate: 0,
+			VarPredicateRate: 0.12, ConstantObjectRate: 0.55,
+			ShapeChain: 0.50, ShapeStar: 0.30, ShapeTree: 0.17, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.001, PathRate: 0.0005, AggregateRate: 0.003, GroupByRate: 0.001,
+		},
+		{
+			Name: "SWDF13", PaperTotal: 13762797, PaperValid: 13618017, PaperUnique: 1229759,
+			AskRate: 0.01, DescribeRate: 0.02, ConstructRate: 0.008,
+			DistinctRate: 0.30, LimitRate: 0.47, OffsetRate: 0.08, OrderByRate: 0.03,
+			TripleDist: [12]float64{0.005, 0.73, 0.14, 0.06, 0.03, 0.01, 0.008, 0.004, 0.002, 0.001, 0, 0},
+			FilterRate: 0.15, OptRate: 0.25, UnionRate: 0.22, GraphRate: 0.005,
+			ComplexFilterRate: 0.12, EqualityFilterRate: 0.04,
+			NotWellDesignedRate: 0.02, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.12, ConstantObjectRate: 0.55,
+			ShapeChain: 0.55, ShapeStar: 0.28, ShapeTree: 0.14, ShapeFlower: 0.02, ShapeCycle: 0.01,
+			SubqueryRate: 0.002, PathRate: 0.001, AggregateRate: 0.005, GroupByRate: 0.002,
+			BindRate: 0.003, MinusRate: 0.001, NotExistsRate: 0.003,
+		},
+		{
+			Name: "BritM14", PaperTotal: 1523827, PaperValid: 1513534, PaperUnique: 135112,
+			AskRate: 0.005, DescribeRate: 0.005, ConstructRate: 0.004,
+			DistinctRate: 0.97, LimitRate: 0.25, OffsetRate: 0.06, OrderByRate: 0.02,
+			TripleDist: bigTriples,
+			FilterRate: 0.30, OptRate: 0.20, UnionRate: 0.15, GraphRate: 0.002,
+			ComplexFilterRate: 0.12, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.01, WideInterfaceRate: 0.0001,
+			VarPredicateRate: 0.08, ConstantObjectRate: 0.60,
+			ShapeChain: 0.25, ShapeStar: 0.45, ShapeTree: 0.26, ShapeFlower: 0.03, ShapeCycle: 0.01,
+			SubqueryRate: 0.002, PathRate: 0.001, AggregateRate: 0.01, GroupByRate: 0.004,
+		},
+		{
+			Name: "WikiData17", PaperTotal: 309, PaperValid: 308, PaperUnique: 308,
+			AskRate: 0.002, DescribeRate: 0.001, ConstructRate: 0.001,
+			DistinctRate: 0.25, LimitRate: 0.30, OffsetRate: 0.02, OrderByRate: 0.42,
+			TripleDist: [12]float64{0.0, 0.22, 0.18, 0.15, 0.12, 0.09, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01},
+			FilterRate: 0.30, OptRate: 0.40, UnionRate: 0.15, GraphRate: 0.001,
+			ComplexFilterRate: 0.15, EqualityFilterRate: 0.05,
+			NotWellDesignedRate: 0.01, WideInterfaceRate: 0.003,
+			VarPredicateRate: 0.05, ConstantObjectRate: 0.55,
+			ShapeChain: 0.30, ShapeStar: 0.40, ShapeTree: 0.26, ShapeFlower: 0.03, ShapeCycle: 0.01,
+			SubqueryRate: 0.0974, PathRate: 0.2987, AggregateRate: 0.20, GroupByRate: 0.30,
+			ServiceRate: 0.10, BindRate: 0.05, MinusRate: 0.02, NotExistsRate: 0.03,
+		},
+	}
+}

@@ -1,0 +1,149 @@
+package paths
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+// pathOf extracts the single property path from an ASK query.
+func pathOf(t *testing.T, expr string) sparql.PathExpr {
+	t.Helper()
+	q, err := sparql.Parse("ASK { ?x " + expr + " ?y }")
+	if err != nil {
+		t.Fatalf("parse path %q: %v", expr, err)
+	}
+	pps := q.PathPatterns()
+	if len(pps) != 1 {
+		t.Fatalf("path %q: got %d path patterns", expr, len(pps))
+	}
+	return pps[0].Path
+}
+
+func TestClassifyTable5Types(t *testing.T) {
+	tests := []struct {
+		expr string
+		want ExprType
+		k    int
+	}{
+		{"(<a>|<b>)*", AltStar, 2},
+		{"(<a>|<b>|<c>|<d>)*", AltStar, 4},
+		{"<a>*", Star, 0},
+		{"<a>/<b>", Seq, 2},
+		{"<a>/<b>/<c>/<d>/<e>/<f>", Seq, 6},
+		{"<a>*/<b>", StarSeqLit, 0},
+		{"<b>/<a>*", StarSeqLit, 0}, // symmetric form
+		{"<a>|<b>", Alt, 2},
+		{"<a>|<b>|<c>", Alt, 3},
+		{"<a>+", Plus, 0},
+		{"<a>?", OptSeq, 1},
+		{"<a>?/<b>?/<c>?", OptSeq, 3},
+		{"<a>/(<b>|<c>)", LitAltSeq, 2}, // the paper's a(b1|···|bk)
+		{"(<b>|<c>)/<a>", LitAltSeq, 2}, // symmetric form
+		{"<a>/<b>?/<c>?", LitOptSeq, 3},
+		{"(<a>/<b>*)|<c>", SeqStarAltLit, 0},
+		{"<a>*/<b>?", StarOptSeq, 0},
+		{"<a>/<b>/<c>*", LitLitStarSeq, 0},
+		{"!(<a>|<b>)", NegAlt, 2},
+		{"(<a>|<b>)+", AltPlus, 2},
+		{"(<a>|<b>)/(<a>|<b>)", AltAltSeq, 2},
+		{"<a>?|<b>", OptAltLit, 0},
+		{"<a>*|<b>", StarAltLit, 0},
+		{"(<a>|<b>)?", AltOpt, 2},
+		{"<a>|<b>+", LitAltPlus, 0},
+		{"<a>+|<b>+", PlusAltPlus, 0},
+		{"(<a>/<b>)*", SeqStar, 2},
+	}
+	for _, tc := range tests {
+		c := Classify(pathOf(t, tc.expr))
+		if c.Type != tc.want {
+			t.Errorf("Classify(%s) = %s, want %s", tc.expr, c.Type, tc.want)
+		}
+		if tc.k > 0 && c.K != tc.k {
+			t.Errorf("Classify(%s) k = %d, want %d", tc.expr, c.K, tc.k)
+		}
+	}
+}
+
+func TestInverseAndNegAtomsAreLiterals(t *testing.T) {
+	// ^a and !a embedded in larger expressions count as literals:
+	// (^a)/b is a1/.../ak with k=2, per the paper's classification.
+	tests := []struct {
+		expr string
+		want ExprType
+	}{
+		{"(^<a>)/<b>", Seq},
+		{"(!<a>)/<b>", Seq},
+		{"^<a>|<b>", Alt},
+		{"(^<a>)*", Star},
+		{"(^<a>|^<b>)*", AltStar},
+	}
+	for _, tc := range tests {
+		c := Classify(pathOf(t, tc.expr))
+		if c.Type != tc.want {
+			t.Errorf("Classify(%s) = %s, want %s", tc.expr, c.Type, tc.want)
+		}
+	}
+}
+
+func TestTrivialForms(t *testing.T) {
+	if !IsTrivial(pathOf(t, "!<a>")) {
+		t.Error("!a is trivial")
+	}
+	if !IsTrivial(pathOf(t, "^<a>")) {
+		t.Error("^a is trivial")
+	}
+	if IsTrivial(pathOf(t, "<a>*")) {
+		t.Error("a* is navigational")
+	}
+	if IsTrivial(pathOf(t, "!(<a>|<b>)")) {
+		t.Error("!(a|b) is navigational")
+	}
+}
+
+func TestCtract(t *testing.T) {
+	inC := []string{"<a>*", "(<a>|<b>)*", "<a>+", "(<a>|<b>)+", "<a>/<b>",
+		"<a>*/<b>", "<a>?/<b>?", "!(<a>|<b>)", "<a>*|<b>"}
+	for _, e := range inC {
+		if !InCtract(pathOf(t, e)) {
+			t.Errorf("%s should be in Ctract", e)
+		}
+	}
+	notC := []string{"(<a>/<b>)*", "(<a>/<b>)+", "<c>/(<a>/<b>)*"}
+	for _, e := range notC {
+		if InCtract(pathOf(t, e)) {
+			t.Errorf("%s should not be in Ctract", e)
+		}
+	}
+}
+
+func TestTable5Aggregation(t *testing.T) {
+	tab := NewTable5()
+	for _, e := range []string{"!<a>", "!<a>", "^<a>", "<a>*", "(<a>|<b>)*",
+		"(<a>|<b>|<c>)*", "<a>/<b>", "<a>/<b>/<c>", "(<a>/<b>)*"} {
+		tab.Add(pathOf(t, e))
+	}
+	if tab.TrivialNeg != 2 || tab.TrivialInv != 1 {
+		t.Errorf("trivial = %d/%d, want 2/1", tab.TrivialNeg, tab.TrivialInv)
+	}
+	if tab.Total != 6 {
+		t.Errorf("total = %d, want 6", tab.Total)
+	}
+	if tab.Counts[AltStar] != 2 || tab.MinK[AltStar] != 2 || tab.MaxK[AltStar] != 3 {
+		t.Errorf("AltStar = %d k[%d,%d]", tab.Counts[AltStar], tab.MinK[AltStar], tab.MaxK[AltStar])
+	}
+	if tab.Counts[Seq] != 2 || tab.MaxK[Seq] != 3 {
+		t.Errorf("Seq = %d maxk %d", tab.Counts[Seq], tab.MaxK[Seq])
+	}
+	if tab.NonCtract != 1 {
+		t.Errorf("nonCtract = %d, want 1 ((a/b)*)", tab.NonCtract)
+	}
+}
+
+func TestUnclassified(t *testing.T) {
+	// Deeply nested combination outside Table 5.
+	c := Classify(pathOf(t, "((<a>/<b>)|<c>)/<d>*"))
+	if c.Type != Unclassified {
+		t.Errorf("got %s, want unclassified", c.Type)
+	}
+}

@@ -1,0 +1,174 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadNTriples loads N-Triples-style data into the store: one triple per
+// line, `<s> <p> <o> .` with IRIs in angle brackets, blank nodes as
+// _:label, and literals as quoted strings (language tags and datatype
+// annotations are accepted and stored as part of the lexical form is NOT
+// retained — the store is untyped text, so `"x"@en` stores as `x`).
+// Comment lines (#) and blank lines are skipped.
+func (s *Store) ReadNTriples(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sub, rest, err := readTerm(line)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %v", lineNo, err)
+		}
+		pred, rest, err := readTerm(rest)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %v", lineNo, err)
+		}
+		obj, rest, err := readTerm(rest)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %v", lineNo, err)
+		}
+		rest = strings.TrimSpace(rest)
+		if rest != "." && rest != "" {
+			return n, fmt.Errorf("rdf: line %d: trailing content %q", lineNo, rest)
+		}
+		s.Add(sub, pred, obj)
+		n++
+	}
+	return n, sc.Err()
+}
+
+// readTerm consumes one term from the front of line, returning its store
+// text and the remainder.
+func readTerm(line string) (string, string, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return "", "", fmt.Errorf("unexpected end of line")
+	}
+	switch line[0] {
+	case '<':
+		end := strings.IndexByte(line, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI")
+		}
+		return line[1:end], line[end+1:], nil
+	case '_':
+		if !strings.HasPrefix(line, "_:") {
+			return "", "", fmt.Errorf("bad blank node")
+		}
+		end := strings.IndexAny(line, " \t")
+		if end < 0 {
+			end = len(line)
+		}
+		return line[:end], line[end:], nil
+	case '"':
+		// Find the closing quote, honoring escapes.
+		i := 1
+		var sb strings.Builder
+		for i < len(line) {
+			c := line[i]
+			if c == '\\' && i+1 < len(line) {
+				switch line[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					sb.WriteByte(line[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if i >= len(line) {
+			return "", "", fmt.Errorf("unterminated literal")
+		}
+		rest := line[i+1:]
+		// Skip language tag or datatype annotation.
+		if strings.HasPrefix(rest, "@") {
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			rest = rest[end:]
+		} else if strings.HasPrefix(rest, "^^<") {
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return "", "", fmt.Errorf("unterminated datatype IRI")
+			}
+			rest = rest[end+1:]
+		}
+		return sb.String(), rest, nil
+	}
+	return "", "", fmt.Errorf("unexpected term start %q", line[0])
+}
+
+// WriteNTriples serializes the store as N-Triples, writing IRIs in angle
+// brackets and everything else as plain literals (the dictionary does not
+// retain term kinds, so the heuristic brackets terms that look like
+// IRIs).
+func (s *Store) WriteNTriples(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range s.triples {
+		if err := writeTerm(bw, s.TermOf(t.S)); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, s.TermOf(t.P)); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, s.TermOf(t.O)); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeTerm(w *bufio.Writer, term string) error {
+	if strings.HasPrefix(term, "_:") {
+		_, err := w.WriteString(term)
+		return err
+	}
+	if strings.Contains(term, "://") || strings.HasPrefix(term, "urn:") || strings.HasPrefix(term, "mailto:") {
+		w.WriteByte('<')
+		w.WriteString(term)
+		return w.WriteByte('>')
+	}
+	w.WriteByte('"')
+	for i := 0; i < len(term); i++ {
+		switch c := term[i]; c {
+		case '"':
+			w.WriteString(`\"`)
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		default:
+			w.WriteByte(c)
+		}
+	}
+	return w.WriteByte('"')
+}

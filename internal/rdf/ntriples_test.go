@@ -1,0 +1,72 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadNTriples(t *testing.T) {
+	src := `
+# a comment
+<http://ex/a> <http://ex/p> <http://ex/b> .
+<http://ex/a> <http://ex/name> "Alice" .
+<http://ex/a> <http://ex/label> "tag"@en .
+<http://ex/a> <http://ex/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://ex/p> "esc\"aped\nline" .
+`
+	st := NewStore()
+	n, err := st.ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || st.Len() != 5 {
+		t.Fatalf("loaded %d/%d, want 5", n, st.Len())
+	}
+	a, _ := st.Lookup("http://ex/a")
+	name, _ := st.Lookup("http://ex/name")
+	alice, ok := st.Lookup("Alice")
+	if !ok || !st.Has(a, name, alice) {
+		t.Error("literal triple missing")
+	}
+	if _, ok := st.Lookup("tag"); !ok {
+		t.Error("language-tagged literal should store its lexical form")
+	}
+	if _, ok := st.Lookup("esc\"aped\nline"); !ok {
+		t.Error("escapes should decode")
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	bad := []string{
+		"<http://ex/a> <http://ex/p>",
+		"<http://ex/a <http://ex/p> <http://ex/b> .",
+		`<http://ex/a> <http://ex/p> "unterminated .`,
+		"<http://ex/a> <http://ex/p> <http://ex/b> junk",
+	}
+	for _, src := range bad {
+		st := NewStore()
+		if _, err := st.ReadNTriples(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	st := NewStore()
+	st.Add("http://ex/s", "http://ex/p", "http://ex/o")
+	st.Add("http://ex/s", "http://ex/name", "plain text")
+	st.Add("_:b0", "http://ex/p", "with \"quotes\"")
+	var buf bytes.Buffer
+	if err := st.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore()
+	n, err := st2.ReadNTriples(&buf)
+	if err != nil {
+		t.Fatalf("%v\noutput was:\n%s", err, buf.String())
+	}
+	if n != 3 || st2.Len() != 3 {
+		t.Fatalf("round trip = %d triples, want 3", st2.Len())
+	}
+}

@@ -1,0 +1,165 @@
+// Package rdf implements an in-memory RDF triple store with dictionary
+// encoding and the four index orderings (SPO, POS, OSP, PSO) that the
+// query engines of package engine build on. It is the data substrate for
+// the chain/cycle experiment of Section 5.1 (Figure 3).
+package rdf
+
+import "sort"
+
+// ID is a dictionary-encoded term identifier.
+type ID = uint32
+
+// Triple is a dictionary-encoded RDF triple.
+type Triple struct {
+	S, P, O ID
+}
+
+// Store is an in-memory triple store. Terms are interned to dense IDs;
+// triples are deduplicated; four hash-based indexes serve the access
+// patterns required by index nested-loop joins.
+type Store struct {
+	dict    map[string]ID
+	terms   []string
+	triples []Triple
+	seen    map[Triple]bool
+
+	spo map[ID]map[ID][]ID // subject -> predicate -> objects
+	pos map[ID]map[ID][]ID // predicate -> object -> subjects
+	osp map[ID]map[ID][]ID // object -> subject -> predicates
+	pso map[ID][]Triple    // predicate -> triples (scan order)
+
+	sorted bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		dict: make(map[string]ID),
+		seen: make(map[Triple]bool),
+		spo:  make(map[ID]map[ID][]ID),
+		pos:  make(map[ID]map[ID][]ID),
+		osp:  make(map[ID]map[ID][]ID),
+		pso:  make(map[ID][]Triple),
+	}
+}
+
+// Intern returns the ID for a term, creating it if needed.
+func (s *Store) Intern(term string) ID {
+	if id, ok := s.dict[term]; ok {
+		return id
+	}
+	id := ID(len(s.terms))
+	s.dict[term] = id
+	s.terms = append(s.terms, term)
+	return id
+}
+
+// Lookup returns the ID of a term if it is known.
+func (s *Store) Lookup(term string) (ID, bool) {
+	id, ok := s.dict[term]
+	return id, ok
+}
+
+// TermOf returns the string form of an ID.
+func (s *Store) TermOf(id ID) string {
+	if int(id) < len(s.terms) {
+		return s.terms[id]
+	}
+	return ""
+}
+
+// NumTerms returns the dictionary size.
+func (s *Store) NumTerms() int { return len(s.terms) }
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int { return len(s.triples) }
+
+// Add inserts a triple given as strings; duplicates are ignored.
+func (s *Store) Add(sub, pred, obj string) {
+	s.AddIDs(s.Intern(sub), s.Intern(pred), s.Intern(obj))
+}
+
+// AddIDs inserts a dictionary-encoded triple; duplicates are ignored.
+func (s *Store) AddIDs(sub, pred, obj ID) {
+	t := Triple{sub, pred, obj}
+	if s.seen[t] {
+		return
+	}
+	s.seen[t] = true
+	s.triples = append(s.triples, t)
+	ins := func(m map[ID]map[ID][]ID, a, b, c ID) {
+		inner, ok := m[a]
+		if !ok {
+			inner = make(map[ID][]ID)
+			m[a] = inner
+		}
+		inner[b] = append(inner[b], c)
+	}
+	ins(s.spo, sub, pred, obj)
+	ins(s.pos, pred, obj, sub)
+	ins(s.osp, obj, sub, pred)
+	s.pso[pred] = append(s.pso[pred], t)
+	s.sorted = false
+}
+
+// Freeze sorts the posting lists, enabling binary-search membership tests.
+// It is idempotent and called automatically by Has.
+func (s *Store) Freeze() {
+	if s.sorted {
+		return
+	}
+	for _, m := range []map[ID]map[ID][]ID{s.spo, s.pos, s.osp} {
+		for _, inner := range m {
+			for k := range inner {
+				lst := inner[k]
+				sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			}
+		}
+	}
+	s.sorted = true
+}
+
+// Has reports whether the store contains the triple.
+func (s *Store) Has(sub, pred, obj ID) bool {
+	s.Freeze()
+	inner, ok := s.spo[sub]
+	if !ok {
+		return false
+	}
+	lst := inner[pred]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= obj })
+	return i < len(lst) && lst[i] == obj
+}
+
+// Objects returns the objects of (sub, pred, ?o).
+func (s *Store) Objects(sub, pred ID) []ID {
+	if inner, ok := s.spo[sub]; ok {
+		return inner[pred]
+	}
+	return nil
+}
+
+// Subjects returns the subjects of (?s, pred, obj).
+func (s *Store) Subjects(pred, obj ID) []ID {
+	if inner, ok := s.pos[pred]; ok {
+		return inner[obj]
+	}
+	return nil
+}
+
+// Predicates returns the predicates of (sub, ?p, obj).
+func (s *Store) Predicates(sub, obj ID) []ID {
+	if inner, ok := s.osp[obj]; ok {
+		return inner[sub]
+	}
+	return nil
+}
+
+// ScanPredicate returns all triples with the given predicate.
+func (s *Store) ScanPredicate(pred ID) []Triple { return s.pso[pred] }
+
+// PredicateCardinality returns the number of triples with the predicate.
+func (s *Store) PredicateCardinality(pred ID) int { return len(s.pso[pred]) }
+
+// Triples returns all stored triples (shared backing; do not mutate).
+func (s *Store) Triples() []Triple { return s.triples }

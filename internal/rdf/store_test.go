@@ -1,0 +1,80 @@
+package rdf
+
+import "testing"
+
+func TestInternDedup(t *testing.T) {
+	s := NewStore()
+	a := s.Intern("x")
+	b := s.Intern("x")
+	if a != b {
+		t.Error("interning must be idempotent")
+	}
+	if s.NumTerms() != 1 {
+		t.Errorf("terms = %d, want 1", s.NumTerms())
+	}
+	if s.TermOf(a) != "x" {
+		t.Errorf("TermOf = %q", s.TermOf(a))
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := NewStore()
+	s.Add("s1", "p", "o1")
+	s.Add("s1", "p", "o2")
+	s.Add("s2", "p", "o1")
+	s.Add("s1", "p", "o1") // duplicate
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	sid, _ := s.Lookup("s1")
+	pid, _ := s.Lookup("p")
+	oid, _ := s.Lookup("o1")
+	if got := len(s.Objects(sid, pid)); got != 2 {
+		t.Errorf("objects = %d, want 2", got)
+	}
+	if got := len(s.Subjects(pid, oid)); got != 2 {
+		t.Errorf("subjects = %d, want 2", got)
+	}
+	if got := len(s.Predicates(sid, oid)); got != 1 {
+		t.Errorf("predicates = %d, want 1", got)
+	}
+	if !s.Has(sid, pid, oid) {
+		t.Error("Has should find stored triple")
+	}
+	s2id, _ := s.Lookup("s2")
+	o2id, _ := s.Lookup("o2")
+	if s.Has(s2id, pid, o2id) {
+		t.Error("Has found non-existent triple")
+	}
+	if s.PredicateCardinality(pid) != 3 {
+		t.Errorf("predicate cardinality = %d", s.PredicateCardinality(pid))
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	s := NewStore()
+	s.Add("a", "p", "b")
+	s.Freeze()
+	s.Freeze()
+	s.Add("a", "p", "c")
+	aid, _ := s.Lookup("a")
+	pid, _ := s.Lookup("p")
+	cid, _ := s.Lookup("c")
+	if !s.Has(aid, pid, cid) {
+		t.Error("Has must re-freeze after mutation")
+	}
+}
+
+func TestMissingLookups(t *testing.T) {
+	s := NewStore()
+	s.Add("a", "p", "b")
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Error("unknown term found")
+	}
+	if s.Objects(99, 98) != nil {
+		t.Error("objects of unknown ids should be nil")
+	}
+	if s.TermOf(12345) != "" {
+		t.Error("unknown id must map to empty string")
+	}
+}

@@ -1,0 +1,107 @@
+package shapes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparqlog/internal/graph"
+)
+
+// TestCumulativeHierarchyInvariants verifies, over random graphs, the
+// subsumption relations that make Table 4's rows cumulative:
+//
+//	single edge => chain => chain set
+//	chain => tree => forest
+//	star => tree ; cycle => flower ; tree => flower (connected)
+//	flower => flower set ; forest => flower set
+//	forest <=> treewidth <= 1 (for graphs with edges)
+//	flower set => treewidth <= 2
+func TestCumulativeHierarchyInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(13))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		g := graph.New(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := Classify(g)
+		if r.SingleEdge && !r.Chain {
+			return false
+		}
+		if r.Chain && !r.ChainSet {
+			return false
+		}
+		if r.Chain && !r.Tree {
+			return false
+		}
+		if r.Star && !r.Tree {
+			return false
+		}
+		if r.Tree && !r.Forest {
+			return false
+		}
+		if r.Tree && !r.Flower {
+			return false
+		}
+		if r.Cycle && !r.Flower {
+			return false
+		}
+		if r.Flower && !r.FlowerSet {
+			return false
+		}
+		if r.Forest && !r.FlowerSet {
+			return false
+		}
+		// Self-loops break acyclicity but do not affect treewidth, so the
+		// forest <=> treewidth<=1 equivalence only holds loop-free.
+		if g.Loops() == 0 && g.M() > 0 && r.Forest != (r.Treewidth <= 1) {
+			return false
+		}
+		if r.FlowerSet && !(r.Treewidth >= 0 && r.Treewidth <= 2) {
+			return false
+		}
+		// Girth consistency: acyclic iff girth 0 (for loop-free graphs).
+		if g.Loops() == 0 && r.Forest != (r.Girth == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTreewidthMonotoneUnderSubgraphs spot-checks that induced subgraphs
+// never have larger treewidth (a classic minor-monotonicity instance).
+func TestTreewidthMonotoneUnderSubgraphs(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(17))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		g := graph.New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		tw := g.Treewidth()
+		if tw < 0 {
+			return true
+		}
+		// Drop one node.
+		var keep []int
+		drop := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			if i != drop {
+				keep = append(keep, i)
+			}
+		}
+		sub, _ := g.Subgraph(keep)
+		stw := sub.Treewidth()
+		return stw <= tw
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

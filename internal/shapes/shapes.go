@@ -1,0 +1,210 @@
+// Package shapes builds the canonical graphs and hypergraphs of queries
+// (Section 5 of the paper) and classifies their shapes following the
+// cumulative scheme of Table 4: single edge, chain, chain set, star, tree,
+// forest, cycle, flower, flower set, treewidth <= 2, treewidth = 3.
+package shapes
+
+import (
+	"sparqlog/internal/graph"
+	"sparqlog/internal/hypergraph"
+	"sparqlog/internal/sparql"
+)
+
+// Options configures canonical graph construction.
+type Options struct {
+	// ExcludeConstants drops constant nodes (IRIs and literals in subject
+	// or object position) and their incident edges, for the paper's
+	// variables-only rerun of the shape analysis in Section 6.1.
+	ExcludeConstants bool
+	// CollapseEqual lists variable pairs to merge into one node, coming
+	// from simple filters of the form ?x = ?y (footnote 20).
+	CollapseEqual [][2]string
+}
+
+// termKey gives each distinct term a node identity. Variables and blank
+// nodes are scoped by name; constants by kind and full value.
+func termKey(t sparql.Term) string {
+	switch t.Kind {
+	case sparql.TermVar:
+		return "?" + t.Value
+	case sparql.TermBlank:
+		return "_:" + t.Value
+	case sparql.TermIRI:
+		return "<" + t.Value + ">"
+	default:
+		return "\"" + t.Value + "\"@" + t.Lang + "^^" + t.Datatype
+	}
+}
+
+// unionFind implements node collapsing for ?x = ?y filters.
+type unionFind struct{ parent map[string]string }
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// CanonicalGraph builds the canonical graph of the triple patterns: one
+// node per distinct subject/object term and an undirected edge {x, y} per
+// triple whose predicate is a constant. The second return reports whether
+// any triple uses a variable in predicate position, in which case the
+// canonical graph is not meaningful for cyclicity (Example 5.1) and the
+// hypergraph must be used instead.
+func CanonicalGraph(triples []*sparql.TriplePattern, opts Options) (*graph.Graph, bool) {
+	uf := newUnionFind()
+	for _, pair := range opts.CollapseEqual {
+		uf.union("?"+pair[0], "?"+pair[1])
+	}
+	hasVarPred := false
+	idx := make(map[string]int)
+	nodeOf := func(t sparql.Term) int {
+		k := uf.find(termKey(t))
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		i := len(idx)
+		idx[k] = i
+		return i
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for _, tp := range triples {
+		if tp.P.IsVar() {
+			hasVarPred = true
+		}
+		// The canonical graph's nodes are edge endpoints: when an edge is
+		// excluded (a constant endpoint in variables-only mode), neither
+		// endpoint contributes a node.
+		if opts.ExcludeConstants && (!tp.S.IsNodeVar() || !tp.O.IsNodeVar()) {
+			continue
+		}
+		edges = append(edges, edge{nodeOf(tp.S), nodeOf(tp.O)})
+	}
+	g := graph.New(len(idx))
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+	}
+	return g, hasVarPred
+}
+
+// CanonicalHypergraph builds the canonical hypergraph: one vertex per
+// variable or blank node, and per triple pattern one hyperedge containing
+// the variables and blank nodes appearing in it (Section 5). Triples with
+// no variables contribute nothing.
+func CanonicalHypergraph(triples []*sparql.TriplePattern, opts Options) *hypergraph.Hypergraph {
+	uf := newUnionFind()
+	for _, pair := range opts.CollapseEqual {
+		uf.union("?"+pair[0], "?"+pair[1])
+	}
+	idx := make(map[string]int)
+	vertexOf := func(t sparql.Term) (int, bool) {
+		if !t.IsNodeVar() {
+			return 0, false
+		}
+		k := uf.find(termKey(t))
+		if i, ok := idx[k]; ok {
+			return i, true
+		}
+		i := len(idx)
+		idx[k] = i
+		return i, true
+	}
+	type pend []int
+	var pendings []pend
+	for _, tp := range triples {
+		var e []int
+		for _, t := range []sparql.Term{tp.S, tp.P, tp.O} {
+			if v, ok := vertexOf(t); ok {
+				e = append(e, v)
+			}
+		}
+		if len(e) > 0 {
+			pendings = append(pendings, e)
+		}
+	}
+	h := hypergraph.New(len(idx))
+	for _, e := range pendings {
+		h.AddEdge(e...)
+	}
+	return h
+}
+
+// Report carries the full cumulative shape classification of one canonical
+// graph, mirroring the rows of Table 4.
+type Report struct {
+	SingleEdge bool
+	Chain      bool
+	ChainSet   bool
+	Star       bool
+	Tree       bool
+	Forest     bool
+	Cycle      bool
+	Flower     bool
+	FlowerSet  bool
+	Treewidth  int // exact; -1 if beyond the exact search bound
+	Girth      int // 0 when acyclic
+}
+
+// Classify computes the shape report of a canonical graph.
+func Classify(g *graph.Graph) Report {
+	r := Report{
+		SingleEdge: g.IsSingleEdge(),
+		Chain:      g.IsChain(),
+		ChainSet:   g.IsChainSet(),
+		Star:       g.IsStar(),
+		Tree:       g.IsTree(),
+		Forest:     g.IsForest(),
+		Cycle:      g.IsCycle(),
+		Flower:     g.IsFlower(),
+		FlowerSet:  g.IsFlowerSet(),
+		Treewidth:  g.Treewidth(),
+		Girth:      g.Girth(),
+	}
+	return r
+}
+
+// CumulativeClass returns the most specific label of the Table 4 hierarchy
+// for display purposes: the first class in the paper's row order that the
+// graph belongs to.
+func (r Report) CumulativeClass() string {
+	switch {
+	case r.SingleEdge:
+		return "single edge"
+	case r.Chain:
+		return "chain"
+	case r.ChainSet:
+		return "chain set"
+	case r.Star:
+		return "star"
+	case r.Tree:
+		return "tree"
+	case r.Forest:
+		return "forest"
+	case r.Cycle:
+		return "cycle"
+	case r.Flower:
+		return "flower"
+	case r.FlowerSet:
+		return "flower set"
+	case r.Treewidth >= 0 && r.Treewidth <= 2:
+		return "treewidth <= 2"
+	case r.Treewidth == 3:
+		return "treewidth = 3"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,182 @@
+package shapes
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+func triplesOf(t *testing.T, src string) []*sparql.TriplePattern {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Triples()
+}
+
+func TestCanonicalGraphChain(t *testing.T) {
+	// First query of Example 5.1: chain of three edges.
+	tr := triplesOf(t, "ASK WHERE {?x1 <a> ?x2 . ?x2 <b> ?x3 . ?x3 <c> ?x4}")
+	g, hasVarPred := CanonicalGraph(tr, Options{})
+	if hasVarPred {
+		t.Fatal("no variable predicates expected")
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("graph = %d nodes %d edges, want 4/3", g.N(), g.M())
+	}
+	r := Classify(g)
+	if !r.Chain || r.SingleEdge || r.Cycle {
+		t.Errorf("classification = %+v, want chain", r)
+	}
+	if r.Treewidth != 1 {
+		t.Errorf("treewidth = %d, want 1", r.Treewidth)
+	}
+}
+
+func TestCanonicalGraphVarPredFlag(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {?x1 ?x2 ?x3 . ?x3 <a> ?x4 . ?x4 ?x2 ?x5}")
+	g, hasVarPred := CanonicalGraph(tr, Options{})
+	if !hasVarPred {
+		t.Fatal("variable predicate must be flagged")
+	}
+	// The graph itself looks like a chain (the deceptive Example 5.1 case).
+	if !Classify(g).Chain {
+		t.Error("canonical graph of example should (misleadingly) be a chain")
+	}
+	// The hypergraph correctly captures cyclicity.
+	h := CanonicalHypergraph(tr, Options{})
+	if h.Acyclic() {
+		t.Error("hypergraph must be cyclic (join on ?x2)")
+	}
+	d, ok := h.GHW(3)
+	if !ok || d.Width != 2 {
+		t.Errorf("ghw = %+v, want 2", d)
+	}
+}
+
+func TestCanonicalGraphCycle(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {?a <p> ?b . ?b <p> ?c . ?c <p> ?a}")
+	g, _ := CanonicalGraph(tr, Options{})
+	r := Classify(g)
+	if !r.Cycle || r.Girth != 3 || r.Treewidth != 2 {
+		t.Errorf("r = %+v, want cycle girth 3 tw 2", r)
+	}
+	if !r.Flower || !r.FlowerSet {
+		t.Error("cycle should be flower and flower set")
+	}
+}
+
+func TestConstantsAreNodes(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {?x <p> <c> . ?y <p> <c>}")
+	g, _ := CanonicalGraph(tr, Options{})
+	// ?x - <c> - ?y: a chain through the shared constant.
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("graph = %d/%d, want 3/2", g.N(), g.M())
+	}
+	if !Classify(g).Chain {
+		t.Error("should be a chain through the constant")
+	}
+	// Excluding constants, only isolated variables remain: no edges.
+	g2, _ := CanonicalGraph(tr, Options{ExcludeConstants: true})
+	if g2.M() != 0 {
+		t.Errorf("variables-only graph edges = %d, want 0", g2.M())
+	}
+}
+
+func TestSameConstantDifferentKindDistinct(t *testing.T) {
+	// IRI <v> and literal "v" must be distinct nodes.
+	tr := triplesOf(t, `ASK WHERE {?x <p> <v> . ?y <p> "v"}`)
+	g, _ := CanonicalGraph(tr, Options{})
+	if g.N() != 4 {
+		t.Errorf("nodes = %d, want 4", g.N())
+	}
+}
+
+func TestCollapseEqualFilter(t *testing.T) {
+	// A 4-chain whose endpoints are equated by a filter becomes a cycle.
+	tr := triplesOf(t, "ASK WHERE {?a <p> ?b . ?b <p> ?c . ?c <p> ?d}")
+	g, _ := CanonicalGraph(tr, Options{CollapseEqual: [][2]string{{"a", "d"}}})
+	r := Classify(g)
+	if !r.Cycle || r.Girth != 3 {
+		t.Errorf("collapsed graph = %+v, want cycle of length 3", r)
+	}
+}
+
+func TestSelfLoopFromReflexiveTriple(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {?x <p> ?x}")
+	g, _ := CanonicalGraph(tr, Options{})
+	if g.Loops() != 1 {
+		t.Fatalf("loops = %d, want 1", g.Loops())
+	}
+	r := Classify(g)
+	if r.Forest {
+		t.Error("self-loop is not a forest")
+	}
+	if r.Girth != 1 {
+		t.Errorf("girth = %d, want 1", r.Girth)
+	}
+}
+
+func TestStarQuery(t *testing.T) {
+	tr := triplesOf(t, `ASK WHERE {?s <a> ?o1 . ?s <b> ?o2 . ?s <c> ?o3 . ?s <d> ?o4}`)
+	g, _ := CanonicalGraph(tr, Options{})
+	r := Classify(g)
+	if !r.Star || !r.Tree {
+		t.Errorf("r = %+v, want star", r)
+	}
+	if r.Chain {
+		t.Error("a 4-leaf star is not a chain")
+	}
+}
+
+func TestFlowerQueryClassification(t *testing.T) {
+	// Center ?c with one petal (two paths to ?t) and two stamens.
+	src := `ASK WHERE {
+		?c <p1> ?a . ?a <p2> ?t .
+		?c <p3> ?b . ?b <p4> ?t .
+		?c <p5> ?s1 .
+		?c <p6> ?s2 . ?s2 <p7> ?s3
+	}`
+	tr := triplesOf(t, src)
+	g, _ := CanonicalGraph(tr, Options{})
+	r := Classify(g)
+	if !r.Flower || r.Forest || r.Cycle {
+		t.Errorf("r = %+v (class %s), want flower", r, r.CumulativeClass())
+	}
+	if r.CumulativeClass() != "flower" {
+		t.Errorf("class = %s, want flower", r.CumulativeClass())
+	}
+	if r.Treewidth != 2 {
+		t.Errorf("tw = %d, want 2", r.Treewidth)
+	}
+}
+
+func TestHypergraphSkipsConstants(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {<s> <p> <o> . ?x <p> ?y}")
+	h := CanonicalHypergraph(tr, Options{})
+	if h.N() != 2 || h.NumEdges() != 1 {
+		t.Errorf("hypergraph = %d vertices %d edges, want 2/1", h.N(), h.NumEdges())
+	}
+}
+
+func TestBlankNodesAreHypergraphVertices(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {_:b <p> ?x . ?x <q> _:b}")
+	h := CanonicalHypergraph(tr, Options{})
+	if h.N() != 2 {
+		t.Errorf("vertices = %d, want 2 (blank node counts)", h.N())
+	}
+	// Two hyperedges over the same vertex pair collapse under GYO, so the
+	// hypergraph is alpha-acyclic.
+	if !h.Acyclic() {
+		t.Error("duplicate vertex-pair edges must be acyclic")
+	}
+}
+
+func TestCumulativeClassOrder(t *testing.T) {
+	tr := triplesOf(t, "ASK WHERE {?a <p> ?b}")
+	g, _ := CanonicalGraph(tr, Options{})
+	if got := Classify(g).CumulativeClass(); got != "single edge" {
+		t.Errorf("class = %s, want single edge", got)
+	}
+}

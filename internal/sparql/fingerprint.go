@@ -1,0 +1,235 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a canonical text form of the query in which
+// variables are renamed to ?v0, ?v1, ... in first-occurrence order and
+// prefixed names are expanded against the prologue. Two queries that
+// differ only in whitespace, prefix declarations, or variable names get
+// equal fingerprints, enabling structural deduplication — a refinement
+// over the paper's exact-text dedup that its Section 2 implicitly uses
+// (the USEWOD anonymisation already normalized whitespace).
+func Fingerprint(q *Query) string {
+	fp := &fingerprinter{
+		prefixes: make(map[string]string, len(q.Prologue.Prefixes)),
+		names:    make(map[string]string),
+	}
+	for _, p := range q.Prologue.Prefixes {
+		fp.prefixes[p.Name] = p.IRI
+	}
+	clone := fp.rewriteQuery(q)
+	// Drop the prologue: prefixes were expanded away.
+	clone.Prologue = Prologue{}
+	return clone.String()
+}
+
+type fingerprinter struct {
+	prefixes map[string]string
+	names    map[string]string
+	next     int
+}
+
+func (fp *fingerprinter) renameVar(name string) string {
+	if nn, ok := fp.names[name]; ok {
+		return nn
+	}
+	nn := "v" + strconv.Itoa(fp.next)
+	fp.next++
+	fp.names[name] = nn
+	return nn
+}
+
+func (fp *fingerprinter) term(t Term) Term {
+	switch t.Kind {
+	case TermVar:
+		t.Value = fp.renameVar(t.Value)
+	case TermBlank:
+		// Blank nodes are scoped like variables; canonicalize them in
+		// the same namespace so labels do not matter.
+		t.Value = fp.renameVar("_:" + t.Value)
+	case TermIRI:
+		if t.PrefixedForm {
+			if i := strings.IndexByte(t.Value, ':'); i >= 0 {
+				if base, ok := fp.prefixes[t.Value[:i]]; ok {
+					t.Value = base + t.Value[i+1:]
+					t.PrefixedForm = false
+				}
+			}
+		}
+	}
+	return t
+}
+
+func (fp *fingerprinter) rewriteQuery(q *Query) *Query {
+	out := *q
+	out.Select = nil
+	for _, it := range q.Select {
+		ni := SelectItem{Var: fp.term(it.Var)}
+		if it.Expr != nil {
+			ni.Expr = fp.expr(it.Expr)
+		}
+		out.Select = append(out.Select, ni)
+	}
+	out.DescribeTerms = nil
+	for _, t := range q.DescribeTerms {
+		out.DescribeTerms = append(out.DescribeTerms, fp.term(t))
+	}
+	out.Template = nil
+	for _, t := range q.Template {
+		nt := &TriplePattern{S: fp.term(t.S), P: fp.term(t.P), O: fp.term(t.O)}
+		out.Template = append(out.Template, nt)
+	}
+	out.Datasets = nil
+	for _, d := range q.Datasets {
+		out.Datasets = append(out.Datasets, DatasetClause{Named: d.Named, IRI: fp.term(d.IRI)})
+	}
+	out.Where = fp.pattern(q.Where)
+	out.Mods = fp.modifiers(q.Mods)
+	if q.TrailingValues != nil {
+		out.TrailingValues = fp.inlineData(q.TrailingValues)
+	}
+	return &out
+}
+
+func (fp *fingerprinter) modifiers(m Modifiers) Modifiers {
+	out := m
+	out.GroupBy = nil
+	for _, gk := range m.GroupBy {
+		ngk := GroupKey{Expr: fp.expr(gk.Expr), AsVar: gk.AsVar}
+		if gk.AsVar {
+			ngk.Var = fp.term(gk.Var)
+		}
+		out.GroupBy = append(out.GroupBy, ngk)
+	}
+	out.Having = nil
+	for _, h := range m.Having {
+		out.Having = append(out.Having, fp.expr(h))
+	}
+	out.OrderBy = nil
+	for _, ok := range m.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderKey{Desc: ok.Desc, Explicit: ok.Explicit, Expr: fp.expr(ok.Expr)})
+	}
+	return out
+}
+
+func (fp *fingerprinter) pattern(p Pattern) Pattern {
+	switch n := p.(type) {
+	case nil:
+		return nil
+	case *TriplePattern:
+		return &TriplePattern{S: fp.term(n.S), P: fp.term(n.P), O: fp.term(n.O)}
+	case *PathPattern:
+		return &PathPattern{S: fp.term(n.S), Path: fp.path(n.Path), O: fp.term(n.O)}
+	case *Group:
+		out := &Group{}
+		for _, el := range n.Elems {
+			out.Elems = append(out.Elems, fp.pattern(el))
+		}
+		return out
+	case *Union:
+		return &Union{Left: fp.pattern(n.Left), Right: fp.pattern(n.Right)}
+	case *Optional:
+		return &Optional{Inner: fp.pattern(n.Inner)}
+	case *GraphGraph:
+		return &GraphGraph{Name: fp.term(n.Name), Inner: fp.pattern(n.Inner)}
+	case *MinusGraph:
+		return &MinusGraph{Inner: fp.pattern(n.Inner)}
+	case *ServiceGraph:
+		return &ServiceGraph{Silent: n.Silent, Name: fp.term(n.Name), Inner: fp.pattern(n.Inner)}
+	case *Filter:
+		return &Filter{Constraint: fp.expr(n.Constraint)}
+	case *Bind:
+		return &Bind{Expr: fp.expr(n.Expr), Var: fp.term(n.Var)}
+	case *InlineData:
+		return fp.inlineData(n)
+	case *SubSelect:
+		return &SubSelect{Query: fp.rewriteQuery(n.Query)}
+	}
+	return p
+}
+
+func (fp *fingerprinter) inlineData(vd *InlineData) *InlineData {
+	out := &InlineData{Undef: vd.Undef}
+	for _, v := range vd.Vars {
+		out.Vars = append(out.Vars, fp.term(v))
+	}
+	for _, row := range vd.Rows {
+		nrow := make([]Term, len(row))
+		for i, t := range row {
+			nrow[i] = fp.term(t)
+		}
+		out.Rows = append(out.Rows, nrow)
+	}
+	return out
+}
+
+func (fp *fingerprinter) expr(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *TermExpr:
+		return &TermExpr{Term: fp.term(n.Term)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: n.Op, L: fp.expr(n.L), R: fp.expr(n.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: n.Op, X: fp.expr(n.X)}
+	case *FuncCall:
+		out := &FuncCall{Name: n.Name, IRICall: n.IRICall, Distinct: n.Distinct}
+		for _, a := range n.Args {
+			out.Args = append(out.Args, fp.expr(a))
+		}
+		return out
+	case *AggregateExpr:
+		out := *n
+		out.Arg = fp.expr(n.Arg)
+		return &out
+	case *ExistsExpr:
+		return &ExistsExpr{Not: n.Not, Pattern: fp.pattern(n.Pattern)}
+	case *InExpr:
+		out := &InExpr{X: fp.expr(n.X), Not: n.Not}
+		for _, a := range n.List {
+			out.List = append(out.List, fp.expr(a))
+		}
+		return out
+	}
+	return e
+}
+
+func (fp *fingerprinter) path(p PathExpr) PathExpr {
+	switch n := p.(type) {
+	case *PathIRI:
+		iri := n.IRI
+		if i := strings.IndexByte(iri, ':'); i >= 0 && !strings.Contains(iri, "://") {
+			if base, ok := fp.prefixes[iri[:i]]; ok {
+				iri = base + iri[i+1:]
+			}
+		}
+		return &PathIRI{IRI: iri}
+	case *PathInverse:
+		return &PathInverse{X: fp.path(n.X)}
+	case *PathSeq:
+		out := &PathSeq{}
+		for _, part := range n.Parts {
+			out.Parts = append(out.Parts, fp.path(part))
+		}
+		return out
+	case *PathAlt:
+		out := &PathAlt{}
+		for _, part := range n.Parts {
+			out.Parts = append(out.Parts, fp.path(part))
+		}
+		return out
+	case *PathMod:
+		return &PathMod{X: fp.path(n.X), Mod: n.Mod}
+	case *PathNeg:
+		out := &PathNeg{}
+		for _, part := range n.Set {
+			out.Set = append(out.Set, fp.path(part))
+		}
+		return out
+	}
+	return p
+}

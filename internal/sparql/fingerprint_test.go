@@ -1,0 +1,96 @@
+package sparql
+
+import "testing"
+
+func fpOf(t *testing.T, src string) string {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Fingerprint(q)
+}
+
+func TestFingerprintVariableRenaming(t *testing.T) {
+	a := fpOf(t, "SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z }")
+	b := fpOf(t, "SELECT ?subject WHERE { ?subject <p> ?o . ?o <q> ?val }")
+	if a != b {
+		t.Errorf("alpha-equivalent queries differ:\n a: %s\n b: %s", a, b)
+	}
+	// Different structure must differ.
+	c := fpOf(t, "SELECT ?x WHERE { ?x <p> ?y . ?x <q> ?z }")
+	if a == c {
+		t.Error("structurally different queries must not collide")
+	}
+}
+
+func TestFingerprintPrefixExpansion(t *testing.T) {
+	a := fpOf(t, "PREFIX ex: <http://ex/> SELECT * WHERE { ?s ex:p ?o }")
+	b := fpOf(t, "SELECT * WHERE { ?s <http://ex/p> ?o }")
+	if a != b {
+		t.Errorf("prefix expansion failed:\n a: %s\n b: %s", a, b)
+	}
+	// A different prefix name binding the same IRI is also equal.
+	c := fpOf(t, "PREFIX zz: <http://ex/> SELECT * WHERE { ?s zz:p ?o }")
+	if a != c {
+		t.Errorf("prefix name should not matter:\n a: %s\n c: %s", a, c)
+	}
+}
+
+func TestFingerprintWhitespaceInsensitive(t *testing.T) {
+	a := fpOf(t, "SELECT ?x WHERE { ?x <p> ?y }")
+	b := fpOf(t, "SELECT   ?x\nWHERE {\n\t?x   <p>\t?y\n}")
+	if a != b {
+		t.Error("whitespace must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintBlankNodes(t *testing.T) {
+	a := fpOf(t, "SELECT * WHERE { _:a <p> ?x }")
+	b := fpOf(t, "SELECT * WHERE { _:zzz <p> ?y }")
+	if a != b {
+		t.Error("blank node labels must not matter")
+	}
+}
+
+func TestFingerprintCoversClauses(t *testing.T) {
+	// Smoke over feature-rich queries: fingerprints must be stable
+	// (computing twice gives the same string) and parseable.
+	srcs := []string{
+		`PREFIX ex: <http://ex/> SELECT DISTINCT ?a (COUNT(?b) AS ?n)
+		 WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } FILTER(?c > 3)
+		 { ?a ex:r ?d } UNION { ?a ex:s ?d } MINUS { ?a ex:t ?x }
+		 BIND(str(?a) AS ?w) VALUES ?d { ex:v1 ex:v2 } }
+		 GROUP BY ?a HAVING (COUNT(?b) > 1) ORDER BY DESC(?n) LIMIT 5 OFFSET 2`,
+		`ASK { ?x <http://ex/a>/^<http://ex/b>* ?y FILTER NOT EXISTS { ?x <http://ex/c> ?z } }`,
+		`PREFIX ex: <http://ex/> CONSTRUCT { ?s ex:p ?o } WHERE { ?s ex:q ?o }`,
+		`DESCRIBE ?x WHERE { ?x <http://ex/a> ?y } LIMIT 3`,
+		`SELECT ?s WHERE { { SELECT ?s WHERE { ?s <http://ex/p> ?q } LIMIT 2 } }`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		f1 := Fingerprint(q)
+		f2 := Fingerprint(q)
+		if f1 != f2 {
+			t.Errorf("fingerprint not deterministic for %s", src)
+		}
+		if _, err := Parse(f1); err != nil {
+			t.Errorf("fingerprint is not valid SPARQL: %v\n%s", err, f1)
+		}
+	}
+}
+
+func TestFingerprintDoesNotMutateOriginal(t *testing.T) {
+	q, err := Parse("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := q.String()
+	Fingerprint(q)
+	if q.String() != before {
+		t.Error("Fingerprint must not mutate the query")
+	}
+}

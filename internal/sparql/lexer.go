@@ -1,0 +1,563 @@
+package sparql
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns SPARQL source text into a stream of tokens.
+//
+// The lexer is hand-written for speed: query-log analysis tokenizes hundreds
+// of millions of small queries, so it avoids regular expressions and
+// allocates only for token text that requires escape decoding.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errorf(pos Position, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: sprintf(format, args...)}
+}
+
+// sprintf is a tiny indirection so the lexer does not import fmt on the
+// hot path (token.go already imports it for names).
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmtSprintf(format, args...)
+}
+
+func (l *Lexer) position() Position {
+	return Position{Offset: l.pos, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == 0x0b:
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.position()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.advance(1)
+		return Token{Kind: LBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		l.advance(1)
+		return Token{Kind: RBrace, Text: "}", Pos: pos}, nil
+	case '(':
+		// NIL: '(' WS* ')'
+		if tok, ok := l.tryCompound(')', NIL, "()"); ok {
+			tok.Pos = pos
+			return tok, nil
+		}
+		l.advance(1)
+		return Token{Kind: LParen, Text: "(", Pos: pos}, nil
+	case ')':
+		l.advance(1)
+		return Token{Kind: RParen, Text: ")", Pos: pos}, nil
+	case '[':
+		// ANON: '[' WS* ']'
+		if tok, ok := l.tryCompound(']', ANON, "[]"); ok {
+			tok.Pos = pos
+			return tok, nil
+		}
+		l.advance(1)
+		return Token{Kind: LBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		l.advance(1)
+		return Token{Kind: RBracket, Text: "]", Pos: pos}, nil
+	case ';':
+		l.advance(1)
+		return Token{Kind: Semicolon, Text: ";", Pos: pos}, nil
+	case ',':
+		l.advance(1)
+		return Token{Kind: Comma, Text: ",", Pos: pos}, nil
+	case '=':
+		l.advance(1)
+		return Token{Kind: Eq, Text: "=", Pos: pos}, nil
+	case '!':
+		if l.peekByteAt(1) == '=' {
+			l.advance(2)
+			return Token{Kind: Neq, Text: "!=", Pos: pos}, nil
+		}
+		l.advance(1)
+		return Token{Kind: Bang, Text: "!", Pos: pos}, nil
+	case '<':
+		return l.lexLtOrIRI(pos)
+	case '>':
+		if l.peekByteAt(1) == '=' {
+			l.advance(2)
+			return Token{Kind: Ge, Text: ">=", Pos: pos}, nil
+		}
+		l.advance(1)
+		return Token{Kind: Gt, Text: ">", Pos: pos}, nil
+	case '&':
+		if l.peekByteAt(1) == '&' {
+			l.advance(2)
+			return Token{Kind: AndAnd, Text: "&&", Pos: pos}, nil
+		}
+		return Token{}, l.errorf(pos, "unexpected '&'")
+	case '|':
+		if l.peekByteAt(1) == '|' {
+			l.advance(2)
+			return Token{Kind: OrOr, Text: "||", Pos: pos}, nil
+		}
+		l.advance(1)
+		return Token{Kind: Pipe, Text: "|", Pos: pos}, nil
+	case '+':
+		l.advance(1)
+		return Token{Kind: Plus, Text: "+", Pos: pos}, nil
+	case '-':
+		l.advance(1)
+		return Token{Kind: Minus, Text: "-", Pos: pos}, nil
+	case '*':
+		l.advance(1)
+		return Token{Kind: Star, Text: "*", Pos: pos}, nil
+	case '/':
+		l.advance(1)
+		return Token{Kind: Slash, Text: "/", Pos: pos}, nil
+	case '^':
+		if l.peekByteAt(1) == '^' {
+			l.advance(2)
+			return Token{Kind: CaretCaret, Text: "^^", Pos: pos}, nil
+		}
+		l.advance(1)
+		return Token{Kind: Caret, Text: "^", Pos: pos}, nil
+	case '?', '$':
+		return l.lexVarOrQuestion(pos)
+	case '@':
+		return l.lexLangTag(pos)
+	case '\'', '"':
+		return l.lexString(pos)
+	case '_':
+		if l.peekByteAt(1) == ':' {
+			return l.lexBlankNode(pos)
+		}
+		return l.lexIdentOrPName(pos)
+	case '.':
+		// A dot may start a number (.5) or be the triple terminator.
+		if isDigit(l.peekByteAt(1)) {
+			return l.lexNumber(pos)
+		}
+		l.advance(1)
+		return Token{Kind: Dot, Text: ".", Pos: pos}, nil
+	}
+	if isDigit(c) {
+		return l.lexNumber(pos)
+	}
+	if isPNCharsBase(l.peekRune()) || c == ':' {
+		return l.lexIdentOrPName(pos)
+	}
+	return Token{}, l.errorf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// tryCompound matches '(' WS* ')' style two-character tokens that may have
+// interior whitespace (NIL and ANON).
+func (l *Lexer) tryCompound(closer byte, kind TokenKind, text string) (Token, bool) {
+	i := l.pos + 1
+	for i < len(l.src) {
+		c := l.src[i]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			i++
+			continue
+		}
+		if c == closer {
+			l.advance(i + 1 - l.pos)
+			return Token{Kind: kind, Text: text}, true
+		}
+		return Token{}, false
+	}
+	return Token{}, false
+}
+
+func (l *Lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+// lexLtOrIRI disambiguates '<' between an IRIREF and the less-than operator.
+// An IRIREF is a '<' followed by characters excluding control characters,
+// space, and <>"{}|^` and backslash, terminated by '>'. Anything else is the
+// operator.
+func (l *Lexer) lexLtOrIRI(pos Position) (Token, error) {
+	if l.peekByteAt(1) == '=' {
+		l.advance(2)
+		return Token{Kind: Le, Text: "<=", Pos: pos}, nil
+	}
+	i := l.pos + 1
+	for i < len(l.src) {
+		c := l.src[i]
+		if c == '>' {
+			text := l.src[l.pos+1 : i]
+			l.advance(i + 1 - l.pos)
+			return Token{Kind: IRIRef, Text: text, Pos: pos}, nil
+		}
+		if c <= 0x20 || c == '<' || c == '"' || c == '{' || c == '}' || c == '|' || c == '^' || c == '`' || c == '\\' {
+			break
+		}
+		i++
+	}
+	l.advance(1)
+	return Token{Kind: Lt, Text: "<", Pos: pos}, nil
+}
+
+// lexVarOrQuestion lexes ?name and $name variables; a bare '?' (as used for
+// the zero-or-one path modifier) is returned as a Question token.
+func (l *Lexer) lexVarOrQuestion(pos Position) (Token, error) {
+	lead := l.src[l.pos]
+	r, size := utf8.DecodeRuneInString(l.src[l.pos+1:])
+	if !isVarNameStart(r) {
+		if lead == '$' {
+			return Token{}, l.errorf(pos, "'$' must start a variable name")
+		}
+		l.advance(1)
+		return Token{Kind: Question, Text: "?", Pos: pos}, nil
+	}
+	i := l.pos + 1 + size
+	for i < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[i:])
+		if !isVarNameCont(r) {
+			break
+		}
+		i += size
+	}
+	text := l.src[l.pos+1 : i]
+	l.advance(i - l.pos)
+	return Token{Kind: Var, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) lexLangTag(pos Position) (Token, error) {
+	i := l.pos + 1
+	start := i
+	for i < len(l.src) && (isAlpha(l.src[i]) || (i > start && (isDigit(l.src[i]) || l.src[i] == '-'))) {
+		i++
+	}
+	if i == start {
+		return Token{}, l.errorf(pos, "expected language tag after '@'")
+	}
+	text := l.src[start:i]
+	l.advance(i - l.pos)
+	return Token{Kind: LangTag, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) lexBlankNode(pos Position) (Token, error) {
+	i := l.pos + 2 // skip "_:"
+	start := i
+	for i < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[i:])
+		if !isPNChars(r) && r != '.' {
+			break
+		}
+		i += size
+	}
+	// Trailing dots belong to the statement, not the label.
+	for i > start && l.src[i-1] == '.' {
+		i--
+	}
+	if i == start {
+		return Token{}, l.errorf(pos, "expected blank node label after '_:'")
+	}
+	text := l.src[start:i]
+	l.advance(i - l.pos)
+	return Token{Kind: BlankNode, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) lexNumber(pos Position) (Token, error) {
+	i := l.pos
+	for i < len(l.src) && isDigit(l.src[i]) {
+		i++
+	}
+	if i < len(l.src) && l.src[i] == '.' {
+		j := i + 1
+		for j < len(l.src) && isDigit(l.src[j]) {
+			j++
+		}
+		// "1." followed by non-digit keeps the dot as triple terminator
+		// only when no exponent follows; SPARQL allows "1." as a decimal,
+		// but logs overwhelmingly use it as INTEGER DOT, so we only absorb
+		// the dot when digits follow.
+		if j > i+1 {
+			i = j
+		}
+	}
+	if i < len(l.src) && (l.src[i] == 'e' || l.src[i] == 'E') {
+		j := i + 1
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		k := j
+		for k < len(l.src) && isDigit(l.src[k]) {
+			k++
+		}
+		if k > j {
+			i = k
+		}
+	}
+	text := l.src[l.pos:i]
+	l.advance(i - l.pos)
+	return Token{Kind: NumberLit, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) lexString(pos Position) (Token, error) {
+	quote := l.src[l.pos]
+	long := false
+	if l.peekByteAt(1) == quote && l.peekByteAt(2) == quote {
+		long = true
+		l.advance(3)
+	} else {
+		l.advance(1)
+	}
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' {
+			esc := l.peekByteAt(1)
+			switch esc {
+			case 't':
+				sb.WriteByte('\t')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'f':
+				sb.WriteByte('\f')
+			case '"', '\'', '\\':
+				sb.WriteByte(esc)
+			case 'u', 'U':
+				n := 4
+				if esc == 'U' {
+					n = 8
+				}
+				if l.pos+2+n > len(l.src) {
+					return Token{}, l.errorf(pos, "truncated unicode escape")
+				}
+				hex := l.src[l.pos+2 : l.pos+2+n]
+				v, err := parseHex(hex)
+				if err != nil {
+					return Token{}, l.errorf(pos, "bad unicode escape \\%c%s", esc, hex)
+				}
+				sb.WriteRune(rune(v))
+				l.advance(2 + n)
+				continue
+			default:
+				return Token{}, l.errorf(pos, "bad escape sequence \\%c", esc)
+			}
+			l.advance(2)
+			continue
+		}
+		if long {
+			if c == quote && l.peekByteAt(1) == quote && l.peekByteAt(2) == quote {
+				l.advance(3)
+				return Token{Kind: StringLit, Text: sb.String(), Pos: pos}, nil
+			}
+			sb.WriteByte(c)
+			l.advance(1)
+			continue
+		}
+		if c == quote {
+			l.advance(1)
+			return Token{Kind: StringLit, Text: sb.String(), Pos: pos}, nil
+		}
+		if c == '\n' || c == '\r' {
+			return Token{}, l.errorf(pos, "newline in string literal")
+		}
+		sb.WriteByte(c)
+		l.advance(1)
+	}
+	return Token{}, l.errorf(pos, "unterminated string literal")
+}
+
+// lexIdentOrPName lexes bare identifiers (keywords, boolean literals,
+// builtin names) and prefixed names such as foaf:name or rdf: .
+func (l *Lexer) lexIdentOrPName(pos Position) (Token, error) {
+	i := l.pos
+	// Prefix part: PN_CHARS_BASE (PN_CHARS | '.')* — may be empty (":x").
+	for i < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[i:])
+		if i == l.pos {
+			if !isPNCharsBase(r) {
+				break
+			}
+		} else if !isPNChars(r) && r != '.' {
+			break
+		}
+		i += size
+	}
+	// Trailing dots are statement terminators, not name parts.
+	for i > l.pos && l.src[i-1] == '.' {
+		i--
+	}
+	if i >= len(l.src) || l.src[i] != ':' {
+		// Bare identifier (keyword, function name, or 'a').
+		if i == l.pos {
+			if l.src[l.pos] == ':' {
+				i = l.pos // empty prefix, fall through to PName
+			} else {
+				return Token{}, l.errorf(pos, "unexpected character %q", string(l.peekRune()))
+			}
+		} else {
+			text := l.src[l.pos:i]
+			l.advance(i - l.pos)
+			if text == "a" {
+				return Token{Kind: A, Text: "a", Pos: pos}, nil
+			}
+			return Token{Kind: Ident, Text: text, Pos: pos}, nil
+		}
+	}
+	// PName: consume ':' and local part.
+	i++ // ':'
+	start := i
+	for i < len(l.src) {
+		// Local names allow PN_CHARS, '.', ':', '%XX' escapes and
+		// backslash escapes of punctuation (PN_LOCAL_ESC).
+		c := l.src[i]
+		if c == '%' && i+2 < len(l.src) && isHex(l.src[i+1]) && isHex(l.src[i+2]) {
+			i += 3
+			continue
+		}
+		if c == '\\' && i+1 < len(l.src) && isLocalEsc(l.src[i+1]) {
+			i += 2
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(l.src[i:])
+		if i == start {
+			if !isPNChars(r) && r != ':' && !isDigit(byte(r&0x7f)) {
+				break
+			}
+		} else if !isPNChars(r) && r != '.' && r != ':' {
+			break
+		}
+		i += size
+	}
+	for i > start && l.src[i-1] == '.' {
+		i--
+	}
+	text := l.src[l.pos:i]
+	l.advance(i - l.pos)
+	return Token{Kind: PName, Text: text, Pos: pos}, nil
+}
+
+// Character class helpers.
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+func isHex(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+func isLocalEsc(c byte) bool {
+	switch c {
+	case '_', '~', '.', '-', '!', '$', '&', '\'', '(', ')', '*', '+', ',', ';', '=', '/', '?', '#', '@', '%':
+		return true
+	}
+	return false
+}
+
+func isPNCharsBase(r rune) bool {
+	if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+		return true
+	}
+	if r < 0x80 {
+		return false
+	}
+	return unicode.IsLetter(r)
+}
+
+func isPNChars(r rune) bool {
+	if isPNCharsBase(r) || r == '_' || r == '-' {
+		return true
+	}
+	if r >= '0' && r <= '9' {
+		return true
+	}
+	if r == 0xB7 {
+		return true
+	}
+	return r >= 0x300 && r <= 0x36F || unicode.IsDigit(r)
+}
+
+func isVarNameStart(r rune) bool {
+	return isPNCharsBase(r) || r == '_' || (r >= '0' && r <= '9')
+}
+
+func isVarNameCont(r rune) bool {
+	return isVarNameStart(r) || r == 0xB7 || (r >= 0x300 && r <= 0x36F) || unicode.IsDigit(r)
+}
+
+func parseHex(s string) (int64, error) {
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, &SyntaxError{Msg: "bad hex digit"}
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}

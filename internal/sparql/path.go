@@ -1,0 +1,160 @@
+package sparql
+
+import "strings"
+
+// PathExpr is a SPARQL 1.1 property-path expression: a regular expression
+// over IRIs with inversion (^) and negated property sets (!).
+// Implementations: *PathIRI, *PathInverse, *PathSeq, *PathAlt, *PathMod,
+// *PathNeg.
+type PathExpr interface {
+	path()
+}
+
+// PathIRI is an atomic path: a single predicate IRI (or the keyword 'a').
+type PathIRI struct {
+	IRI string
+}
+
+// PathInverse is ^elt: follow an edge in reverse direction.
+type PathInverse struct {
+	X PathExpr
+}
+
+// PathSeq is p1 / p2 / ... / pk.
+type PathSeq struct {
+	Parts []PathExpr
+}
+
+// PathAlt is p1 | p2 | ... | pk.
+type PathAlt struct {
+	Parts []PathExpr
+}
+
+// PathMod applies a repetition modifier: '*', '+', or '?'.
+type PathMod struct {
+	X   PathExpr
+	Mod byte
+}
+
+// PathNeg is a negated property set !(iri1 | ^iri2 | ...). Elements are
+// *PathIRI or *PathInverse of *PathIRI.
+type PathNeg struct {
+	Set []PathExpr
+}
+
+func (*PathIRI) path()     {}
+func (*PathInverse) path() {}
+func (*PathSeq) path()     {}
+func (*PathAlt) path()     {}
+func (*PathMod) path()     {}
+func (*PathNeg) path()     {}
+
+// PathString renders a path expression in SPARQL syntax with minimal
+// parenthesization.
+func PathString(p PathExpr) string {
+	var sb strings.Builder
+	writePath(&sb, p, 0)
+	return sb.String()
+}
+
+// Precedence levels: alt(1) < seq(2) < inverse/mod(3) < atom(4).
+func pathPrec(p PathExpr) int {
+	switch p.(type) {
+	case *PathAlt:
+		return 1
+	case *PathSeq:
+		return 2
+	case *PathInverse, *PathMod:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func writePath(sb *strings.Builder, p PathExpr, parent int) {
+	prec := pathPrec(p)
+	paren := prec < parent
+	if paren {
+		sb.WriteByte('(')
+	}
+	switch n := p.(type) {
+	case *PathIRI:
+		writeIRIText(sb, n.IRI)
+	case *PathInverse:
+		sb.WriteByte('^')
+		writePath(sb, n.X, 4)
+	case *PathSeq:
+		for i, part := range n.Parts {
+			if i > 0 {
+				sb.WriteByte('/')
+			}
+			writePath(sb, part, 3)
+		}
+	case *PathAlt:
+		for i, part := range n.Parts {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			writePath(sb, part, 2)
+		}
+	case *PathMod:
+		writePath(sb, n.X, 4)
+		sb.WriteByte(n.Mod)
+	case *PathNeg:
+		sb.WriteByte('!')
+		if len(n.Set) == 1 {
+			writePath(sb, n.Set[0], 4)
+		} else {
+			sb.WriteByte('(')
+			for i, part := range n.Set {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				writePath(sb, part, 2)
+			}
+			sb.WriteByte(')')
+		}
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+func writeIRIText(sb *strings.Builder, iri string) {
+	if iri == RDFType {
+		sb.WriteString("a")
+		return
+	}
+	if strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") || strings.HasPrefix(iri, "mailto:") {
+		sb.WriteByte('<')
+		sb.WriteString(iri)
+		sb.WriteByte('>')
+		return
+	}
+	if strings.Contains(iri, ":") {
+		sb.WriteString(iri) // prefixed form, as written
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(iri)
+	sb.WriteByte('>')
+}
+
+// IsTrivialPath reports whether the path is one of the two forms the paper
+// excludes from the navigational analysis: !a ("follow an edge not labeled
+// a") and ^a ("follow an a-edge in reverse"). Plain IRIs never reach the
+// path classifier because the parser folds them into triple patterns.
+func IsTrivialPath(p PathExpr) bool {
+	switch n := p.(type) {
+	case *PathNeg:
+		if len(n.Set) != 1 {
+			return false
+		}
+		_, ok := n.Set[0].(*PathIRI)
+		return ok
+	case *PathInverse:
+		_, ok := n.X.(*PathIRI)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParserRobustnessUnderMutation is a lightweight fuzz: random byte
+// edits of valid queries must never panic the lexer or parser — they
+// either parse or return a SyntaxError.
+func TestParserRobustnessUnderMutation(t *testing.T) {
+	seeds := []string{
+		"SELECT * WHERE { ?s ?p ?o }",
+		"PREFIX ex: <http://ex/> SELECT DISTINCT ?s WHERE { ?s ex:p ?o FILTER(?o > 3) } LIMIT 5",
+		`ASK { ?x <a>/<b>* ?y . ?y <c> "lit"@en }`,
+		"CONSTRUCT { ?s <p> ?o } WHERE { { ?s <a> ?o } UNION { ?s <b> ?o } }",
+		"SELECT (COUNT(*) AS ?n) WHERE { GRAPH ?g { ?s ?p ?o } } GROUP BY ?g HAVING (COUNT(*) > 1)",
+		"SELECT ?x WHERE { ?x <p> [ <q> ( 1 2 3 ) ] OPTIONAL { ?x <r> _:b } }",
+	}
+	rng := rand.New(rand.NewSource(99))
+	bytesPool := []byte("{}()<>?$.;,\"'\\|^*+/!=&# \nSELECTWHEREFILTER0123456789abc:")
+	p := &Parser{}
+	for trial := 0; trial < 4000; trial++ {
+		src := []byte(seeds[rng.Intn(len(seeds))])
+		edits := 1 + rng.Intn(4)
+		for e := 0; e < edits; e++ {
+			switch rng.Intn(3) {
+			case 0: // replace
+				if len(src) > 0 {
+					src[rng.Intn(len(src))] = bytesPool[rng.Intn(len(bytesPool))]
+				}
+			case 1: // delete
+				if len(src) > 1 {
+					i := rng.Intn(len(src))
+					src = append(src[:i], src[i+1:]...)
+				}
+			default: // insert
+				i := rng.Intn(len(src) + 1)
+				src = append(src[:i], append([]byte{bytesPool[rng.Intn(len(bytesPool))]}, src[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			q, err := p.Parse(string(src))
+			// If it parsed, it must also serialize and re-parse.
+			if err == nil {
+				text := q.String()
+				if _, err2 := p.Parse(text); err2 != nil {
+					t.Fatalf("reparse of mutated-but-valid query failed:\noriginal: %s\nserialized: %s\nerror: %v",
+						src, text, err2)
+				}
+			}
+		}()
+	}
+}

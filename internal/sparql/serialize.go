@@ -1,0 +1,473 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the query back to SPARQL concrete syntax. The output
+// round-trips through Parse to a structurally identical AST (modulo
+// whitespace), which the serializer tests verify; this property lets the
+// synthetic log generator feed generated queries through the exact same
+// lex/parse pipeline the analyzer uses for real logs.
+func (q *Query) String() string {
+	var sb strings.Builder
+	writeQuery(&sb, q)
+	return sb.String()
+}
+
+func writeQuery(sb *strings.Builder, q *Query) {
+	if q.Prologue.Base != "" {
+		sb.WriteString("BASE <")
+		sb.WriteString(q.Prologue.Base)
+		sb.WriteString("> ")
+	}
+	for _, pd := range q.Prologue.Prefixes {
+		sb.WriteString("PREFIX ")
+		sb.WriteString(pd.Name)
+		sb.WriteString(": <")
+		sb.WriteString(pd.IRI)
+		sb.WriteString("> ")
+	}
+	switch q.Type {
+	case SelectQuery:
+		writeSelectCore(sb, q)
+	case AskQuery:
+		sb.WriteString("ASK")
+		writeDatasets(sb, q)
+		sb.WriteByte(' ')
+		writePattern(sb, q.Where)
+	case ConstructQuery:
+		sb.WriteString("CONSTRUCT")
+		if q.ConstructWhere {
+			writeDatasets(sb, q)
+			sb.WriteString(" WHERE ")
+			writePattern(sb, q.Where)
+		} else {
+			sb.WriteString(" { ")
+			for i, t := range q.Template {
+				if i > 0 {
+					sb.WriteString(" . ")
+				}
+				writeTriple(sb, t)
+			}
+			sb.WriteString(" }")
+			writeDatasets(sb, q)
+			sb.WriteString(" WHERE ")
+			writePattern(sb, q.Where)
+		}
+	case DescribeQuery:
+		sb.WriteString("DESCRIBE")
+		if q.DescribeStar {
+			sb.WriteString(" *")
+		}
+		for _, t := range q.DescribeTerms {
+			sb.WriteByte(' ')
+			writeTerm(sb, t)
+		}
+		writeDatasets(sb, q)
+		if q.Where != nil {
+			sb.WriteString(" WHERE ")
+			writePattern(sb, q.Where)
+		}
+	}
+	writeModifiers(sb, &q.Mods)
+	if q.TrailingValues != nil {
+		sb.WriteByte(' ')
+		writeValues(sb, q.TrailingValues)
+	}
+}
+
+func writeSelectCore(sb *strings.Builder, q *Query) {
+	sb.WriteString("SELECT")
+	if q.Distinct {
+		sb.WriteString(" DISTINCT")
+	}
+	if q.Reduced {
+		sb.WriteString(" REDUCED")
+	}
+	if q.SelectStar {
+		sb.WriteString(" *")
+	}
+	for _, it := range q.Select {
+		sb.WriteByte(' ')
+		if it.Expr != nil {
+			sb.WriteByte('(')
+			writeExpr(sb, it.Expr)
+			sb.WriteString(" AS ?")
+			sb.WriteString(it.Var.Value)
+			sb.WriteByte(')')
+		} else {
+			sb.WriteByte('?')
+			sb.WriteString(it.Var.Value)
+		}
+	}
+	writeDatasets(sb, q)
+	sb.WriteString(" WHERE ")
+	writePattern(sb, q.Where)
+}
+
+func writeDatasets(sb *strings.Builder, q *Query) {
+	for _, d := range q.Datasets {
+		sb.WriteString(" FROM ")
+		if d.Named {
+			sb.WriteString("NAMED ")
+		}
+		writeTerm(sb, d.IRI)
+	}
+}
+
+func writeModifiers(sb *strings.Builder, m *Modifiers) {
+	if len(m.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY")
+		for _, gk := range m.GroupBy {
+			sb.WriteByte(' ')
+			if gk.AsVar {
+				sb.WriteByte('(')
+				writeExpr(sb, gk.Expr)
+				sb.WriteString(" AS ?")
+				sb.WriteString(gk.Var.Value)
+				sb.WriteByte(')')
+			} else if te, ok := gk.Expr.(*TermExpr); ok && te.Term.Kind == TermVar {
+				sb.WriteByte('?')
+				sb.WriteString(te.Term.Value)
+			} else {
+				sb.WriteByte('(')
+				writeExpr(sb, gk.Expr)
+				sb.WriteByte(')')
+			}
+		}
+	}
+	if len(m.Having) > 0 {
+		sb.WriteString(" HAVING")
+		for _, h := range m.Having {
+			sb.WriteString(" (")
+			writeExpr(sb, h)
+			sb.WriteByte(')')
+		}
+	}
+	if len(m.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY")
+		for _, ok := range m.OrderBy {
+			sb.WriteByte(' ')
+			if ok.Explicit {
+				if ok.Desc {
+					sb.WriteString("DESC(")
+				} else {
+					sb.WriteString("ASC(")
+				}
+				writeExpr(sb, ok.Expr)
+				sb.WriteByte(')')
+			} else if te, isTerm := ok.Expr.(*TermExpr); isTerm && te.Term.Kind == TermVar {
+				sb.WriteByte('?')
+				sb.WriteString(te.Term.Value)
+			} else {
+				sb.WriteByte('(')
+				writeExpr(sb, ok.Expr)
+				sb.WriteByte(')')
+			}
+		}
+	}
+	if m.HasLimit {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(m.Limit, 10))
+	}
+	if m.HasOffset {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(strconv.FormatInt(m.Offset, 10))
+	}
+}
+
+func writePattern(sb *strings.Builder, p Pattern) {
+	switch n := p.(type) {
+	case nil:
+		sb.WriteString("{ }")
+	case *Group:
+		sb.WriteString("{ ")
+		for i, el := range n.Elems {
+			if i > 0 {
+				sb.WriteString(" . ")
+			}
+			writeGroupElement(sb, el)
+		}
+		sb.WriteString(" }")
+	default:
+		// A non-group at top level is wrapped for valid syntax.
+		sb.WriteString("{ ")
+		writeGroupElement(sb, p)
+		sb.WriteString(" }")
+	}
+}
+
+func writeGroupElement(sb *strings.Builder, p Pattern) {
+	switch n := p.(type) {
+	case *TriplePattern:
+		writeTriple(sb, n)
+	case *PathPattern:
+		writeTerm(sb, n.S)
+		sb.WriteByte(' ')
+		sb.WriteString(PathString(n.Path))
+		sb.WriteByte(' ')
+		writeTerm(sb, n.O)
+	case *Group:
+		writePattern(sb, n)
+	case *Union:
+		writeUnionOperand(sb, n.Left)
+		sb.WriteString(" UNION ")
+		writeUnionOperand(sb, n.Right)
+	case *Optional:
+		sb.WriteString("OPTIONAL ")
+		writePattern(sb, n.Inner)
+	case *GraphGraph:
+		sb.WriteString("GRAPH ")
+		writeTerm(sb, n.Name)
+		sb.WriteByte(' ')
+		writePattern(sb, n.Inner)
+	case *MinusGraph:
+		sb.WriteString("MINUS ")
+		writePattern(sb, n.Inner)
+	case *ServiceGraph:
+		sb.WriteString("SERVICE ")
+		if n.Silent {
+			sb.WriteString("SILENT ")
+		}
+		writeTerm(sb, n.Name)
+		sb.WriteByte(' ')
+		writePattern(sb, n.Inner)
+	case *Filter:
+		sb.WriteString("FILTER (")
+		writeExpr(sb, n.Constraint)
+		sb.WriteByte(')')
+	case *Bind:
+		sb.WriteString("BIND (")
+		writeExpr(sb, n.Expr)
+		sb.WriteString(" AS ?")
+		sb.WriteString(n.Var.Value)
+		sb.WriteByte(')')
+	case *InlineData:
+		writeValues(sb, n)
+	case *SubSelect:
+		sb.WriteString("{ ")
+		writeQuery(sb, n.Query)
+		sb.WriteString(" }")
+	}
+}
+
+// writeUnionOperand always braces union operands, as required by the
+// grammar (UNION joins GroupGraphPatterns).
+func writeUnionOperand(sb *strings.Builder, p Pattern) {
+	switch p.(type) {
+	case *Group, *Union:
+		writeGroupElement(sb, p)
+	default:
+		sb.WriteString("{ ")
+		writeGroupElement(sb, p)
+		sb.WriteString(" }")
+	}
+}
+
+func writeValues(sb *strings.Builder, vd *InlineData) {
+	sb.WriteString("VALUES ")
+	if len(vd.Vars) == 1 {
+		sb.WriteByte('?')
+		sb.WriteString(vd.Vars[0].Value)
+	} else {
+		sb.WriteByte('(')
+		for i, v := range vd.Vars {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('?')
+			sb.WriteString(v.Value)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteString(" { ")
+	for ri, row := range vd.Rows {
+		if ri > 0 {
+			sb.WriteByte(' ')
+		}
+		if len(vd.Vars) == 1 {
+			writeDataValue(sb, row, vd.Undef[ri], 0)
+		} else {
+			sb.WriteByte('(')
+			for ci := range row {
+				if ci > 0 {
+					sb.WriteByte(' ')
+				}
+				writeDataValue(sb, row, vd.Undef[ri], ci)
+			}
+			sb.WriteByte(')')
+		}
+	}
+	sb.WriteString(" }")
+}
+
+func writeDataValue(sb *strings.Builder, row []Term, undef []bool, i int) {
+	if i < len(undef) && undef[i] {
+		sb.WriteString("UNDEF")
+		return
+	}
+	writeTerm(sb, row[i])
+}
+
+func writeTriple(sb *strings.Builder, t *TriplePattern) {
+	writeTerm(sb, t.S)
+	sb.WriteByte(' ')
+	if t.P.Kind == TermIRI && t.P.Value == RDFType {
+		sb.WriteByte('a')
+	} else {
+		writeTerm(sb, t.P)
+	}
+	sb.WriteByte(' ')
+	writeTerm(sb, t.O)
+}
+
+func writeTerm(sb *strings.Builder, t Term) {
+	switch t.Kind {
+	case TermVar:
+		sb.WriteByte('?')
+		sb.WriteString(t.Value)
+	case TermIRI:
+		if t.PrefixedForm {
+			sb.WriteString(t.Value)
+		} else {
+			sb.WriteByte('<')
+			sb.WriteString(t.Value)
+			sb.WriteByte('>')
+		}
+	case TermBlank:
+		sb.WriteString("_:")
+		sb.WriteString(t.Value)
+	case TermLiteral:
+		writeLiteral(sb, t)
+	}
+}
+
+func writeLiteral(sb *strings.Builder, t Term) {
+	switch t.Datatype {
+	case "http://www.w3.org/2001/XMLSchema#integer",
+		"http://www.w3.org/2001/XMLSchema#decimal",
+		"http://www.w3.org/2001/XMLSchema#double",
+		"http://www.w3.org/2001/XMLSchema#boolean":
+		// Numeric and boolean literals can be written bare.
+		sb.WriteString(t.Value)
+		return
+	}
+	sb.WriteByte('"')
+	for i := 0; i < len(t.Value); i++ {
+		c := t.Value[i]
+		switch c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	if t.Lang != "" {
+		sb.WriteByte('@')
+		sb.WriteString(t.Lang)
+	} else if t.Datatype != "" {
+		sb.WriteString("^^<")
+		sb.WriteString(t.Datatype)
+		sb.WriteByte('>')
+	}
+}
+
+// ExprString renders an expression in SPARQL syntax.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		writeExprOperand(sb, n.L)
+		sb.WriteByte(' ')
+		sb.WriteString(n.Op)
+		sb.WriteByte(' ')
+		writeExprOperand(sb, n.R)
+	case *UnaryExpr:
+		sb.WriteString(n.Op)
+		writeExprOperand(sb, n.X)
+	case *FuncCall:
+		if n.IRICall {
+			writeIRIText(sb, n.Name)
+		} else {
+			sb.WriteString(n.Name)
+		}
+		sb.WriteByte('(')
+		if n.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	case *AggregateExpr:
+		sb.WriteString(n.Name)
+		sb.WriteByte('(')
+		if n.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		if n.Star {
+			sb.WriteByte('*')
+		} else {
+			writeExpr(sb, n.Arg)
+		}
+		if n.HasSep {
+			sb.WriteString(" ; SEPARATOR = \"")
+			sb.WriteString(n.Separator)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte(')')
+	case *ExistsExpr:
+		if n.Not {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString("EXISTS ")
+		writePattern(sb, n.Pattern)
+	case *TermExpr:
+		writeTerm(sb, n.Term)
+	case *InExpr:
+		writeExprOperand(sb, n.X)
+		if n.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		for i, a := range n.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// writeExprOperand parenthesizes compound operands so the rendered text
+// preserves the tree structure regardless of operator precedence.
+func writeExprOperand(sb *strings.Builder, e Expr) {
+	switch e.(type) {
+	case *BinaryExpr, *InExpr:
+		sb.WriteByte('(')
+		writeExpr(sb, e)
+		sb.WriteByte(')')
+	default:
+		writeExpr(sb, e)
+	}
+}

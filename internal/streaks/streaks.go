@@ -1,0 +1,324 @@
+// Package streaks implements the query-evolution analysis of Section 8 of
+// the paper: detecting streaks, i.e. sequences of queries that appear as
+// subsequent modifications of a seed query within a sliding window.
+//
+// Two queries are similar when their normalized Levenshtein distance —
+// measured after stripping namespace prefixes — is at most a threshold
+// (the paper uses 25%). Query qj matches qi (i < j) when they are similar
+// and no intermediate query is similar to qi. A streak with window size w
+// is a chain q_{i1}, ..., q_{ik} where consecutive elements match and are
+// at most w positions apart.
+package streaks
+
+import "strings"
+
+// DefaultThreshold is the paper's similarity bound: normalized Levenshtein
+// distance at most 25%.
+const DefaultThreshold = 0.25
+
+// DefaultWindow is the paper's window size.
+const DefaultWindow = 30
+
+// Normalize strips everything before the first query-form keyword
+// (SELECT, ASK, CONSTRUCT, DESCRIBE), removing BASE and PREFIX
+// declarations that would introduce superficial similarity.
+func Normalize(query string) string {
+	upper := strings.ToUpper(query)
+	best := -1
+	for _, kw := range []string{"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"} {
+		if i := strings.Index(upper, kw); i >= 0 && (best == -1 || i < best) {
+			best = i
+		}
+	}
+	if best <= 0 {
+		return query
+	}
+	return query[best:]
+}
+
+// Levenshtein computes the edit distance between a and b with unit costs.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// LevenshteinWithin reports whether the edit distance between a and b is
+// at most maxDist, using a banded dynamic program that abandons rows whose
+// minimum already exceeds the bound. This is the hot path of streak
+// detection: most query pairs are dissimilar and exit after a few rows.
+func LevenshteinWithin(a, b string, maxDist int) bool {
+	la, lb := len(a), len(b)
+	if la-lb > maxDist || lb-la > maxDist {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if la == 0 || lb == 0 {
+		// Distance is the other string's length; the prefilter above
+		// already verified it fits the bound.
+		return true
+	}
+	const inf = 1 << 30
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo == 1 {
+			if i <= maxDist {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb] <= maxDist
+}
+
+// Similar reports whether two (already normalized) queries are within the
+// threshold: Levenshtein distance divided by the longer length.
+func Similar(a, b string, threshold float64) bool {
+	longer := len(a)
+	if len(b) > longer {
+		longer = len(b)
+	}
+	if longer == 0 {
+		return true
+	}
+	maxDist := int(threshold * float64(longer))
+	return LevenshteinWithin(a, b, maxDist)
+}
+
+// Streak is one detected chain of gradually modified queries.
+type Streak struct {
+	// Indices of the member queries in the input log, ascending.
+	Indices []int
+}
+
+// Len returns the number of queries in the streak.
+func (s Streak) Len() int { return len(s.Indices) }
+
+// Options configures streak detection.
+type Options struct {
+	Window    int     // max gap between consecutive streak members
+	Threshold float64 // normalized Levenshtein similarity bound
+	// PreNormalized indicates the inputs already had prefixes stripped.
+	PreNormalized bool
+}
+
+// Find detects all maximal streaks in the query log, following the
+// definition of Section 8. A query with no match forms a length-one
+// streak. A query may belong to multiple streaks when it matches several
+// earlier seeds.
+func Find(log []string, opts Options) []Streak {
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultThreshold
+	}
+	norm := log
+	if !opts.PreNormalized {
+		norm = make([]string, len(log))
+		for i, q := range log {
+			norm[i] = Normalize(q)
+		}
+	}
+	n := len(norm)
+	// next[i] = index of the query matching qi (first similar successor
+	// within the window), or -1. Per the definition, the match is the
+	// first similar query after i; it extends a streak only if the gap is
+	// at most the window size.
+	next := make([]int, n)
+	hasPred := make([]bool, n)
+	for i := 0; i < n; i++ {
+		next[i] = -1
+		for j := i + 1; j <= i+opts.Window && j < n; j++ {
+			if Similar(norm[i], norm[j], opts.Threshold) {
+				next[i] = j
+				hasPred[j] = true
+				break
+			}
+		}
+	}
+	var out []Streak
+	for i := 0; i < n; i++ {
+		if hasPred[i] {
+			continue // not a streak head
+		}
+		s := Streak{Indices: []int{i}}
+		for j := next[i]; j != -1; j = next[j] {
+			s.Indices = append(s.Indices, j)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Histogram buckets streak lengths the way Table 6 does: 1–10, 11–20, ...,
+// 91–100, >100.
+type Histogram struct {
+	Buckets [11]int
+	Longest int
+}
+
+// BucketLabel names bucket i.
+func BucketLabel(i int) string {
+	if i == 10 {
+		return ">100"
+	}
+	lo := i*10 + 1
+	hi := (i + 1) * 10
+	return itoa(lo) + "-" + itoa(hi)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Metrics refines the streak analysis with the intra-streak similarity
+// measures the paper names as future work in Section 8: how similar
+// consecutive members are on average, and how far the final query
+// drifted from the seed.
+type Metrics struct {
+	// AvgAdjacentSimilarity is the mean normalized similarity (1 -
+	// distance/longer) between consecutive streak members.
+	AvgAdjacentSimilarity float64
+	// SeedDrift is the normalized Levenshtein distance between the first
+	// and last member: how far the query evolved in total.
+	SeedDrift float64
+}
+
+// MetricsOf computes refinement metrics for one streak over the
+// (normalized) log it was found in.
+func MetricsOf(log []string, s Streak) Metrics {
+	var m Metrics
+	if s.Len() < 2 {
+		m.AvgAdjacentSimilarity = 1
+		return m
+	}
+	sum := 0.0
+	for i := 1; i < len(s.Indices); i++ {
+		a := Normalize(log[s.Indices[i-1]])
+		b := Normalize(log[s.Indices[i]])
+		sum += 1 - normDistance(a, b)
+	}
+	m.AvgAdjacentSimilarity = sum / float64(len(s.Indices)-1)
+	first := Normalize(log[s.Indices[0]])
+	last := Normalize(log[s.Indices[len(s.Indices)-1]])
+	m.SeedDrift = normDistance(first, last)
+	return m
+}
+
+// normDistance is the Levenshtein distance divided by the longer length.
+func normDistance(a, b string) float64 {
+	longer := len(a)
+	if len(b) > longer {
+		longer = len(b)
+	}
+	if longer == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(longer)
+}
+
+// HistogramOf aggregates streak lengths.
+func HistogramOf(streaks []Streak) Histogram {
+	var h Histogram
+	for _, s := range streaks {
+		l := s.Len()
+		if l > h.Longest {
+			h.Longest = l
+		}
+		b := (l - 1) / 10
+		if b > 10 {
+			b = 10
+		}
+		h.Buckets[b]++
+	}
+	return h
+}

@@ -1,0 +1,212 @@
+package streaks
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xyz", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abd", 1},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: the banded LevenshteinWithin agrees with the full DP.
+func TestBandedAgreesWithFull(t *testing.T) {
+	alphabet := "abQ "
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() string {
+			n := rng.Intn(24)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			return sb.String()
+		}
+		a, b := mk(), mk()
+		maxDist := rng.Intn(10)
+		return LevenshteinWithin(a, b, maxDist) == (Levenshtein(a, b) <= maxDist)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeStripsPrefixes(t *testing.T) {
+	q := "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nSELECT ?x WHERE { ?x foaf:name ?n }"
+	got := Normalize(q)
+	if !strings.HasPrefix(got, "SELECT") {
+		t.Errorf("Normalize = %q", got)
+	}
+	// Lowercase keyword still found.
+	q2 := "prefix a: <http://x/> select * where { ?s ?p ?o }"
+	if !strings.HasPrefix(Normalize(q2), "select") {
+		t.Errorf("Normalize lowercase = %q", Normalize(q2))
+	}
+	// Query without keyword unchanged.
+	if Normalize("garbage") != "garbage" {
+		t.Error("no-keyword input should pass through")
+	}
+}
+
+func TestSimilarThreshold(t *testing.T) {
+	a := "SELECT ?x WHERE { ?x <p> <o1> }"
+	b := "SELECT ?x WHERE { ?x <p> <o2> }"
+	if !Similar(a, b, 0.25) {
+		t.Error("one-character change should be similar")
+	}
+	c := "CONSTRUCT { ?a <q> ?b } WHERE { ?a <completely> ?different }"
+	if Similar(a, c, 0.25) {
+		t.Error("different queries should not be similar")
+	}
+	if !Similar("", "", 0.25) {
+		t.Error("empty strings are similar")
+	}
+}
+
+func TestFindSimpleStreak(t *testing.T) {
+	log := []string{
+		"SELECT ?x WHERE { ?x <p> <o1> }",
+		"SELECT ?x WHERE { ?x <p> <o2> }",
+		"SELECT ?x WHERE { ?x <p> <o3> . }",
+		"CONSTRUCT { ?a <zzz> ?b } WHERE { ?a <unrelated> ?b }",
+	}
+	streaks := Find(log, Options{Window: 30, Threshold: 0.25})
+	// One streak of length 3 (the gradually modified query) and one
+	// singleton.
+	if len(streaks) != 2 {
+		t.Fatalf("streaks = %d, want 2", len(streaks))
+	}
+	if streaks[0].Len() != 3 {
+		t.Errorf("first streak length = %d, want 3", streaks[0].Len())
+	}
+	if streaks[1].Len() != 1 {
+		t.Errorf("second streak length = %d, want 1", streaks[1].Len())
+	}
+}
+
+func TestFindWindowLimits(t *testing.T) {
+	// Similar queries 3 positions apart with window 2: no chain.
+	filler1 := "CONSTRUCT { ?z <aaaa> ?w } WHERE { ?z <aaaa> ?w }"
+	filler2 := "DESCRIBE <http://example.org/completely-unrelated-resource>"
+	log := []string{
+		"SELECT ?x WHERE { ?x <p> <o1> }",
+		filler1,
+		filler2,
+		"SELECT ?x WHERE { ?x <p> <o2> }",
+	}
+	streaks := Find(log, Options{Window: 2, Threshold: 0.25})
+	for _, s := range streaks {
+		if s.Len() != 1 {
+			t.Errorf("window 2 should keep all streaks singleton, got %v", s.Indices)
+		}
+	}
+	// Window 3 chains them.
+	streaks2 := Find(log, Options{Window: 3, Threshold: 0.25})
+	found := false
+	for _, s := range streaks2 {
+		if s.Len() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("window 3 should produce a length-2 streak")
+	}
+}
+
+func TestMatchIsFirstSimilar(t *testing.T) {
+	// q0 similar to both q1 and q2; the match must be q1 (the first), and
+	// the streak continues from q1.
+	log := []string{
+		"SELECT ?x WHERE { ?x <p> <o1> }",
+		"SELECT ?x WHERE { ?x <p> <o2> }",
+		"SELECT ?x WHERE { ?x <p> <o3> }",
+	}
+	streaks := Find(log, Options{Window: 30, Threshold: 0.25})
+	if len(streaks) != 1 || streaks[0].Len() != 3 {
+		t.Fatalf("streaks = %+v, want single chain 0-1-2", streaks)
+	}
+	want := []int{0, 1, 2}
+	for i, idx := range streaks[0].Indices {
+		if idx != want[i] {
+			t.Errorf("indices = %v, want %v", streaks[0].Indices, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	mk := func(l int) Streak {
+		s := Streak{}
+		for i := 0; i < l; i++ {
+			s.Indices = append(s.Indices, i)
+		}
+		return s
+	}
+	h := HistogramOf([]Streak{mk(1), mk(10), mk(11), mk(55), mk(101), mk(169)})
+	if h.Buckets[0] != 2 {
+		t.Errorf("bucket 1-10 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[5] != 1 || h.Buckets[10] != 2 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Longest != 169 {
+		t.Errorf("longest = %d, want 169", h.Longest)
+	}
+	if BucketLabel(0) != "1-10" || BucketLabel(10) != ">100" || BucketLabel(5) != "51-60" {
+		t.Errorf("labels wrong: %s %s %s", BucketLabel(0), BucketLabel(10), BucketLabel(5))
+	}
+}
+
+func TestStreakMetrics(t *testing.T) {
+	log := []string{
+		"SELECT ?x WHERE { ?x <p> <o1> }",
+		"SELECT ?x WHERE { ?x <p> <o2> }",
+		"SELECT ?x WHERE { ?x <p> <o3> . }",
+	}
+	streaks := Find(log, Options{Window: 30, Threshold: 0.25})
+	if len(streaks) != 1 {
+		t.Fatalf("streaks = %d", len(streaks))
+	}
+	m := MetricsOf(log, streaks[0])
+	if m.AvgAdjacentSimilarity < 0.9 {
+		t.Errorf("adjacent similarity = %.2f, want high", m.AvgAdjacentSimilarity)
+	}
+	if m.SeedDrift <= 0 || m.SeedDrift > 0.25 {
+		t.Errorf("seed drift = %.2f, want small positive", m.SeedDrift)
+	}
+	// Singleton streak: perfect similarity, zero drift.
+	single := Streak{Indices: []int{0}}
+	sm := MetricsOf(log, single)
+	if sm.AvgAdjacentSimilarity != 1 || sm.SeedDrift != 0 {
+		t.Errorf("singleton metrics = %+v", sm)
+	}
+}
+
+func TestPrefixStrippingAffectsSimilarity(t *testing.T) {
+	// Long shared prefix block would make dissimilar queries pass; the
+	// normalization must remove it.
+	prefix := "PREFIX dbo: <http://dbpedia.org/ontology/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+	a := prefix + "SELECT ?x WHERE { ?x dbo:birthPlace ?y }"
+	b := prefix + "ASK { ?q foaf:name \"Z\" }"
+	if Similar(Normalize(a), Normalize(b), 0.25) {
+		t.Error("queries differing in body must be dissimilar after normalization")
+	}
+}
