@@ -1,5 +1,8 @@
 // Command loggen writes the calibrated synthetic query-log corpus to disk,
-// one file per dataset, one log entry per line.
+// one file per dataset, one log entry per line. Entries are streamed to
+// disk as they are generated — output never accumulates in memory,
+// though the generator's duplicate-emission pool still grows with the
+// number of distinct valid queries.
 //
 // Usage:
 //
@@ -26,21 +29,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loggen:", err)
 		os.Exit(1)
 	}
-	for _, ds := range loggen.GenerateCorpus(*scale, *seed) {
-		name := strings.NewReplacer("/", "_", " ", "_").Replace(ds.Name) + ".log"
+	for _, spec := range loggen.CorpusSpecs(*scale, *seed) {
+		name := strings.NewReplacer("/", "_", " ", "_").Replace(spec.Profile.Name) + ".log"
 		path := filepath.Join(*out, name)
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeLog(path, spec); err != nil {
 			fmt.Fprintln(os.Stderr, "loggen:", err)
 			os.Exit(1)
 		}
-		for _, e := range ds.Entries {
-			fmt.Fprintln(f, e)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "loggen:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%-14s %8d entries -> %s\n", ds.Name, len(ds.Entries), path)
+		fmt.Printf("%-14s %8d entries -> %s\n", spec.Profile.Name, spec.N, path)
 	}
+}
+
+func writeLog(path string, spec loggen.CorpusSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := loggen.WriteLog(f, spec.Profile, spec.N, spec.Seed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,7 +1,8 @@
 // Command sparqlanalyze runs the full sparqlog analytics pipeline and
-// prints every table and figure of the paper. With -log it analyzes a
-// query log file (one query per line, tab- or newline-separated); without
-// it, it generates the calibrated synthetic corpus first.
+// prints every table and figure of the paper. With -log it streams a
+// query log file from disk (plain one-query-per-line or Apache access-log
+// format) through the sharded worker pool, never materializing the log;
+// without it, it generates the calibrated synthetic corpus first.
 //
 // Usage:
 //
@@ -9,7 +10,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +24,8 @@ func main() {
 	seed := flag.Int64("seed", 2017, "generator seed")
 	logFile := flag.String("log", "", "analyze this log file instead of generating a corpus")
 	valid := flag.Bool("valid", false, "keep duplicates (appendix Tables 7-9 variant)")
+	format := flag.String("format", "plain", "log file format: plain, apache, auto (per-line sniffing)")
+	workers := flag.Int("workers", 0, "streaming worker pool size for -log (0 = all cores)")
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, table1, table2, table3, table4, table5, table6, figure1, figure3, figure5, sec44, sec61, sec62, appendix, windows")
 	graphNodes := flag.Int("graph-nodes", 20000, "gMark Bib graph size for figure3")
@@ -40,13 +42,35 @@ func main() {
 		StreakLogSize: 4000,
 	}
 
+	var lf core.LogFormat
+	switch *format {
+	case "auto":
+		lf = core.FormatAuto
+	case "plain":
+		lf = core.FormatPlain
+	case "apache":
+		lf = core.FormatApache
+	default:
+		fmt.Fprintf(os.Stderr, "sparqlanalyze: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
 	if *logFile != "" {
-		entries, err := readLog(*logFile)
+		f, err := os.Open(*logFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sparqlanalyze:", err)
 			os.Exit(1)
 		}
-		rep := core.AnalyzeLog(*logFile, entries, core.Options{KeepDuplicates: *valid})
+		sa := &core.StreamAnalyzer{
+			Opts:    core.Options{KeepDuplicates: *valid},
+			Workers: *workers,
+		}
+		rep, err := sa.AnalyzeReader(*logFile, f, lf)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqlanalyze:", err)
+			os.Exit(1)
+		}
 		c := &repro.Corpus{Reports: []*core.DatasetReport{rep}, Total: rep}
 		fmt.Print(repro.Table1(c), "\n", repro.Table2(c), "\n", repro.Figure1(c), "\n",
 			repro.Table3(c), "\n", repro.Section44(c), "\n", repro.Figure5(c), "\n",
@@ -100,22 +124,4 @@ func main() {
 			os.Exit(2)
 		}
 	}
-}
-
-func readLog(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Text()
-		if line != "" {
-			out = append(out, line)
-		}
-	}
-	return out, sc.Err()
 }

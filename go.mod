@@ -1,0 +1,3 @@
+module sparqlog
+
+go 1.24

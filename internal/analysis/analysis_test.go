@@ -317,3 +317,28 @@ func TestBodylessQueryFragments(t *testing.T) {
 		t.Error("bodyless describe must not be classified")
 	}
 }
+
+func TestDistributionMerge(t *testing.T) {
+	a := NewDistribution()
+	b := NewDistribution()
+	for _, src := range []string{
+		"SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }",
+		"SELECT * WHERE { ?x <p> ?y FILTER(?y > 1) }",
+	} {
+		a.Add(Operators(parse(t, src)))
+	}
+	b.Add(Operators(parse(t, "SELECT * WHERE { ?x <p> ?y FILTER(?y > 1) }")))
+	a.Merge(b)
+	if a.Total != 3 {
+		t.Errorf("merged total = %d, want 3", a.Total)
+	}
+	if a.Counts["F"] != 2 || a.Counts["A"] != 1 {
+		t.Errorf("merged counts = %v", a.Counts)
+	}
+	// Merging an empty distribution is the identity.
+	before := a.Total
+	a.Merge(NewDistribution())
+	if a.Total != before {
+		t.Error("empty merge changed total")
+	}
+}

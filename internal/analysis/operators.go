@@ -103,6 +103,14 @@ func (d *Distribution) Add(s OperatorSet) {
 	d.Total++
 }
 
+// Merge folds another distribution into d (shard/corpus aggregation).
+func (d *Distribution) Merge(o *Distribution) {
+	for k, v := range o.Counts {
+		d.Counts[k] += v
+	}
+	d.Total += o.Total
+}
+
 // CPFSubtotal returns the count of queries whose operator set is within
 // {And, Filter} (the CPF fragment rows of Table 3: none, F, A, and "A, F").
 func (d *Distribution) CPFSubtotal() int {

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCleanEntry throws arbitrary log lines at the cleaning front end of
+// the pipeline: entry decoding must never panic, FormatPlain must be the
+// identity, and percent-decoding must invert percent-encoding.
+func FuzzCleanEntry(f *testing.F) {
+	seeds := []string{
+		"SELECT * WHERE { ?s ?p ?o }",
+		`127.0.0.1 - - [12/Jun/2015:10:00:00 +0000] "GET /sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+a+%3Chttp%3A%2F%2Fex%2FC%3E+%7D&format=json HTTP/1.1" 200 1234`,
+		"GET /sparql?query=ASK%20%7B%7D HTTP/1.1",
+		"GET /resource/Paris HTTP/1.1",
+		"query=bad%2",
+		"query=bad%zz",
+		"query=%41%42&other=1",
+		"   ",
+		"ASK { ?x <p> ?y }",
+		"no keywords here",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		for _, format := range []LogFormat{FormatAuto, FormatPlain, FormatApache} {
+			got := DecodeEntry(line, format)
+			if format == FormatPlain && got != line {
+				t.Fatalf("FormatPlain must be the identity: %q -> %q", line, got)
+			}
+		}
+		looksLikeQuery(line)
+
+		// Decoding inverts encoding for every string.
+		enc := percentEncode(line)
+		dec, ok := urlDecode(enc)
+		if !ok {
+			t.Fatalf("urlDecode rejected well-formed encoding %q of %q", enc, line)
+		}
+		if dec != line {
+			t.Fatalf("urlDecode(percentEncode(%q)) = %q", line, dec)
+		}
+	})
+}
+
+// percentEncode is the test's reference encoder: every byte outside
+// [A-Za-z0-9] as %XX (the strictest form urlDecode must accept).
+func percentEncode(s string) string {
+	const hex = "0123456789ABCDEF"
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			sb.WriteByte(c)
+			continue
+		}
+		sb.WriteByte('%')
+		sb.WriteByte(hex[c>>4])
+		sb.WriteByte(hex[c&0xf])
+	}
+	return sb.String()
+}

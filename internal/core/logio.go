@@ -26,18 +26,49 @@ const (
 	FormatApache
 )
 
-// ReadLog reads log entries from r in the given format. Lines longer
-// than 16 MiB are rejected by the scanner.
-func ReadLog(r io.Reader, format LogFormat) ([]string, error) {
+// EntryScanner streams decoded log entries from a reader one at a time,
+// so corpus-scale logs never have to be materialized as a []string. Blank
+// lines are skipped; lines longer than 16 MiB are rejected.
+type EntryScanner struct {
+	sc     *bufio.Scanner
+	format LogFormat
+	entry  string
+}
+
+// NewEntryScanner returns a scanner over r in the given format.
+func NewEntryScanner(r io.Reader, format LogFormat) *EntryScanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	var out []string
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	return &EntryScanner{sc: sc, format: format}
+}
+
+// Scan advances to the next non-blank entry, reporting false at EOF or on
+// a read error (see Err).
+func (s *EntryScanner) Scan() bool {
+	for s.sc.Scan() {
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" {
 			continue
 		}
-		out = append(out, DecodeEntry(line, format))
+		s.entry = DecodeEntry(line, s.format)
+		return true
+	}
+	return false
+}
+
+// Entry returns the entry read by the last successful Scan.
+func (s *EntryScanner) Entry() string { return s.entry }
+
+// Err returns the first read error, if any.
+func (s *EntryScanner) Err() error { return s.sc.Err() }
+
+// ReadLog reads all log entries from r in the given format. Prefer
+// EntryScanner (or StreamAnalyzer) for logs too large to hold in memory.
+func ReadLog(r io.Reader, format LogFormat) ([]string, error) {
+	sc := NewEntryScanner(r, format)
+	var out []string
+	for sc.Scan() {
+		out = append(out, sc.Entry())
 	}
 	return out, sc.Err()
 }

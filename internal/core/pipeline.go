@@ -422,10 +422,7 @@ func (rep *DatasetReport) Merge(o *DatasetReport) {
 		rep.SizeCQOF[i] += o.SizeCQOF[i]
 	}
 	rep.TripleSum += o.TripleSum
-	for k, v := range o.OperatorSet.Counts {
-		rep.OperatorSet.Counts[k] += v
-	}
-	rep.OperatorSet.Total += o.OperatorSet.Total
+	rep.OperatorSet.Merge(o.OperatorSet)
 	rep.ProjYes += o.ProjYes
 	rep.ProjInd += o.ProjInd
 	rep.Subqueries += o.Subqueries
@@ -452,21 +449,7 @@ func (rep *DatasetReport) Merge(o *DatasetReport) {
 	if o.MaxDecompNodes > rep.MaxDecompNodes {
 		rep.MaxDecompNodes = o.MaxDecompNodes
 	}
-	for t, v := range o.Paths.Counts {
-		rep.Paths.Counts[t] += v
-		if mk, ok := o.Paths.MinK[t]; ok {
-			if cur, ok2 := rep.Paths.MinK[t]; !ok2 || mk < cur {
-				rep.Paths.MinK[t] = mk
-			}
-		}
-		if o.Paths.MaxK[t] > rep.Paths.MaxK[t] {
-			rep.Paths.MaxK[t] = o.Paths.MaxK[t]
-		}
-	}
-	rep.Paths.TrivialNeg += o.Paths.TrivialNeg
-	rep.Paths.TrivialInv += o.Paths.TrivialInv
-	rep.Paths.NonCtract += o.Paths.NonCtract
-	rep.Paths.Total += o.Paths.Total
+	rep.Paths.Merge(o.Paths)
 }
 
 // NewCorpusReport returns an empty report suitable as a Merge target.

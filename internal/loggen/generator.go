@@ -1,7 +1,9 @@
 package loggen
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 
@@ -17,13 +19,20 @@ type Dataset struct {
 	Entries []string
 }
 
-// GenerateCorpus generates all 13 logs at the given scale (fraction of the
-// paper's log sizes; 0.0001 yields a ~18k-query corpus). Small logs
-// (WikiData17) are kept at full size so their distinctive statistics
-// survive scaling.
-func GenerateCorpus(scale float64, seed int64) []Dataset {
+// CorpusSpec sizes and seeds one log of the calibrated corpus.
+type CorpusSpec struct {
+	Profile Profile
+	N       int
+	Seed    int64
+}
+
+// CorpusSpecs returns the per-log generation parameters for the corpus at
+// the given scale (fraction of the paper's log sizes; 0.0001 yields a
+// ~18k-query corpus). Small logs (WikiData17) are kept at full size so
+// their distinctive statistics survive scaling.
+func CorpusSpecs(scale float64, seed int64) []CorpusSpec {
 	profs := Profiles()
-	out := make([]Dataset, 0, len(profs))
+	out := make([]CorpusSpec, 0, len(profs))
 	for i, p := range profs {
 		n := int(float64(p.PaperTotal) * scale)
 		if p.PaperTotal < 1000 {
@@ -32,16 +41,52 @@ func GenerateCorpus(scale float64, seed int64) []Dataset {
 		if n < 50 {
 			n = 50
 		}
-		out = append(out, Generate(p, n, seed+int64(i)*7919))
+		out = append(out, CorpusSpec{Profile: p, N: n, Seed: seed + int64(i)*7919})
 	}
 	return out
 }
 
-// Generate produces one log of n entries under the profile.
+// GenerateCorpus generates all 13 logs at the given scale, materialized
+// in memory. To avoid materializing the logs, iterate CorpusSpecs and
+// use GenerateStream instead (its duplicate pool still grows with the
+// distinct-query count).
+func GenerateCorpus(scale float64, seed int64) []Dataset {
+	specs := CorpusSpecs(scale, seed)
+	out := make([]Dataset, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, Generate(s.Profile, s.N, s.Seed))
+	}
+	return out
+}
+
+// Generate produces one log of n entries under the profile, materialized
+// in memory. It emits the exact sequence GenerateStream does for the same
+// arguments.
 func Generate(p Profile, n int, seed int64) Dataset {
-	g := newGenerator(p, seed)
 	ds := Dataset{Name: p.Name, Profile: p}
 	ds.Entries = make([]string, 0, n)
+	GenerateStream(p, n, seed, func(e string) bool {
+		ds.Entries = append(ds.Entries, e)
+		return true
+	})
+	return ds
+}
+
+// GenerateStream produces one log of n entries under the profile,
+// delivering each entry to emit as it is generated instead of holding the
+// log in memory; emit returning false stops generation early (e.g. on a
+// write error). (The duplicate-emission pool still retains one copy of
+// each distinct valid query, the same floor the analyzer's dedup pays.)
+func GenerateStream(p Profile, n int, seed int64, emit func(string) bool) {
+	g := newGenerator(p, seed)
+	emitted := 0
+	stopped := false
+	send := func(e string) {
+		if !emit(e) {
+			stopped = true
+		}
+		emitted++
+	}
 	invalidRate := 0.0
 	if p.PaperTotal > 0 {
 		invalidRate = 1 - float64(p.PaperValid)/float64(p.PaperTotal)
@@ -53,37 +98,54 @@ func Generate(p Profile, n int, seed int64) Dataset {
 	var valid []string // pool for duplicate re-emission
 	var streakBase string
 	streakLive := false
-	for len(ds.Entries) < n {
+	for emitted < n && !stopped {
 		r := g.rng.Float64()
 		switch {
 		case r < p.NoiseRate:
-			ds.Entries = append(ds.Entries, g.noiseEntry())
+			send(g.noiseEntry())
 			continue
 		case r < p.NoiseRate+invalidRate:
-			ds.Entries = append(ds.Entries, g.invalidEntry())
+			send(g.invalidEntry())
 			continue
 		}
 		if streakLive && g.rng.Float64() < p.StreakContinue {
 			streakBase = g.mutate(streakBase)
-			ds.Entries = append(ds.Entries, streakBase)
+			send(streakBase)
 			valid = append(valid, streakBase)
 			continue
 		}
 		streakLive = false
 		if len(valid) > 0 && g.rng.Float64() < dupRate {
-			ds.Entries = append(ds.Entries, valid[g.rng.Intn(len(valid))])
+			send(valid[g.rng.Intn(len(valid))])
 			continue
 		}
 		q := g.query()
-		ds.Entries = append(ds.Entries, q)
+		send(q)
 		valid = append(valid, q)
 		if g.rng.Float64() < p.StreakRate {
 			streakBase = q
 			streakLive = true
 		}
 	}
-	ds.Entries = ds.Entries[:n]
-	return ds
+}
+
+// WriteLog streams one generated log to w, one entry per line, through an
+// internal buffer. Generation stops at the first write error, which is
+// returned.
+func WriteLog(w io.Writer, p Profile, n int, seed int64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var err error
+	GenerateStream(p, n, seed, func(e string) bool {
+		if _, err = bw.WriteString(e); err != nil {
+			return false
+		}
+		err = bw.WriteByte('\n')
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // generator synthesizes individual queries.

@@ -383,3 +383,25 @@ func (t *Table5) Add(p sparql.PathExpr) {
 		t.NonCtract++
 	}
 }
+
+// Merge folds another aggregation into t (shard/corpus aggregation):
+// counts add, k ranges widen.
+func (t *Table5) Merge(o *Table5) {
+	for typ, v := range o.Counts {
+		t.Counts[typ] += v
+	}
+	for typ, mk := range o.MinK {
+		if cur, ok := t.MinK[typ]; !ok || mk < cur {
+			t.MinK[typ] = mk
+		}
+	}
+	for typ, mk := range o.MaxK {
+		if mk > t.MaxK[typ] {
+			t.MaxK[typ] = mk
+		}
+	}
+	t.TrivialNeg += o.TrivialNeg
+	t.TrivialInv += o.TrivialInv
+	t.NonCtract += o.NonCtract
+	t.Total += o.Total
+}

@@ -147,3 +147,27 @@ func TestUnclassified(t *testing.T) {
 		t.Errorf("got %s, want unclassified", c.Type)
 	}
 }
+
+func TestTable5Merge(t *testing.T) {
+	a, b := NewTable5(), NewTable5()
+	a.Add(pathOf(t, "<a>/<b>"))         // Seq k=2
+	a.Add(pathOf(t, "!<a>"))            // trivial negation
+	b.Add(pathOf(t, "<a>/<b>/<c>/<d>")) // Seq k=4
+	b.Add(pathOf(t, "(<a>/<b>)*"))      // SeqStar, non-Ctract
+	a.Merge(b)
+	if a.Total != 3 {
+		t.Errorf("merged total = %d, want 3", a.Total)
+	}
+	if a.Counts[Seq] != 2 || a.MinK[Seq] != 2 || a.MaxK[Seq] != 4 {
+		t.Errorf("Seq count=%d mink=%d maxk=%d, want 2/2/4", a.Counts[Seq], a.MinK[Seq], a.MaxK[Seq])
+	}
+	if a.TrivialNeg != 1 || a.NonCtract != 1 {
+		t.Errorf("TrivialNeg=%d NonCtract=%d, want 1/1", a.TrivialNeg, a.NonCtract)
+	}
+	// Merging an empty table is the identity.
+	total := a.Total
+	a.Merge(NewTable5())
+	if a.Total != total {
+		t.Error("empty merge changed total")
+	}
+}

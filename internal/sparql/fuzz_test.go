@@ -1,0 +1,54 @@
+package sparql_test
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+// FuzzParse throws arbitrary input at the parser. The parser must never
+// panic, and any query it accepts must survive the serializer round-trip:
+// the serialized form re-parses, and serialization is a fixpoint (the
+// same property TestGeneratedCorpusRoundTrips checks on generator
+// output, here extended to adversarial input).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT ?s WHERE { ?s ?p ?o }",
+		"SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y . ?y <q> ?z FILTER(?z > 3) } ORDER BY ?x LIMIT 10 OFFSET 5",
+		"ASK { ?x <knows> ?y MINUS { ?x <blocks> ?y } }",
+		"PREFIX dbo: <http://dbpedia.org/ontology/> SELECT ?s WHERE { ?s dbo:birthPlace ?o OPTIONAL { ?s dbo:deathPlace ?d } }",
+		"CONSTRUCT { ?s <p> ?o } WHERE { ?s <p> ?o }",
+		"DESCRIBE <http://example.org/x>",
+		"SELECT ?n (COUNT(*) AS ?c) WHERE { { ?a <p> ?n } UNION { ?b <q> ?n } } GROUP BY ?n HAVING (COUNT(*) > 1)",
+		"SELECT * WHERE { GRAPH ?g { ?s ?p ?o } FILTER NOT EXISTS { ?s <hidden> true } }",
+		"SELECT ?x WHERE { ?x (<a>|<b>)*/^<c> ?y }",
+		"SELECT ?x WHERE { ?x !(<a>|<b>) ?y . ?y <p>+ ?z }",
+		"SELECT ?x WHERE { VALUES ?x { <a> <b> } SERVICE <http://remote/sparql> { ?x <p> ?y } }",
+		"SELECT ?x WHERE { ?x <p> \"lit\"@en ; <q> 42 , 4.2e1 . [] <r> [ <s> ?x ] }",
+		"SELECT ?x { { SELECT ?x WHERE { ?x a <C> } LIMIT 1 } BIND(?x AS ?y) }",
+		"select?x where{?x<p>?y}",
+		"SELECT ?x WHERE { ?x <p> ?y } # trailing comment",
+		"PREFIX : <u> ASK { :a :b :c }",
+		"SELECT",
+		"{}",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := &sparql.Parser{}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		q2, err := p.Parse(text)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\noriginal: %q\nserialized: %q", err, src, text)
+		}
+		if text2 := q2.String(); text2 != text {
+			t.Fatalf("serialization is not a fixpoint:\n 1: %q\n 2: %q", text, text2)
+		}
+	})
+}
