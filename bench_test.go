@@ -6,6 +6,8 @@
 package sparqlog
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +23,7 @@ import (
 	"sparqlog/internal/graph"
 	"sparqlog/internal/loggen"
 	"sparqlog/internal/repro"
+	"sparqlog/internal/service"
 	"sparqlog/internal/shapes"
 	"sparqlog/internal/sparql"
 	"sparqlog/internal/streaks"
@@ -294,7 +297,7 @@ func BenchmarkAblationJoinOrder(b *testing.B) {
 	for name, e := range engines {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				engine.RunWorkload(e, g.Store, cqs, 300*time.Millisecond)
+				engine.RunWorkload(e, g.Snapshot, cqs, 300*time.Millisecond)
 			}
 		})
 	}
@@ -357,7 +360,7 @@ func BenchmarkAblationShapeFastPath(b *testing.B) {
 // orderings.
 func BenchmarkAblationIndexes(b *testing.B) {
 	g := gmark.Generate(gmark.Config{Nodes: 4000, Seed: 5})
-	st := g.Store
+	st := g.Snapshot
 	pid := g.PredID["cites"]
 	subjects := g.Nodes[gmark.Paper]
 	b.Run("indexed", func(b *testing.B) {
@@ -495,6 +498,45 @@ func streamBenchLog(b *testing.B) string {
 	return streamLogPath
 }
 
+// BenchmarkConcurrentQueries contrasts serial workload execution with
+// the worker-pool service layer over one shared snapshot (the serving
+// path the snapshot split enables: before it, two concurrent queries on
+// one store were a data race). On a multi-core machine the parallel
+// variant should scale with workers; per-query results stay identical.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	g := gmark.Generate(gmark.Config{Nodes: 6000, Seed: 13})
+	var cqs []engine.CQ
+	// Length-5 cycles cost ~100us each on the graph engine: heavy enough
+	// that per-query work dominates pool overhead, light enough for the
+	// CI bench sweep.
+	for _, q := range g.Workload(gmark.Cycle, 5, 32, 17) {
+		cqs = append(cqs, q.CQ)
+	}
+	timeout := 2 * time.Second
+	e := &engine.GraphEngine{}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats := engine.RunWorkload(e, g.Snapshot, cqs, timeout)
+			if stats.Timeouts > 0 {
+				b.Fatal("unexpected timeout")
+			}
+		}
+		b.ReportMetric(float64(len(cqs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := service.Run(context.Background(), e, g.Snapshot, cqs,
+					service.Options{Workers: workers, Timeout: timeout})
+				if rep.Timeouts > 0 {
+					b.Fatal("unexpected timeout")
+				}
+			}
+			b.ReportMetric(float64(len(cqs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
 // ---------- Component micro-benchmarks ----------
 
 // BenchmarkParser measures single-query parse throughput.
@@ -540,7 +582,7 @@ func BenchmarkEvaluator(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Query(g.Store, q); err != nil {
+		if _, err := eval.Query(g.Snapshot, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -556,7 +598,7 @@ func BenchmarkPathEvaluation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Query(g.Store, q); err != nil {
+		if _, err := eval.Query(g.Snapshot, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -668,7 +710,7 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	if len(g.Workload(gmark.Cycle, 3, 2, 3)) == 0 {
 		t.Error("empty gMark workload")
 	}
-	if len(g.Store.ScanPredicate(g.PredID["cites"])) == 0 {
+	if len(g.Snapshot.ScanPredicate(g.PredID["cites"])) == 0 {
 		t.Error("gMark store missing cites edges")
 	}
 
@@ -719,7 +761,7 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eval.Query(g.Store, q); err != nil {
+	if _, err := eval.Query(g.Snapshot, q); err != nil {
 		t.Fatal(err)
 	}
 	if q.String() == "" {

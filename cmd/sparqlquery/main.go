@@ -30,11 +30,11 @@ func main() {
 	}
 	src := strings.Join(flag.Args(), " ")
 
-	var st *rdf.Store
+	var sn *rdf.Snapshot
 	switch {
 	case *bib > 0:
 		g := gmark.Generate(gmark.Config{Nodes: *bib, Seed: *seed})
-		st = g.Store
+		sn = g.Snapshot
 		fmt.Fprintf(os.Stderr, "generated Bib graph: %d triples\n", g.Triples)
 	case *data != "":
 		f, err := os.Open(*data)
@@ -42,13 +42,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sparqlquery:", err)
 			os.Exit(1)
 		}
-		st = rdf.NewStore()
+		st := rdf.NewStore()
 		n, err := st.ReadNTriples(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sparqlquery:", err)
 			os.Exit(1)
 		}
+		sn = st.Freeze()
 		fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
 	default:
 		fmt.Fprintln(os.Stderr, "sparqlquery: provide -data or -bib")
@@ -60,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "parse error:", err)
 		os.Exit(1)
 	}
-	res, err := eval.Query(st, q)
+	res, err := eval.Query(sn, q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eval error:", err)
 		os.Exit(1)

@@ -1,14 +1,20 @@
 // Enginecompare: a miniature Figure 3. Generates a Bib graph, builds
 // chain and cycle workloads, and races the graph engine against the
-// relational engine, printing average runtimes and timeout rates.
+// relational engine, printing average runtimes and timeout rates. A
+// final section re-runs a chain workload through the concurrent service
+// layer, printing throughput and latency percentiles — both engines
+// sharing the one immutable snapshot.
 package main
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"sparqlog/internal/engine"
 	"sparqlog/internal/gmark"
+	"sparqlog/internal/service"
 )
 
 func main() {
@@ -28,11 +34,25 @@ func main() {
 				cqs = append(cqs, q.CQ)
 			}
 			for _, e := range []engine.Engine{bg, pg} {
-				stats := engine.RunWorkload(e, g.Store, cqs, timeout)
+				stats := engine.RunWorkload(e, g.Snapshot, cqs, timeout)
 				fmt.Printf("%s-%-8d %-6s %14d %9.0f%%\n",
 					shape, k, stats.Engine, stats.AvgNanos(), 100*stats.TimeoutRate())
 			}
 		}
+	}
+
+	// Concurrent serving over the shared snapshot.
+	var cqs []engine.CQ
+	for _, q := range g.Workload(gmark.Chain, 4, 64, 17) {
+		cqs = append(cqs, q.CQ)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("\nconcurrent service: %d queries, %d workers\n", len(cqs), workers)
+	for _, e := range []engine.Engine{bg, pg} {
+		rep := service.Run(context.Background(), e, g.Snapshot, cqs,
+			service.Options{Workers: workers, Timeout: timeout})
+		fmt.Printf("%-6s %8.0f qps  p50 %-10v p95 %-10v p99 %-10v timeouts %d\n",
+			rep.Engine, rep.Stats.QPS, rep.Stats.P50, rep.Stats.P95, rep.Stats.P99, rep.Timeouts)
 	}
 
 	// Show one generated query of each shape.

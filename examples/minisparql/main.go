@@ -43,7 +43,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		res, err := eval.Query(g.Store, parsed)
+		res, err := eval.Query(g.Snapshot, parsed)
 		if err != nil {
 			panic(err)
 		}

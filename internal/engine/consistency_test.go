@@ -25,6 +25,7 @@ func TestEngineConsistencyRandom(t *testing.T) {
 			o := itoa(rng.Intn(nNodes))
 			st.Add(s, p, o)
 		}
+		sn := st.Freeze()
 		// Random CQ: 1-4 atoms over up to 4 variables, constants mixed in.
 		nAtoms := 1 + rng.Intn(4)
 		nVars := 1 + rng.Intn(4)
@@ -33,21 +34,21 @@ func TestEngineConsistencyRandom(t *testing.T) {
 			if rng.Float64() < 0.7 {
 				return V(rng.Intn(nVars))
 			}
-			id, ok := st.Lookup(itoa(rng.Intn(nNodes)))
+			id, ok := sn.Lookup(itoa(rng.Intn(nNodes)))
 			if !ok {
 				return V(rng.Intn(nVars))
 			}
 			return C(id)
 		}
 		for a := 0; a < nAtoms; a++ {
-			pid, _ := st.Lookup("p" + itoa(rng.Intn(nPreds)))
+			pid, _ := sn.Lookup("p" + itoa(rng.Intn(nPreds)))
 			atoms = append(atoms, Atom{S: ref(), P: C(pid), O: ref()})
 		}
 		q := CQ{Atoms: atoms, NumVars: nVars}
 
-		ref1 := (&GraphEngine{}).Execute(st, q, time.Second)
-		ref2 := (&GraphEngine{Order: OrderSyntactic}).Execute(st, q, time.Second)
-		ref3 := (&RelationalEngine{}).Execute(st, q, time.Second)
+		ref1 := (&GraphEngine{}).Execute(sn, q, time.Second)
+		ref2 := (&GraphEngine{Order: OrderSyntactic}).Execute(sn, q, time.Second)
+		ref3 := (&RelationalEngine{}).Execute(sn, q, time.Second)
 		if ref1.TimedOut || ref2.TimedOut || ref3.TimedOut {
 			t.Fatalf("trial %d: unexpected timeout", trial)
 		}
@@ -58,9 +59,9 @@ func TestEngineConsistencyRandom(t *testing.T) {
 		// ASK agreement across all four engines.
 		qa := q
 		qa.Ask = true
-		a1 := (&GraphEngine{}).Execute(st, qa, time.Second)
-		a2 := (&RelationalEngine{}).Execute(st, qa, time.Second)
-		a3 := (&RelationalEngine{PipelinedAsk: true}).Execute(st, qa, time.Second)
+		a1 := (&GraphEngine{}).Execute(sn, qa, time.Second)
+		a2 := (&RelationalEngine{}).Execute(sn, qa, time.Second)
+		a3 := (&RelationalEngine{PipelinedAsk: true}).Execute(sn, qa, time.Second)
 		want := ref1.Count > 0
 		if (a1.Count > 0) != want || (a2.Count > 0) != want || (a3.Count > 0) != want {
 			t.Fatalf("trial %d: ASK diverges: want %v, got %v/%v/%v",
@@ -78,13 +79,14 @@ func TestEngineConsistencyVarPredicates(t *testing.T) {
 		for i := 0; i < 20; i++ {
 			st.Add(itoa(rng.Intn(6)), "p"+itoa(rng.Intn(2)), itoa(rng.Intn(6)))
 		}
+		sn := st.Freeze()
 		// ?x ?p ?y . ?y ?p ?z : shared predicate variable.
 		q := CQ{Atoms: []Atom{
 			{S: V(0), P: V(3), O: V(1)},
 			{S: V(1), P: V(3), O: V(2)},
 		}, NumVars: 4}
-		g := (&GraphEngine{}).Execute(st, q, time.Second)
-		r := (&RelationalEngine{}).Execute(st, q, time.Second)
+		g := (&GraphEngine{}).Execute(sn, q, time.Second)
+		r := (&RelationalEngine{}).Execute(sn, q, time.Second)
 		if g.Count != r.Count {
 			t.Fatalf("trial %d: var-predicate counts diverge: %d vs %d", trial, g.Count, r.Count)
 		}

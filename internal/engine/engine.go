@@ -1,7 +1,8 @@
 // Package engine implements two deliberately contrasting conjunctive-query
-// engines over the rdf.Store, reproducing the systems experiment of
-// Section 5.1 (Figure 3): a graph-native engine in the role of Blazegraph
-// and a relational engine in the role of PostgreSQL over a triples table.
+// engines over immutable rdf.Snapshots, reproducing the systems experiment
+// of Section 5.1 (Figure 3): a graph-native engine in the role of
+// Blazegraph and a relational engine in the role of PostgreSQL over a
+// triples table.
 //
 // GraphEngine performs index nested-loop joins with greedy
 // selectivity-based ordering and short-circuits ASK queries at the first
@@ -14,9 +15,14 @@
 // short-circuit. Cyclic queries keep both endpoints of the growing path in
 // the intermediate relation and only prune at the closing join, which is
 // what drives the paper's observed PostgreSQL timeouts on cycles.
+//
+// Both engines are stateless between calls and read only the immutable
+// snapshot, so one snapshot can serve any number of concurrent Execute /
+// ExecuteContext calls (see internal/service for the worker-pool layer).
 package engine
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -56,21 +62,71 @@ type Result struct {
 	// Count is the number of result bindings (1/0 for Ask on the graph
 	// engine).
 	Count int64
-	// TimedOut indicates the deadline struck before completion.
+	// TimedOut indicates the deadline struck (or the context was
+	// cancelled) before completion.
 	TimedOut bool
 	Duration time.Duration
 }
 
-// Engine executes conjunctive queries against a store within a timeout.
+// Engine executes conjunctive queries against a snapshot. Implementations
+// must be safe for concurrent use: all mutable execution state lives in
+// per-call structures.
 type Engine interface {
 	Name() string
-	Execute(st *rdf.Store, q CQ, timeout time.Duration) Result
+	// Execute runs the query with a per-query timeout; timed-out queries
+	// report Duration equal to the full timeout, as Figure 3 counts them.
+	Execute(sn *rdf.Snapshot, q CQ, timeout time.Duration) Result
+	// ExecuteContext runs the query under the context's deadline and
+	// cancellation; on timeout the Duration is the elapsed wall time.
+	ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ) Result
 }
 
 // errTimeout aborts execution internally.
 var errTimeout = errors.New("engine: timeout")
 
+// executeWithTimeout adapts ExecuteContext to the timeout-based Execute
+// contract: timed-out queries report the full timeout as their duration,
+// the way Figure 3 counts them.
+func executeWithTimeout(e Engine, sn *rdf.Snapshot, q CQ, timeout time.Duration) Result {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res := e.ExecuteContext(ctx, sn, q)
+	if res.TimedOut {
+		res.Duration = timeout
+	}
+	return res
+}
+
 const unbound = int64(-1)
+
+// ticker periodically checks the context deadline and cancellation from
+// tight evaluation loops. The check runs every mask+1 steps (mask must be
+// a power of two minus one) to keep time.Now out of the inner loop.
+type ticker struct {
+	ctx      context.Context
+	deadline time.Time
+	hasDL    bool
+	steps    int
+}
+
+func newTicker(ctx context.Context) ticker {
+	dl, ok := ctx.Deadline()
+	return ticker{ctx: ctx, deadline: dl, hasDL: ok}
+}
+
+func (tk *ticker) check(mask int) error {
+	tk.steps++
+	if tk.steps&mask != 0 {
+		return nil
+	}
+	if tk.hasDL && time.Now().After(tk.deadline) {
+		return errTimeout
+	}
+	if tk.ctx.Err() != nil {
+		return errTimeout
+	}
+	return nil
+}
 
 // ---------- Graph engine ----------
 
@@ -87,7 +143,7 @@ const (
 )
 
 // GraphEngine is the Blazegraph stand-in: index nested-loop joins over the
-// store's SPO/POS/OSP indexes.
+// snapshot's SPO/POS/OSP indexes.
 type GraphEngine struct {
 	Order OrderMode
 }
@@ -100,17 +156,20 @@ func (e *GraphEngine) Name() string {
 	return "BG"
 }
 
-// Execute runs the query with backtracking search.
-func (e *GraphEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) Result {
-	st.Freeze()
+// Execute runs the query with backtracking search within a timeout.
+func (e *GraphEngine) Execute(sn *rdf.Snapshot, q CQ, timeout time.Duration) Result {
+	return executeWithTimeout(e, sn, q, timeout)
+}
+
+// ExecuteContext runs the query under the context's deadline.
+func (e *GraphEngine) ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ) Result {
 	start := time.Now()
-	deadline := start.Add(timeout)
 	ex := &graphExec{
-		st:       st,
+		sn:       sn,
 		q:        q,
 		bindings: make([]int64, q.NumVars),
 		used:     make([]bool, len(q.Atoms)),
-		deadline: deadline,
+		tk:       newTicker(ctx),
 		order:    e.Order,
 	}
 	for i := range ex.bindings {
@@ -120,35 +179,25 @@ func (e *GraphEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) Result
 	res := Result{Count: ex.count, Duration: time.Since(start)}
 	if errors.Is(err, errTimeout) {
 		res.TimedOut = true
-		res.Duration = timeout
 	}
 	return res
 }
 
 type graphExec struct {
-	st       *rdf.Store
+	sn       *rdf.Snapshot
 	q        CQ
 	bindings []int64
 	used     []bool
 	count    int64
-	steps    int
-	deadline time.Time
+	tk       ticker
 	order    OrderMode
-}
-
-func (ex *graphExec) checkDeadline() error {
-	ex.steps++
-	if ex.steps&1023 == 0 && time.Now().After(ex.deadline) {
-		return errTimeout
-	}
-	return nil
 }
 
 // errDone stops the search after the first result for ASK queries.
 var errDone = errors.New("engine: done")
 
 func (ex *graphExec) search(depth int) error {
-	if err := ex.checkDeadline(); err != nil {
+	if err := ex.tk.check(1023); err != nil {
 		return err
 	}
 	if depth == len(ex.q.Atoms) {
@@ -233,25 +282,20 @@ func (ex *graphExec) estimate(a Atom) int64 {
 	case sb && pb && ob:
 		return 1
 	case sb && pb:
-		return int64(len(ex.st.Objects(s, p))) + 1
+		return int64(len(ex.sn.Objects(s, p))) + 1
 	case pb && ob:
-		return int64(len(ex.st.Subjects(p, o))) + 1
+		return int64(len(ex.sn.Subjects(p, o))) + 1
 	case sb && ob:
-		return int64(len(ex.st.Predicates(s, o))) + 1
+		return int64(len(ex.sn.Predicates(s, o))) + 1
 	case pb:
-		return int64(ex.st.PredicateCardinality(p)) + 2
-	case sb, ob:
-		return int64(ex.st.Len()/max(1, ex.st.NumTerms())) + 4
+		return int64(ex.sn.PredicateCardinality(p)) + 2
+	case sb:
+		return int64(ex.sn.SubjectDegree(s)) + 4
+	case ob:
+		return int64(ex.sn.ObjectDegree(o)) + 4
 	default:
-		return int64(ex.st.Len()) + 8
+		return int64(ex.sn.Len()) + 8
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // enumerate yields the triples matching the atom under current bindings
@@ -260,37 +304,37 @@ func (ex *graphExec) enumerate(a Atom, yield func(s, p, o rdf.ID) error) error {
 	s, sb := ex.resolve(a.S)
 	p, pb := ex.resolve(a.P)
 	o, ob := ex.resolve(a.O)
-	st := ex.st
+	sn := ex.sn
 	switch {
 	case sb && pb && ob:
-		if st.Has(s, p, o) {
+		if sn.Has(s, p, o) {
 			return yield(s, p, o)
 		}
 		return nil
 	case sb && pb:
-		for _, obj := range st.Objects(s, p) {
+		for _, obj := range sn.Objects(s, p) {
 			if err := yield(s, p, obj); err != nil {
 				return err
 			}
 		}
 		return nil
 	case pb && ob:
-		for _, sub := range st.Subjects(p, o) {
+		for _, sub := range sn.Subjects(p, o) {
 			if err := yield(sub, p, o); err != nil {
 				return err
 			}
 		}
 		return nil
 	case sb && ob:
-		for _, pred := range st.Predicates(s, o) {
+		for _, pred := range sn.Predicates(s, o) {
 			if err := yield(s, pred, o); err != nil {
 				return err
 			}
 		}
 		return nil
 	case pb:
-		for _, t := range st.ScanPredicate(p) {
-			if err := ex.checkDeadline(); err != nil {
+		for _, t := range sn.ScanPredicate(p) {
+			if err := ex.tk.check(1023); err != nil {
 				return err
 			}
 			if err := yield(t.S, t.P, t.O); err != nil {
@@ -298,16 +342,35 @@ func (ex *graphExec) enumerate(a Atom, yield func(s, p, o rdf.ID) error) error {
 			}
 		}
 		return nil
-	default:
-		for _, t := range st.Triples() {
-			if err := ex.checkDeadline(); err != nil {
+	case sb:
+		// Subject-only: the SPO index holds the subject's full edge list;
+		// no need to scan the store.
+		preds, objs := sn.SubjectEdges(s)
+		for i := range preds {
+			if err := ex.tk.check(1023); err != nil {
 				return err
 			}
-			if sb && t.S != s {
-				continue
+			if err := yield(s, preds[i], objs[i]); err != nil {
+				return err
 			}
-			if ob && t.O != o {
-				continue
+		}
+		return nil
+	case ob:
+		// Object-only: symmetric via the OSP index.
+		subs, preds := sn.ObjectEdges(o)
+		for i := range subs {
+			if err := ex.tk.check(1023); err != nil {
+				return err
+			}
+			if err := yield(subs[i], preds[i], o); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		for _, t := range sn.Triples() {
+			if err := ex.tk.check(1023); err != nil {
+				return err
 			}
 			if err := yield(t.S, t.P, t.O); err != nil {
 				return err

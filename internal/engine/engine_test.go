@@ -22,7 +22,7 @@ func chainStore() *rdf.Store {
 }
 
 // chainCQ builds ?x0 e ?x1 . ?x1 e ?x2 ... of the given length.
-func chainCQ(st *rdf.Store, pred string, k int, ask bool) CQ {
+func chainCQ(st *rdf.Snapshot, pred string, k int, ask bool) CQ {
 	pid, _ := st.Lookup(pred)
 	var atoms []Atom
 	for i := 0; i < k; i++ {
@@ -32,7 +32,7 @@ func chainCQ(st *rdf.Store, pred string, k int, ask bool) CQ {
 }
 
 // cycleCQ builds a closed cycle of length k.
-func cycleCQ(st *rdf.Store, pred string, k int, ask bool) CQ {
+func cycleCQ(st *rdf.Snapshot, pred string, k int, ask bool) CQ {
 	pid, _ := st.Lookup(pred)
 	var atoms []Atom
 	for i := 0; i < k; i++ {
@@ -46,7 +46,7 @@ func engines() []Engine {
 }
 
 func TestChainCounts(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	for _, e := range engines() {
 		// Paths of length 2 along "e": a0a1a2, a1a2a3, a2a3a4, a3a4a5.
 		res := e.Execute(st, chainCQ(st, "e", 2, false), time.Second)
@@ -60,7 +60,7 @@ func TestChainCounts(t *testing.T) {
 }
 
 func TestCycleCounts(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	for _, e := range engines() {
 		// The triangle yields 3 bindings for a 3-cycle (rotations).
 		res := e.Execute(st, cycleCQ(st, "c", 3, false), time.Second)
@@ -79,7 +79,7 @@ func TestCycleCounts(t *testing.T) {
 }
 
 func TestAskShortCircuit(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	ge := &GraphEngine{}
 	res := ge.Execute(st, chainCQ(st, "e", 3, true), time.Second)
 	if res.Count != 1 {
@@ -94,7 +94,7 @@ func TestAskShortCircuit(t *testing.T) {
 }
 
 func TestConstantsInAtoms(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	a0, _ := st.Lookup("a0")
 	pid, _ := st.Lookup("e")
 	q := CQ{Atoms: []Atom{{S: C(a0), P: C(pid), O: V(0)}}, NumVars: 1}
@@ -115,7 +115,7 @@ func TestConstantsInAtoms(t *testing.T) {
 }
 
 func TestVariablePredicate(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	a0, _ := st.Lookup("a0")
 	q := CQ{Atoms: []Atom{{S: C(a0), P: V(0), O: V(1)}}, NumVars: 2}
 	for _, e := range engines() {
@@ -127,8 +127,9 @@ func TestVariablePredicate(t *testing.T) {
 }
 
 func TestRepeatedVariableInAtom(t *testing.T) {
-	st := chainStore()
-	st.Add("loop", "e", "loop")
+	b := chainStore()
+	b.Add("loop", "e", "loop")
+	st := b.Freeze()
 	pid, _ := st.Lookup("e")
 	q := CQ{Atoms: []Atom{{S: V(0), P: C(pid), O: V(0)}}, NumVars: 1}
 	for _, e := range engines() {
@@ -140,7 +141,7 @@ func TestRepeatedVariableInAtom(t *testing.T) {
 }
 
 func TestEnginesAgreeOnJoins(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	// Two-atom join with shared variable in different positions.
 	pid, _ := st.Lookup("e")
 	cid, _ := st.Lookup("c")
@@ -170,10 +171,11 @@ func TestTimeout(t *testing.T) {
 	// A large random graph with an expensive cyclic query and a tiny
 	// timeout must report a timeout, and the reported duration equals the
 	// timeout (Figure 3 counts timeouts at full timeout value).
-	st := rdf.NewStore()
+	b := rdf.NewStore()
 	for i := 0; i < 3000; i++ {
-		st.Add(itoa(i%611), "p", itoa((i*7+1)%611))
+		b.Add(itoa(i%611), "p", itoa((i*7+1)%611))
 	}
+	st := b.Freeze()
 	pid, _ := st.Lookup("p")
 	var atoms []Atom
 	for i := 0; i < 6; i++ {
@@ -191,12 +193,13 @@ func TestTimeout(t *testing.T) {
 }
 
 func TestMaterializationCapCountsAsTimeout(t *testing.T) {
-	st := rdf.NewStore()
+	b := rdf.NewStore()
 	for i := 0; i < 40; i++ {
 		for j := 0; j < 40; j++ {
-			st.Add(itoa(i), "p", itoa(40+j))
+			b.Add(itoa(i), "p", itoa(40+j))
 		}
 	}
+	st := b.Freeze()
 	pid, _ := st.Lookup("p")
 	// Cross join of two scans: 1600 * 1600 rows > cap.
 	q := CQ{Atoms: []Atom{
@@ -211,7 +214,7 @@ func TestMaterializationCapCountsAsTimeout(t *testing.T) {
 }
 
 func TestWorkloadStats(t *testing.T) {
-	st := chainStore()
+	st := chainStore().Freeze()
 	queries := []CQ{chainCQ(st, "e", 2, true), cycleCQ(st, "c", 3, true)}
 	stats := RunWorkload(&GraphEngine{}, st, queries, time.Second)
 	if stats.Queries != 2 || stats.Timeouts != 0 {

@@ -20,23 +20,23 @@ import (
 type PathResolver func(iri string) (rdf.ID, bool)
 
 // StoreResolver resolves IRIs directly against the store dictionary.
-func StoreResolver(st *rdf.Store) PathResolver {
-	return func(iri string) (rdf.ID, bool) { return st.Lookup(iri) }
+func StoreResolver(sn *rdf.Snapshot) PathResolver {
+	return func(iri string) (rdf.ID, bool) { return sn.Lookup(iri) }
 }
 
 // EvalPathFrom returns the set of nodes reachable from start via the
 // path expression.
-func EvalPathFrom(st *rdf.Store, start rdf.ID, p sparql.PathExpr, resolve PathResolver) map[rdf.ID]bool {
-	e := &pathEval{st: st, resolve: resolve}
+func EvalPathFrom(sn *rdf.Snapshot, start rdf.ID, p sparql.PathExpr, resolve PathResolver) map[rdf.ID]bool {
+	e := &pathEval{sn: sn, resolve: resolve}
 	out := make(map[rdf.ID]bool)
 	e.from(start, p, func(n rdf.ID) { out[n] = true })
 	return out
 }
 
 // PathHolds reports whether the path connects s to o.
-func PathHolds(st *rdf.Store, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
+func PathHolds(sn *rdf.Snapshot, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
 	found := false
-	e := &pathEval{st: st, resolve: resolve}
+	e := &pathEval{sn: sn, resolve: resolve}
 	e.from(s, p, func(n rdf.ID) {
 		if n == o {
 			found = true
@@ -48,11 +48,11 @@ func PathHolds(st *rdf.Store, s, o rdf.ID, p sparql.PathExpr, resolve PathResolv
 // EvalPathPairs enumerates all (subject, object) pairs connected by the
 // path, up to limit pairs (0 = unlimited). The subject candidates are
 // all subjects and objects in the store.
-func EvalPathPairs(st *rdf.Store, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
-	e := &pathEval{st: st, resolve: resolve}
+func EvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
+	e := &pathEval{sn: sn, resolve: resolve}
 	var out [][2]rdf.ID
 	seenStart := make(map[rdf.ID]bool)
-	for _, t := range st.Triples() {
+	for _, t := range sn.Triples() {
 		for _, s := range [2]rdf.ID{t.S, t.O} {
 			if seenStart[s] {
 				continue
@@ -77,7 +77,7 @@ func EvalPathPairs(st *rdf.Store, p sparql.PathExpr, resolve PathResolver, limit
 }
 
 type pathEval struct {
-	st      *rdf.Store
+	sn      *rdf.Snapshot
 	resolve PathResolver
 }
 
@@ -87,7 +87,7 @@ func (e *pathEval) from(start rdf.ID, p sparql.PathExpr, yield func(rdf.ID)) {
 	switch n := p.(type) {
 	case *sparql.PathIRI:
 		if pid, ok := e.resolve(n.IRI); ok {
-			for _, o := range e.st.Objects(start, pid) {
+			for _, o := range e.sn.Objects(start, pid) {
 				yield(o)
 			}
 		}
@@ -117,7 +117,7 @@ func (e *pathEval) from(start rdf.ID, p sparql.PathExpr, yield func(rdf.ID)) {
 func (e *pathEval) inverseFrom(start rdf.ID, x sparql.PathExpr, yield func(rdf.ID)) {
 	if iri, ok := x.(*sparql.PathIRI); ok {
 		if pid, ok := e.resolve(iri.IRI); ok {
-			for _, s := range e.st.Subjects(pid, start) {
+			for _, s := range e.sn.Subjects(pid, start) {
 				yield(s)
 			}
 		}
@@ -125,7 +125,7 @@ func (e *pathEval) inverseFrom(start rdf.ID, x sparql.PathExpr, yield func(rdf.I
 	}
 	// General case: scan candidate sources (rare in practice; the
 	// grammar nests ^ around atoms).
-	for _, t := range e.st.Triples() {
+	for _, t := range e.sn.Triples() {
 		src := t.S
 		e.from(src, x, func(n rdf.ID) {
 			if n == start {
@@ -217,13 +217,20 @@ func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.I
 			}
 		}
 	}
-	forwardAllowed := hasForward || !hasInverse
-	for _, t := range e.st.Triples() {
-		if forwardAllowed && t.S == start && !excluded[t.P] {
-			yield(t.O)
+	if hasForward || !hasInverse {
+		preds, objs := e.sn.SubjectEdges(start)
+		for i := range preds {
+			if !excluded[preds[i]] {
+				yield(objs[i])
+			}
 		}
-		if hasInverse && t.O == start && !excludedInv[t.P] {
-			yield(t.S)
+	}
+	if hasInverse {
+		subs, preds := e.sn.ObjectEdges(start)
+		for i := range subs {
+			if !excludedInv[preds[i]] {
+				yield(subs[i])
+			}
 		}
 	}
 }

@@ -13,14 +13,14 @@ import (
 //	a -p-> b -p-> c -p-> d        (p-chain)
 //	a -q-> x                     (branch)
 //	c -r-> a                     (back edge closing a p/r cycle)
-func pathStore() *rdf.Store {
+func pathStore() *rdf.Snapshot {
 	st := rdf.NewStore()
 	st.Add("a", "p", "b")
 	st.Add("b", "p", "c")
 	st.Add("c", "p", "d")
 	st.Add("a", "q", "x")
 	st.Add("c", "r", "a")
-	return st
+	return st.Freeze()
 }
 
 func parsePath(t *testing.T, expr string) sparql.PathExpr {
@@ -36,7 +36,7 @@ func parsePath(t *testing.T, expr string) sparql.PathExpr {
 	return pp[0].Path
 }
 
-func reach(t *testing.T, st *rdf.Store, from, expr string) []string {
+func reach(t *testing.T, st *rdf.Snapshot, from, expr string) []string {
 	t.Helper()
 	id, ok := st.Lookup(from)
 	if !ok {
@@ -140,13 +140,13 @@ func TestEvalPathPairs(t *testing.T) {
 func TestPathEvalSeqDeduplicatesFrontier(t *testing.T) {
 	// Diamond data: without frontier dedup, the final stage would yield
 	// the same node many times; the result set must still be exact.
-	st := rdf.NewStore()
-	st.Add("s", "p", "m1")
-	st.Add("s", "p", "m2")
-	st.Add("m1", "p", "t")
-	st.Add("m2", "p", "t")
-	st.Add("t", "p", "u")
-	got := reach(t, st, "s", "<p>/<p>/<p>")
+	b := rdf.NewStore()
+	b.Add("s", "p", "m1")
+	b.Add("s", "p", "m2")
+	b.Add("m1", "p", "t")
+	b.Add("m2", "p", "t")
+	b.Add("t", "p", "u")
+	got := reach(t, b.Freeze(), "s", "<p>/<p>/<p>")
 	if !eq(got, []string{"u"}) {
 		t.Errorf("diamond seq = %v, want [u]", got)
 	}

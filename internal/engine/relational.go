@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -45,16 +46,22 @@ func (r *relation) colOf(v int) int {
 	return -1
 }
 
-// Execute runs the left-deep hash-join pipeline, materializing every
-// intermediate (the SQL SELECT plan of the paper's setup). With
-// PipelinedAsk set, ASK queries instead stream with early exit.
-func (e *RelationalEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) Result {
+// Execute runs the query within a timeout; timed-out queries report the
+// full timeout as their duration, as Figure 3 counts them.
+func (e *RelationalEngine) Execute(sn *rdf.Snapshot, q CQ, timeout time.Duration) Result {
+	return executeWithTimeout(e, sn, q, timeout)
+}
+
+// ExecuteContext runs the left-deep hash-join pipeline under the
+// context's deadline, materializing every intermediate (the SQL SELECT
+// plan of the paper's setup). With PipelinedAsk set, ASK queries instead
+// stream with early exit.
+func (e *RelationalEngine) ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ) Result {
 	if q.Ask && e.PipelinedAsk {
-		return e.executeAsk(st, q, timeout)
+		return e.executeAsk(ctx, sn, q)
 	}
-	st.Freeze()
 	start := time.Now()
-	deadline := start.Add(timeout)
+	tk := newTicker(ctx)
 	maxRows := e.MaxRows
 	if maxRows <= 0 {
 		maxRows = DefaultMaxRows
@@ -63,7 +70,7 @@ func (e *RelationalEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) R
 	cur.rows = [][]rdf.ID{{}} // unit relation
 	var err error
 	for _, atom := range q.Atoms {
-		cur, err = joinAtom(st, cur, atom, deadline, maxRows)
+		cur, err = joinAtom(sn, cur, atom, &tk, maxRows)
 		if err != nil {
 			break
 		}
@@ -74,7 +81,6 @@ func (e *RelationalEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) R
 	res := Result{Duration: time.Since(start)}
 	if err != nil {
 		res.TimedOut = true
-		res.Duration = timeout
 		return res
 	}
 	res.Count = int64(len(cur.rows))
@@ -83,7 +89,7 @@ func (e *RelationalEngine) Execute(st *rdf.Store, q CQ, timeout time.Duration) R
 
 // joinAtom scans the triples matching the atom's constants and hash-joins
 // them with the current relation on the shared variables.
-func joinAtom(st *rdf.Store, cur *relation, atom Atom, deadline time.Time, maxRows int) (*relation, error) {
+func joinAtom(sn *rdf.Snapshot, cur *relation, atom Atom, tk *ticker, maxRows int) (*relation, error) {
 	// Columns the atom shares with cur, and new columns it introduces.
 	type pos struct {
 		ref TermRef
@@ -111,9 +117,9 @@ func joinAtom(st *rdf.Store, cur *relation, atom Atom, deadline time.Time, maxRo
 	// (the relational engine's single index), else scan the relation.
 	var scan []rdf.Triple
 	if !atom.P.IsVar {
-		scan = st.ScanPredicate(atom.P.ID)
+		scan = sn.ScanPredicate(atom.P.ID)
 	} else {
-		scan = st.Triples()
+		scan = sn.Triples()
 	}
 
 	// Build a hash table on the join key over the smaller side: we always
@@ -146,20 +152,17 @@ func joinAtom(st *rdf.Store, cur *relation, atom Atom, deadline time.Time, maxRo
 		return k, true
 	}
 	ht := make(map[key][]rdf.Triple)
-	steps := 0
 	for _, t := range scan {
-		steps++
-		if steps&4095 == 0 && time.Now().After(deadline) {
-			return nil, errTimeout
+		if err := tk.check(4095); err != nil {
+			return nil, err
 		}
 		if k, ok := makeKeyFromTriple(t); ok {
 			ht[k] = append(ht[k], t)
 		}
 	}
 	for _, row := range cur.rows {
-		steps++
-		if steps&1023 == 0 && time.Now().After(deadline) {
-			return nil, errTimeout
+		if err := tk.check(1023); err != nil {
+			return nil, err
 		}
 		var k key
 		for i := range ps {
@@ -196,10 +199,9 @@ var errMemory = errors.New("engine: materialization cap exceeded")
 // selectivity estimation: atom i is always probed after atoms 0..i-1, so
 // a cycle query enumerates open paths until one closes — the behaviour
 // behind the paper's PostgreSQL cycle timeouts.
-func (e *RelationalEngine) executeAsk(st *rdf.Store, q CQ, timeout time.Duration) Result {
-	st.Freeze()
+func (e *RelationalEngine) executeAsk(ctx context.Context, sn *rdf.Snapshot, q CQ) Result {
 	start := time.Now()
-	deadline := start.Add(timeout)
+	tk := newTicker(ctx)
 	// Hash build per atom, keyed by the variables shared with the prefix
 	// (modelling the hash side of each join; the build cost is the full
 	// predicate scan, as in a triples-table plan without statistics).
@@ -210,7 +212,9 @@ func (e *RelationalEngine) executeAsk(st *rdf.Store, q CQ, timeout time.Duration
 		table   map[[3]int64][]rdf.Triple
 	}
 	builds := make([]buildInfo, numAtoms)
-	steps := 0
+	timedOut := func() Result {
+		return Result{TimedOut: true, Duration: time.Since(start)}
+	}
 	for i, atom := range q.Atoms {
 		var keyVars []int
 		refs := [3]TermRef{atom.S, atom.P, atom.O}
@@ -221,15 +225,14 @@ func (e *RelationalEngine) executeAsk(st *rdf.Store, q CQ, timeout time.Duration
 		}
 		var scan []rdf.Triple
 		if !atom.P.IsVar {
-			scan = st.ScanPredicate(atom.P.ID)
+			scan = sn.ScanPredicate(atom.P.ID)
 		} else {
-			scan = st.Triples()
+			scan = sn.Triples()
 		}
 		table := make(map[[3]int64][]rdf.Triple, len(scan))
 		for _, t := range scan {
-			steps++
-			if steps&4095 == 0 && time.Now().After(deadline) {
-				return Result{TimedOut: true, Duration: timeout}
+			if err := tk.check(4095); err != nil {
+				return timedOut()
 			}
 			vals := [3]rdf.ID{t.S, t.P, t.O}
 			ok := true
@@ -284,9 +287,8 @@ func (e *RelationalEngine) executeAsk(st *rdf.Store, q CQ, timeout time.Duration
 		if i == numAtoms {
 			return true, nil
 		}
-		steps++
-		if steps&1023 == 0 && time.Now().After(deadline) {
-			return false, errTimeout
+		if err := tk.check(1023); err != nil {
+			return false, err
 		}
 		atom := q.Atoms[i]
 		refs := [3]TermRef{atom.S, atom.P, atom.O}
@@ -335,7 +337,7 @@ func (e *RelationalEngine) executeAsk(st *rdf.Store, q CQ, timeout time.Duration
 	}
 	found, err := probe(0)
 	if err != nil {
-		return Result{TimedOut: true, Duration: timeout}
+		return timedOut()
 	}
 	res := Result{Duration: time.Since(start)}
 	if found {

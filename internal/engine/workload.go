@@ -34,12 +34,13 @@ func (w WorkloadStats) TimeoutRate() float64 {
 	return float64(w.Timeouts) / float64(w.Queries)
 }
 
-// RunWorkload executes every query of the workload on the engine with the
-// per-query timeout.
-func RunWorkload(e Engine, st *rdf.Store, queries []CQ, timeout time.Duration) WorkloadStats {
+// RunWorkload executes every query of the workload serially on the engine
+// with the per-query timeout. For the concurrent counterpart with latency
+// percentiles, see internal/service.
+func RunWorkload(e Engine, sn *rdf.Snapshot, queries []CQ, timeout time.Duration) WorkloadStats {
 	stats := WorkloadStats{Engine: e.Name(), Queries: len(queries)}
 	for _, q := range queries {
-		res := e.Execute(st, q, timeout)
+		res := e.Execute(sn, q, timeout)
 		stats.TotalNanos += res.Duration.Nanoseconds()
 		if res.TimedOut {
 			stats.Timeouts++

@@ -1,4 +1,4 @@
-// Package eval executes parsed SPARQL queries against the rdf.Store: the
+// Package eval executes parsed SPARQL queries against an rdf.Snapshot: the
 // group graph pattern algebra (joins, OPTIONAL, UNION, MINUS, FILTER,
 // BIND, VALUES, subqueries, property paths), expression evaluation, and
 // the solution modifiers (projection, DISTINCT, ORDER BY, LIMIT/OFFSET,
@@ -46,17 +46,19 @@ type Limits struct {
 // DefaultMaxRows bounds intermediate results.
 const DefaultMaxRows = 1_000_000
 
-// Query evaluates a parsed query against the store.
-func Query(st *rdf.Store, q *sparql.Query) (*Result, error) {
-	return QueryWithLimits(st, q, Limits{})
+// Query evaluates a parsed query against an immutable store snapshot.
+// The snapshot is only read, so concurrent Query calls over one snapshot
+// are safe.
+func Query(sn *rdf.Snapshot, q *sparql.Query) (*Result, error) {
+	return QueryWithLimits(sn, q, Limits{})
 }
 
 // QueryWithLimits evaluates with explicit bounds.
-func QueryWithLimits(st *rdf.Store, q *sparql.Query, lim Limits) (*Result, error) {
+func QueryWithLimits(sn *rdf.Snapshot, q *sparql.Query, lim Limits) (*Result, error) {
 	if lim.MaxRows <= 0 {
 		lim.MaxRows = DefaultMaxRows
 	}
-	ev := &evaluator{st: st, prefixes: prefixMap(q), lim: lim}
+	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim}
 	return ev.query(q)
 }
 
@@ -71,7 +73,7 @@ func (b binding) clone() binding {
 }
 
 type evaluator struct {
-	st       *rdf.Store
+	st       *rdf.Snapshot
 	prefixes map[string]string
 	lim      Limits
 }
@@ -420,14 +422,24 @@ func (ev *evaluator) matchTriple(tp *sparql.TriplePattern, b binding, yield func
 				emit(t.S, t.P, t.O)
 			}
 		}
+	case sb:
+		// Subject-only: the subject's full edge list from the SPO index
+		// replaces the old store scan.
+		preds, objs := st.SubjectEdges(s)
+		for i := range preds {
+			if consistent(s, preds[i], objs[i]) {
+				emit(s, preds[i], objs[i])
+			}
+		}
+	case ob:
+		subs, preds := st.ObjectEdges(o)
+		for i := range subs {
+			if consistent(subs[i], preds[i], o) {
+				emit(subs[i], preds[i], o)
+			}
+		}
 	default:
 		for _, t := range st.Triples() {
-			if sb && t.S != s {
-				continue
-			}
-			if ob && t.O != o {
-				continue
-			}
 			if consistent(t.S, t.P, t.O) {
 				emit(t.S, t.P, t.O)
 			}

@@ -7,8 +7,12 @@ import (
 	"sparqlog/internal/sparql"
 )
 
-// people builds a small social store.
-func people() *rdf.Store {
+// people builds a small social store snapshot.
+func people() *rdf.Snapshot { return peopleStore().Freeze() }
+
+// peopleStore is the mutable builder behind people, for tests that add
+// extra triples before freezing.
+func peopleStore() *rdf.Store {
 	st := rdf.NewStore()
 	add := func(s, p, o string) { st.Add(s, p, o) }
 	add("http://ex/alice", "http://ex/name", "Alice")
@@ -24,7 +28,7 @@ func people() *rdf.Store {
 	return st
 }
 
-func run(t *testing.T, st *rdf.Store, src string) *Result {
+func run(t *testing.T, st *rdf.Snapshot, src string) *Result {
 	t.Helper()
 	q, err := sparql.Parse(src)
 	if err != nil {
@@ -80,9 +84,9 @@ func TestFilterLogic(t *testing.T) {
 }
 
 func TestOptional(t *testing.T) {
-	st := people()
-	st.Add("http://ex/dave", "http://ex/name", "Dave") // no age
-	res := run(t, st, `PREFIX ex: <http://ex/>
+	b := peopleStore()
+	b.Add("http://ex/dave", "http://ex/name", "Dave") // no age
+	res := run(t, b.Freeze(), `PREFIX ex: <http://ex/>
 		SELECT ?n ?a WHERE { ?p ex:name ?n OPTIONAL { ?p ex:age ?a } }`)
 	if len(res.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(res.Rows))
@@ -162,14 +166,15 @@ func TestAggregates(t *testing.T) {
 }
 
 func TestAggregateOrderBy(t *testing.T) {
-	st := rdf.NewStore()
-	st.Add("p1", "by", "r1")
-	st.Add("p2", "by", "r1")
-	st.Add("p3", "by", "r1")
-	st.Add("p4", "by", "r2")
-	st.Add("p5", "by", "r3")
-	st.Add("p6", "by", "r3")
-	res := run(t, st, `SELECT ?r (COUNT(*) AS ?n) WHERE { ?p <by> ?r }
+	b := rdf.NewStore()
+	b.Add("p1", "by", "r1")
+	b.Add("p2", "by", "r1")
+	b.Add("p3", "by", "r1")
+	b.Add("p4", "by", "r2")
+	b.Add("p5", "by", "r3")
+	b.Add("p6", "by", "r3")
+	sn := b.Freeze()
+	res := run(t, sn, `SELECT ?r (COUNT(*) AS ?n) WHERE { ?p <by> ?r }
 		GROUP BY ?r ORDER BY DESC(?n) ?r`)
 	want := [][2]string{{"r1", "3"}, {"r3", "2"}, {"r2", "1"}}
 	if len(res.Rows) != 3 {
@@ -181,7 +186,7 @@ func TestAggregateOrderBy(t *testing.T) {
 		}
 	}
 	// Ordering by an aggregate expression not in the projection.
-	res2 := run(t, st, `SELECT ?r WHERE { ?p <by> ?r } GROUP BY ?r ORDER BY COUNT(*)`)
+	res2 := run(t, sn, `SELECT ?r WHERE { ?p <by> ?r } GROUP BY ?r ORDER BY COUNT(*)`)
 	if res2.Rows[0][0] != "r2" {
 		t.Fatalf("order by hidden aggregate = %v", res2.Rows)
 	}
@@ -338,9 +343,9 @@ func TestEmptyResultAggregation(t *testing.T) {
 }
 
 func TestRepeatedVariableInTriple(t *testing.T) {
-	st := people()
-	st.Add("http://ex/self", "http://ex/knows", "http://ex/self")
-	res := run(t, st, `PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:knows ?x }`)
+	b := peopleStore()
+	b.Add("http://ex/self", "http://ex/knows", "http://ex/self")
+	res := run(t, b.Freeze(), `PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:knows ?x }`)
 	if len(res.Rows) != 1 {
 		t.Fatalf("self-loop rows = %v", res.Rows)
 	}

@@ -69,15 +69,19 @@ func BibSchema() []PredicateSpec {
 	}
 }
 
-// Graph is a generated instance: the triple store plus the dictionary of
-// schema predicates and per-type node ranges.
+// Graph is a generated instance: the frozen query-ready Snapshot, the
+// dictionary of schema predicates, and per-type node ranges. The builder
+// store used during generation is discarded once frozen, so a Graph
+// holds one copy of the data.
 type Graph struct {
-	Store   *rdf.Store
-	PredID  map[string]rdf.ID
-	Nodes   [numTypes][]rdf.ID
-	Schema  []PredicateSpec
-	N       int
-	Triples int
+	// Snapshot is the immutable index built at generation time; engines
+	// and the eval package query it (concurrently, if desired).
+	Snapshot *rdf.Snapshot
+	PredID   map[string]rdf.ID
+	Nodes    [numTypes][]rdf.ID
+	Schema   []PredicateSpec
+	N        int
+	Triples  int
 }
 
 // Config controls instance generation.
@@ -93,7 +97,8 @@ func Generate(cfg Config) *Graph {
 		cfg.Nodes = 10000
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := &Graph{Store: rdf.NewStore(), PredID: map[string]rdf.ID{}, Schema: BibSchema(), N: cfg.Nodes}
+	g := &Graph{PredID: map[string]rdf.ID{}, Schema: BibSchema(), N: cfg.Nodes}
+	store := rdf.NewStore()
 	iri := func(t NodeType, i int) string {
 		return fmt.Sprintf("http://gmark.bib/%s/%d", typeNames[t], i)
 	}
@@ -103,11 +108,11 @@ func Generate(cfg Config) *Graph {
 			cnt = 2
 		}
 		for i := 0; i < cnt; i++ {
-			g.Nodes[t] = append(g.Nodes[t], g.Store.Intern(iri(t, i)))
+			g.Nodes[t] = append(g.Nodes[t], store.Intern(iri(t, i)))
 		}
 	}
 	for _, spec := range g.Schema {
-		pid := g.Store.Intern("http://gmark.bib/p/" + spec.Name)
+		pid := store.Intern("http://gmark.bib/p/" + spec.Name)
 		g.PredID[spec.Name] = pid
 		sources := g.Nodes[spec.From]
 		targets := g.Nodes[spec.To]
@@ -143,12 +148,12 @@ func Generate(cfg Config) *Graph {
 				if dst == src {
 					continue // no self-citations / self-knows
 				}
-				g.Store.AddIDs(src, pid, dst)
+				store.AddIDs(src, pid, dst)
 			}
 		}
 	}
-	g.Store.Freeze()
-	g.Triples = g.Store.Len()
+	g.Snapshot = store.Freeze()
+	g.Triples = g.Snapshot.Len()
 	return g
 }
 

@@ -36,13 +36,13 @@ func TestGenerateSchemaConformance(t *testing.T) {
 		return false
 	}
 	pid := g.PredID["cites"]
-	for _, tr := range g.Store.ScanPredicate(pid) {
+	for _, tr := range g.Snapshot.ScanPredicate(pid) {
 		if !inType(tr.S, Paper) || !inType(tr.O, Paper) {
 			t.Fatal("cites edge violates schema")
 		}
 	}
 	aid := g.PredID["authoredBy"]
-	for _, tr := range g.Store.ScanPredicate(aid) {
+	for _, tr := range g.Snapshot.ScanPredicate(aid) {
 		if !inType(tr.S, Paper) || !inType(tr.O, Researcher) {
 			t.Fatal("authoredBy edge violates schema")
 		}
@@ -101,8 +101,8 @@ func TestWorkloadsRunOnBothEngines(t *testing.T) {
 	for _, q := range chains {
 		cqs = append(cqs, q.CQ)
 	}
-	bg := engine.RunWorkload(&engine.GraphEngine{}, g.Store, cqs, 2*time.Second)
-	pg := engine.RunWorkload(&engine.RelationalEngine{}, g.Store, cqs, 2*time.Second)
+	bg := engine.RunWorkload(&engine.GraphEngine{}, g.Snapshot, cqs, 2*time.Second)
+	pg := engine.RunWorkload(&engine.RelationalEngine{}, g.Snapshot, cqs, 2*time.Second)
 	if bg.Queries != 5 || pg.Queries != 5 {
 		t.Fatalf("queries = %d/%d", bg.Queries, pg.Queries)
 	}

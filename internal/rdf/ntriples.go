@@ -5,14 +5,15 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // ReadNTriples loads N-Triples-style data into the store: one triple per
 // line, `<s> <p> <o> .` with IRIs in angle brackets, blank nodes as
-// _:label, and literals as quoted strings (language tags and datatype
-// annotations are accepted and stored as part of the lexical form is NOT
-// retained — the store is untyped text, so `"x"@en` stores as `x`).
-// Comment lines (#) and blank lines are skipped.
+// _:label, and literals as quoted strings. Language tags and datatype
+// annotations are accepted but NOT retained — the store is untyped text,
+// so `"x"@en` stores as `x`. Comment lines (#) and blank lines are
+// skipped.
 func (s *Store) ReadNTriples(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -68,7 +69,14 @@ func readTerm(line string) (string, string, error) {
 		if end < 0 {
 			end = len(line)
 		}
-		return line[:end], line[end:], nil
+		label, rest := line[:end], line[end:]
+		// A label cannot end with the statement terminator: in `_:c.` at
+		// the end of a line (or with only whitespace after), the final
+		// `.` closes the triple, not the label.
+		if strings.HasSuffix(label, ".") && strings.TrimSpace(rest) == "" {
+			label, rest = label[:len(label)-1], "."
+		}
+		return label, rest, nil
 	case '"':
 		// Find the closing quote, honoring escapes.
 		i := 1
@@ -87,6 +95,23 @@ func readTerm(line string) (string, string, error) {
 					sb.WriteByte('"')
 				case '\\':
 					sb.WriteByte('\\')
+				case 'u', 'U':
+					// UCHAR escapes: \uXXXX and \UXXXXXXXX.
+					digits := 4
+					if line[i+1] == 'U' {
+						digits = 8
+					}
+					hex := line[i+2:]
+					if len(hex) < digits {
+						return "", "", fmt.Errorf("truncated \\%c escape", line[i+1])
+					}
+					r, err := parseHexRune(hex[:digits])
+					if err != nil {
+						return "", "", err
+					}
+					sb.WriteRune(r)
+					i += 2 + digits
+					continue
 				default:
 					sb.WriteByte(line[i+1])
 				}
@@ -122,10 +147,36 @@ func readTerm(line string) (string, string, error) {
 	return "", "", fmt.Errorf("unexpected term start %q", line[0])
 }
 
+// parseHexRune decodes a fixed-width hex code point.
+func parseHexRune(hex string) (rune, error) {
+	var r rune
+	for i := 0; i < len(hex); i++ {
+		c := hex[i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q in UCHAR escape", c)
+		}
+		r = r<<4 | d
+	}
+	if r > utf8.MaxRune || (r >= 0xD800 && r <= 0xDFFF) {
+		return 0, fmt.Errorf("UCHAR escape out of range: %#x", r)
+	}
+	return r, nil
+}
+
 // WriteNTriples serializes the store as N-Triples, writing IRIs in angle
 // brackets and everything else as plain literals (the dictionary does not
 // retain term kinds, so the heuristic brackets terms that look like
-// IRIs).
+// IRIs). Terms whose text cannot survive the IRI or blank-node syntax
+// (embedded whitespace, angle brackets, quotes) are written as literals,
+// so Write -> Read round-trips the term text exactly.
 func (s *Store) WriteNTriples(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range s.triples {
@@ -147,12 +198,32 @@ func (s *Store) WriteNTriples(w io.Writer) error {
 	return bw.Flush()
 }
 
+// termSafe reports whether the term text can be emitted verbatim inside
+// IRI brackets or as a blank-node label without the reader re-tokenizing
+// it differently.
+func termSafe(term string, blank bool) bool {
+	for i := 0; i < len(term); i++ {
+		switch c := term[i]; {
+		case c <= ' ' || c == 0x7f: // control chars and whitespace
+			return false
+		case c == '<' || c == '>' || c == '"':
+			return false
+		case blank && (c == '.' || c == '\\'):
+			// Dots are legal mid-label but ambiguous at the boundary and
+			// backslashes never un-escape; quote such labels instead.
+			return false
+		}
+	}
+	return true
+}
+
 func writeTerm(w *bufio.Writer, term string) error {
-	if strings.HasPrefix(term, "_:") {
+	if strings.HasPrefix(term, "_:") && termSafe(term[2:], true) {
 		_, err := w.WriteString(term)
 		return err
 	}
-	if strings.Contains(term, "://") || strings.HasPrefix(term, "urn:") || strings.HasPrefix(term, "mailto:") {
+	looksIRI := strings.Contains(term, "://") || strings.HasPrefix(term, "urn:") || strings.HasPrefix(term, "mailto:")
+	if looksIRI && termSafe(term, false) {
 		w.WriteByte('<')
 		w.WriteString(term)
 		return w.WriteByte('>')
@@ -166,6 +237,10 @@ func writeTerm(w *bufio.Writer, term string) error {
 			w.WriteString(`\\`)
 		case '\n':
 			w.WriteString(`\n`)
+		case '\r':
+			w.WriteString(`\r`)
+		case '\t':
+			w.WriteString(`\t`)
 		default:
 			w.WriteByte(c)
 		}

@@ -23,17 +23,71 @@ _:b1 <http://ex/p> "esc\"aped\nline" .
 	if n != 5 || st.Len() != 5 {
 		t.Fatalf("loaded %d/%d, want 5", n, st.Len())
 	}
-	a, _ := st.Lookup("http://ex/a")
-	name, _ := st.Lookup("http://ex/name")
-	alice, ok := st.Lookup("Alice")
-	if !ok || !st.Has(a, name, alice) {
+	sn := st.Freeze()
+	a, _ := sn.Lookup("http://ex/a")
+	name, _ := sn.Lookup("http://ex/name")
+	alice, ok := sn.Lookup("Alice")
+	if !ok || !sn.Has(a, name, alice) {
 		t.Error("literal triple missing")
 	}
-	if _, ok := st.Lookup("tag"); !ok {
+	if _, ok := sn.Lookup("tag"); !ok {
 		t.Error("language-tagged literal should store its lexical form")
 	}
-	if _, ok := st.Lookup("esc\"aped\nline"); !ok {
+	if _, ok := sn.Lookup("esc\"aped\nline"); !ok {
 		t.Error("escapes should decode")
+	}
+}
+
+// Regression: the statement terminator must not leak into a blank-node
+// label when no whitespace separates them (`_:c.` at end of line).
+func TestReadNTriplesBlankNodeDot(t *testing.T) {
+	for _, src := range []string{
+		"<http://ex/a> <http://ex/b> _:c.",
+		"<http://ex/a> <http://ex/b> _:c.  ",
+		"<http://ex/a> <http://ex/b> _:c .",
+	} {
+		st := NewStore()
+		if _, err := st.ReadNTriples(strings.NewReader(src)); err != nil {
+			t.Fatalf("ReadNTriples(%q): %v", src, err)
+		}
+		if _, ok := st.Lookup("_:c"); !ok {
+			t.Errorf("ReadNTriples(%q): label _:c missing", src)
+		}
+		if _, ok := st.Lookup("_:c."); ok {
+			t.Errorf("ReadNTriples(%q): terminator leaked into label", src)
+		}
+	}
+	// Dots inside a label stay in the label.
+	st := NewStore()
+	if _, err := st.ReadNTriples(strings.NewReader("_:a.b <http://ex/p> <http://ex/o> .\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Lookup("_:a.b"); !ok {
+		t.Error("interior dot must stay in the label")
+	}
+}
+
+// Regression: \uXXXX and \UXXXXXXXX escapes must decode to their code
+// points instead of dropping the backslash.
+func TestReadNTriplesUnicodeEscapes(t *testing.T) {
+	src := `<http://ex/a> <http://ex/p> "ABC \U0001F600 é" .`
+	st := NewStore()
+	if _, err := st.ReadNTriples(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Lookup("ABC \U0001F600 é"); !ok {
+		t.Error("UCHAR escapes did not decode")
+	}
+	for _, bad := range []string{
+		`<a> <b> "\u00G1" .`,
+		`<a> <b> "\u12" .`,
+		`<a> <b> "\U00110000" .`,
+		`<a> <b> "\uD800" .`, // isolated surrogate half
+	} {
+		st := NewStore()
+		if _, err := st.ReadNTriples(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", bad)
+		}
 	}
 }
 
@@ -57,6 +111,7 @@ func TestNTriplesRoundTrip(t *testing.T) {
 	st.Add("http://ex/s", "http://ex/p", "http://ex/o")
 	st.Add("http://ex/s", "http://ex/name", "plain text")
 	st.Add("_:b0", "http://ex/p", "with \"quotes\"")
+	st.Add("http://ex/s", "http://ex/note", "tab\there\r\nand newline")
 	var buf bytes.Buffer
 	if err := st.WriteNTriples(&buf); err != nil {
 		t.Fatal(err)
@@ -66,7 +121,31 @@ func TestNTriplesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v\noutput was:\n%s", err, buf.String())
 	}
-	if n != 3 || st2.Len() != 3 {
-		t.Fatalf("round trip = %d triples, want 3", st2.Len())
+	if n != 4 || st2.Len() != 4 {
+		t.Fatalf("round trip = %d triples, want 4", st2.Len())
 	}
+	if _, ok := st2.Lookup("tab\there\r\nand newline"); !ok {
+		t.Error("\\r and \\t must survive the round trip")
+	}
+	if !sameTriples(st, st2) {
+		t.Error("round trip changed the triple set")
+	}
+}
+
+// sameTriples reports whether two stores hold the same triple set, term
+// text by term text.
+func sameTriples(a, b *Store) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	set := make(map[[3]string]bool, a.Len())
+	for _, t := range a.Triples() {
+		set[[3]string{a.TermOf(t.S), a.TermOf(t.P), a.TermOf(t.O)}] = true
+	}
+	for _, t := range b.Triples() {
+		if !set[[3]string{b.TermOf(t.S), b.TermOf(t.P), b.TermOf(t.O)}] {
+			return false
+		}
+	}
+	return true
 }

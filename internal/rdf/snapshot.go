@@ -1,0 +1,200 @@
+package rdf
+
+import "sort"
+
+// Snapshot is an immutable, goroutine-shareable view of a Store's
+// contents at Freeze time. The triple-nested hash indexes of the old
+// store are replaced by three CSR-style orderings (SPO, POS, OSP): per
+// first component, a contiguous run of the remaining two components
+// sorted lexicographically, addressed by a dense offsets array. Lookups
+// return subslices of the dense arrays — no allocation, no mutation, so
+// any number of goroutines may query one Snapshot concurrently.
+type Snapshot struct {
+	dict    map[string]ID
+	terms   []string
+	triples []Triple // insertion order
+
+	spo csr // subject -> (predicate, object)
+	pos csr // predicate -> (object, subject)
+	osp csr // object -> (subject, predicate)
+
+	// PSO scan order: triples grouped by predicate, insertion order
+	// preserved within each group.
+	byPred  []Triple
+	predOff []uint32
+}
+
+// csr is a compact sparse-row index: for first-component key k, rows
+// off[k]:off[k+1] of the parallel arrays b and c hold the remaining two
+// triple components, sorted lexicographically by (b, c).
+type csr struct {
+	off  []uint32
+	b, c []ID
+}
+
+// row returns the (b, c) parallel slices for key a.
+func (x *csr) row(a ID) ([]ID, []ID) {
+	if int(a)+1 >= len(x.off) {
+		return nil, nil
+	}
+	lo, hi := x.off[a], x.off[a+1]
+	return x.b[lo:hi], x.c[lo:hi]
+}
+
+// list returns the c-values of rows with first component a and second
+// component b, located by binary search within a's run.
+func (x *csr) list(a, b ID) []ID {
+	bs, cs := x.row(a)
+	i := sort.Search(len(bs), func(i int) bool { return bs[i] >= b })
+	j := i + sort.Search(len(bs[i:]), func(k int) bool { return bs[i+k] > b })
+	return cs[i:j]
+}
+
+// buildCSR indexes the triples under the permutation perm, which maps a
+// triple to its (first, second, third) components for this ordering.
+func buildCSR(triples []Triple, nTerms int, perm func(Triple) (a, b, c ID)) csr {
+	n := len(triples)
+	sorted := make([]Triple, n)
+	for i, t := range triples {
+		a, b, c := perm(t)
+		sorted[i] = Triple{a, b, c}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].S != sorted[j].S {
+			return sorted[i].S < sorted[j].S
+		}
+		if sorted[i].P != sorted[j].P {
+			return sorted[i].P < sorted[j].P
+		}
+		return sorted[i].O < sorted[j].O
+	})
+	x := csr{
+		off: make([]uint32, nTerms+1),
+		b:   make([]ID, n),
+		c:   make([]ID, n),
+	}
+	for _, t := range sorted {
+		x.off[t.S+1]++
+	}
+	for k := 1; k <= nTerms; k++ {
+		x.off[k] += x.off[k-1]
+	}
+	for i, t := range sorted {
+		x.b[i] = t.P
+		x.c[i] = t.O
+	}
+	return x
+}
+
+// Freeze builds an immutable Snapshot of the store's current contents.
+// It may be called repeatedly; each call returns an independent Snapshot
+// unaffected by later Store mutation.
+func (s *Store) Freeze() *Snapshot {
+	n := len(s.triples)
+	nTerms := len(s.terms)
+	sn := &Snapshot{
+		dict:    make(map[string]ID, len(s.dict)),
+		terms:   append([]string(nil), s.terms...),
+		triples: append([]Triple(nil), s.triples...),
+	}
+	for k, v := range s.dict {
+		sn.dict[k] = v
+	}
+	sn.spo = buildCSR(sn.triples, nTerms, func(t Triple) (ID, ID, ID) { return t.S, t.P, t.O })
+	sn.pos = buildCSR(sn.triples, nTerms, func(t Triple) (ID, ID, ID) { return t.P, t.O, t.S })
+	sn.osp = buildCSR(sn.triples, nTerms, func(t Triple) (ID, ID, ID) { return t.O, t.S, t.P })
+
+	// Stable counting sort by predicate keeps insertion order within each
+	// predicate's scan run.
+	sn.predOff = make([]uint32, nTerms+1)
+	for _, t := range sn.triples {
+		sn.predOff[t.P+1]++
+	}
+	for k := 1; k <= nTerms; k++ {
+		sn.predOff[k] += sn.predOff[k-1]
+	}
+	sn.byPred = make([]Triple, n)
+	fill := append([]uint32(nil), sn.predOff...)
+	for _, t := range sn.triples {
+		sn.byPred[fill[t.P]] = t
+		fill[t.P]++
+	}
+	return sn
+}
+
+// Lookup returns the ID of a term if it is known.
+func (sn *Snapshot) Lookup(term string) (ID, bool) {
+	id, ok := sn.dict[term]
+	return id, ok
+}
+
+// TermOf returns the string form of an ID.
+func (sn *Snapshot) TermOf(id ID) string {
+	if int(id) < len(sn.terms) {
+		return sn.terms[id]
+	}
+	return ""
+}
+
+// NumTerms returns the dictionary size.
+func (sn *Snapshot) NumTerms() int { return len(sn.terms) }
+
+// Len returns the number of distinct triples.
+func (sn *Snapshot) Len() int { return len(sn.triples) }
+
+// Triples returns all triples in insertion order (shared backing; do not
+// mutate).
+func (sn *Snapshot) Triples() []Triple { return sn.triples }
+
+// Has reports whether the snapshot contains the triple.
+func (sn *Snapshot) Has(sub, pred, obj ID) bool {
+	objs := sn.spo.list(sub, pred)
+	i := sort.Search(len(objs), func(i int) bool { return objs[i] >= obj })
+	return i < len(objs) && objs[i] == obj
+}
+
+// Objects returns the objects of (sub, pred, ?o), sorted ascending.
+func (sn *Snapshot) Objects(sub, pred ID) []ID { return sn.spo.list(sub, pred) }
+
+// Subjects returns the subjects of (?s, pred, obj), sorted ascending.
+func (sn *Snapshot) Subjects(pred, obj ID) []ID { return sn.pos.list(pred, obj) }
+
+// Predicates returns the predicates of (sub, ?p, obj), sorted ascending.
+func (sn *Snapshot) Predicates(sub, obj ID) []ID { return sn.osp.list(obj, sub) }
+
+// SubjectEdges returns the parallel (predicates, objects) slices of all
+// triples with the given subject, sorted by (predicate, object).
+func (sn *Snapshot) SubjectEdges(sub ID) (preds, objs []ID) { return sn.spo.row(sub) }
+
+// ObjectEdges returns the parallel (subjects, predicates) slices of all
+// triples with the given object, sorted by (subject, predicate).
+func (sn *Snapshot) ObjectEdges(obj ID) (subs, preds []ID) { return sn.osp.row(obj) }
+
+// SubjectDegree returns the number of triples with the given subject.
+func (sn *Snapshot) SubjectDegree(sub ID) int {
+	bs, _ := sn.spo.row(sub)
+	return len(bs)
+}
+
+// ObjectDegree returns the number of triples with the given object.
+func (sn *Snapshot) ObjectDegree(obj ID) int {
+	bs, _ := sn.osp.row(obj)
+	return len(bs)
+}
+
+// ScanPredicate returns all triples with the given predicate, in
+// insertion order.
+func (sn *Snapshot) ScanPredicate(pred ID) []Triple {
+	if int(pred)+1 >= len(sn.predOff) {
+		return nil
+	}
+	return sn.byPred[sn.predOff[pred]:sn.predOff[pred+1]]
+}
+
+// PredicateCardinality returns the number of triples with the predicate.
+func (sn *Snapshot) PredicateCardinality(pred ID) int {
+	if int(pred)+1 >= len(sn.predOff) {
+		return 0
+	}
+	return int(sn.predOff[pred+1] - sn.predOff[pred])
+}

@@ -1,10 +1,12 @@
 // Package rdf implements an in-memory RDF triple store with dictionary
-// encoding and the four index orderings (SPO, POS, OSP, PSO) that the
-// query engines of package engine build on. It is the data substrate for
-// the chain/cycle experiment of Section 5.1 (Figure 3).
+// encoding. The mutable Store is a single-writer builder: terms are
+// interned to dense IDs and triples deduplicated as they arrive. Freeze
+// converts the accumulated triples into an immutable Snapshot carrying
+// the four index orderings (SPO, POS, OSP, PSO) as compact sorted
+// posting lists; the Snapshot is safe to share across goroutines and is
+// the data substrate the query engines of package engine build on
+// (the chain/cycle experiment of Section 5.1, Figure 3).
 package rdf
-
-import "sort"
 
 // ID is a dictionary-encoded term identifier.
 type ID = uint32
@@ -14,21 +16,16 @@ type Triple struct {
 	S, P, O ID
 }
 
-// Store is an in-memory triple store. Terms are interned to dense IDs;
-// triples are deduplicated; four hash-based indexes serve the access
-// patterns required by index nested-loop joins.
+// Store is the mutable builder half of the store: it interns terms to
+// dense IDs and deduplicates triples. It holds no read indexes — call
+// Freeze to obtain an immutable, indexed Snapshot for querying. A Store
+// must not be mutated concurrently; Snapshots taken from it are
+// independent of later mutation.
 type Store struct {
 	dict    map[string]ID
 	terms   []string
 	triples []Triple
 	seen    map[Triple]bool
-
-	spo map[ID]map[ID][]ID // subject -> predicate -> objects
-	pos map[ID]map[ID][]ID // predicate -> object -> subjects
-	osp map[ID]map[ID][]ID // object -> subject -> predicates
-	pso map[ID][]Triple    // predicate -> triples (scan order)
-
-	sorted bool
 }
 
 // NewStore returns an empty store.
@@ -36,10 +33,6 @@ func NewStore() *Store {
 	return &Store{
 		dict: make(map[string]ID),
 		seen: make(map[Triple]bool),
-		spo:  make(map[ID]map[ID][]ID),
-		pos:  make(map[ID]map[ID][]ID),
-		osp:  make(map[ID]map[ID][]ID),
-		pso:  make(map[ID][]Triple),
 	}
 }
 
@@ -87,79 +80,8 @@ func (s *Store) AddIDs(sub, pred, obj ID) {
 	}
 	s.seen[t] = true
 	s.triples = append(s.triples, t)
-	ins := func(m map[ID]map[ID][]ID, a, b, c ID) {
-		inner, ok := m[a]
-		if !ok {
-			inner = make(map[ID][]ID)
-			m[a] = inner
-		}
-		inner[b] = append(inner[b], c)
-	}
-	ins(s.spo, sub, pred, obj)
-	ins(s.pos, pred, obj, sub)
-	ins(s.osp, obj, sub, pred)
-	s.pso[pred] = append(s.pso[pred], t)
-	s.sorted = false
 }
 
-// Freeze sorts the posting lists, enabling binary-search membership tests.
-// It is idempotent and called automatically by Has.
-func (s *Store) Freeze() {
-	if s.sorted {
-		return
-	}
-	for _, m := range []map[ID]map[ID][]ID{s.spo, s.pos, s.osp} {
-		for _, inner := range m {
-			for k := range inner {
-				lst := inner[k]
-				sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-			}
-		}
-	}
-	s.sorted = true
-}
-
-// Has reports whether the store contains the triple.
-func (s *Store) Has(sub, pred, obj ID) bool {
-	s.Freeze()
-	inner, ok := s.spo[sub]
-	if !ok {
-		return false
-	}
-	lst := inner[pred]
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= obj })
-	return i < len(lst) && lst[i] == obj
-}
-
-// Objects returns the objects of (sub, pred, ?o).
-func (s *Store) Objects(sub, pred ID) []ID {
-	if inner, ok := s.spo[sub]; ok {
-		return inner[pred]
-	}
-	return nil
-}
-
-// Subjects returns the subjects of (?s, pred, obj).
-func (s *Store) Subjects(pred, obj ID) []ID {
-	if inner, ok := s.pos[pred]; ok {
-		return inner[obj]
-	}
-	return nil
-}
-
-// Predicates returns the predicates of (sub, ?p, obj).
-func (s *Store) Predicates(sub, obj ID) []ID {
-	if inner, ok := s.osp[obj]; ok {
-		return inner[sub]
-	}
-	return nil
-}
-
-// ScanPredicate returns all triples with the given predicate.
-func (s *Store) ScanPredicate(pred ID) []Triple { return s.pso[pred] }
-
-// PredicateCardinality returns the number of triples with the predicate.
-func (s *Store) PredicateCardinality(pred ID) int { return len(s.pso[pred]) }
-
-// Triples returns all stored triples (shared backing; do not mutate).
+// Triples returns all stored triples in insertion order (shared backing;
+// do not mutate).
 func (s *Store) Triples() []Triple { return s.triples }

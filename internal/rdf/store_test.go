@@ -1,6 +1,9 @@
 package rdf
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestInternDedup(t *testing.T) {
 	s := NewStore()
@@ -26,55 +29,141 @@ func TestAddAndLookup(t *testing.T) {
 	if s.Len() != 3 {
 		t.Fatalf("len = %d, want 3", s.Len())
 	}
-	sid, _ := s.Lookup("s1")
-	pid, _ := s.Lookup("p")
-	oid, _ := s.Lookup("o1")
-	if got := len(s.Objects(sid, pid)); got != 2 {
+	sn := s.Freeze()
+	sid, _ := sn.Lookup("s1")
+	pid, _ := sn.Lookup("p")
+	oid, _ := sn.Lookup("o1")
+	if got := len(sn.Objects(sid, pid)); got != 2 {
 		t.Errorf("objects = %d, want 2", got)
 	}
-	if got := len(s.Subjects(pid, oid)); got != 2 {
+	if got := len(sn.Subjects(pid, oid)); got != 2 {
 		t.Errorf("subjects = %d, want 2", got)
 	}
-	if got := len(s.Predicates(sid, oid)); got != 1 {
+	if got := len(sn.Predicates(sid, oid)); got != 1 {
 		t.Errorf("predicates = %d, want 1", got)
 	}
-	if !s.Has(sid, pid, oid) {
+	if !sn.Has(sid, pid, oid) {
 		t.Error("Has should find stored triple")
 	}
-	s2id, _ := s.Lookup("s2")
-	o2id, _ := s.Lookup("o2")
-	if s.Has(s2id, pid, o2id) {
+	s2id, _ := sn.Lookup("s2")
+	o2id, _ := sn.Lookup("o2")
+	if sn.Has(s2id, pid, o2id) {
 		t.Error("Has found non-existent triple")
 	}
-	if s.PredicateCardinality(pid) != 3 {
-		t.Errorf("predicate cardinality = %d", s.PredicateCardinality(pid))
+	if sn.PredicateCardinality(pid) != 3 {
+		t.Errorf("predicate cardinality = %d", sn.PredicateCardinality(pid))
+	}
+	if sn.SubjectDegree(sid) != 2 || sn.ObjectDegree(oid) != 2 {
+		t.Errorf("degrees = %d/%d, want 2/2", sn.SubjectDegree(sid), sn.ObjectDegree(oid))
 	}
 }
 
-func TestFreezeIdempotent(t *testing.T) {
+func TestSnapshotIsolation(t *testing.T) {
 	s := NewStore()
 	s.Add("a", "p", "b")
-	s.Freeze()
-	s.Freeze()
+	sn1 := s.Freeze()
 	s.Add("a", "p", "c")
-	aid, _ := s.Lookup("a")
-	pid, _ := s.Lookup("p")
-	cid, _ := s.Lookup("c")
-	if !s.Has(aid, pid, cid) {
-		t.Error("Has must re-freeze after mutation")
+	sn2 := s.Freeze()
+	aid, _ := sn2.Lookup("a")
+	pid, _ := sn2.Lookup("p")
+	cid, _ := sn2.Lookup("c")
+	if sn1.Len() != 1 || sn1.Has(aid, pid, cid) {
+		t.Error("earlier snapshot must not see later mutation")
+	}
+	if sn2.Len() != 2 || !sn2.Has(aid, pid, cid) {
+		t.Error("later snapshot must see the new triple")
+	}
+	if _, ok := sn1.Lookup("c"); ok {
+		t.Error("earlier snapshot dictionary must not see later interning")
+	}
+}
+
+func TestSnapshotEdges(t *testing.T) {
+	s := NewStore()
+	s.Add("a", "p", "b")
+	s.Add("a", "q", "c")
+	s.Add("d", "p", "b")
+	sn := s.Freeze()
+	aid, _ := sn.Lookup("a")
+	bid, _ := sn.Lookup("b")
+	preds, objs := sn.SubjectEdges(aid)
+	if len(preds) != 2 || len(objs) != 2 {
+		t.Fatalf("subject edges = %d/%d, want 2/2", len(preds), len(objs))
+	}
+	for i := range preds {
+		if !sn.Has(aid, preds[i], objs[i]) {
+			t.Errorf("subject edge (%d,%d) not in store", preds[i], objs[i])
+		}
+	}
+	subs, preds2 := sn.ObjectEdges(bid)
+	if len(subs) != 2 {
+		t.Fatalf("object edges = %d, want 2", len(subs))
+	}
+	for i := range subs {
+		if !sn.Has(subs[i], preds2[i], bid) {
+			t.Errorf("object edge (%d,%d) not in store", subs[i], preds2[i])
+		}
 	}
 }
 
 func TestMissingLookups(t *testing.T) {
 	s := NewStore()
 	s.Add("a", "p", "b")
-	if _, ok := s.Lookup("zzz"); ok {
+	sn := s.Freeze()
+	if _, ok := sn.Lookup("zzz"); ok {
 		t.Error("unknown term found")
 	}
-	if s.Objects(99, 98) != nil {
+	if sn.Objects(99, 98) != nil {
 		t.Error("objects of unknown ids should be nil")
 	}
-	if s.TermOf(12345) != "" {
+	if sn.ScanPredicate(97) != nil || sn.PredicateCardinality(97) != 0 {
+		t.Error("scan of unknown predicate should be empty")
+	}
+	if sn.TermOf(12345) != "" {
 		t.Error("unknown id must map to empty string")
 	}
+}
+
+func TestScanPredicateInsertionOrder(t *testing.T) {
+	s := NewStore()
+	s.Add("z", "p", "y")
+	s.Add("a", "q", "b")
+	s.Add("a", "p", "b")
+	sn := s.Freeze()
+	pid, _ := sn.Lookup("p")
+	scan := sn.ScanPredicate(pid)
+	if len(scan) != 2 {
+		t.Fatalf("scan = %d, want 2", len(scan))
+	}
+	if sn.TermOf(scan[0].S) != "z" || sn.TermOf(scan[1].S) != "a" {
+		t.Errorf("scan order not insertion order: %v", scan)
+	}
+}
+
+// TestSnapshotConcurrentReads hammers one snapshot from many goroutines;
+// run with -race to verify the read path performs no mutation.
+func TestSnapshotConcurrentReads(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 500; i++ {
+		s.Add(string(rune('a'+i%17)), string(rune('p'+i%3)), string(rune('A'+i%23)))
+	}
+	sn := s.Freeze()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ID((seed*31 + i) % sn.NumTerms())
+				sn.Objects(id, id%7)
+				sn.Subjects(id%7, id)
+				sn.Predicates(id, id)
+				sn.Has(id, id%7, id%11)
+				sn.SubjectEdges(id)
+				sn.ObjectEdges(id)
+				sn.ScanPredicate(id % 7)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

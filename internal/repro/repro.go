@@ -230,10 +230,10 @@ func Figure3(cfg Config) (string, Figure3Data) {
 		for _, q := range cycles {
 			cycleCQs = append(cycleCQs, q.CQ)
 		}
-		cbg := engine.RunWorkload(bg, g.Store, chainCQs, cfg.Timeout)
-		cpg := engine.RunWorkload(pg, g.Store, chainCQs, cfg.Timeout)
-		ybg := engine.RunWorkload(bg, g.Store, cycleCQs, cfg.Timeout)
-		ypg := engine.RunWorkload(pg, g.Store, cycleCQs, cfg.Timeout)
+		cbg := engine.RunWorkload(bg, g.Snapshot, chainCQs, cfg.Timeout)
+		cpg := engine.RunWorkload(pg, g.Snapshot, chainCQs, cfg.Timeout)
+		ybg := engine.RunWorkload(bg, g.Snapshot, cycleCQs, cfg.Timeout)
+		ypg := engine.RunWorkload(pg, g.Snapshot, cycleCQs, cfg.Timeout)
 		data.Lengths = append(data.Lengths, k)
 		data.ChainBG = append(data.ChainBG, cbg.AvgNanos())
 		data.ChainPG = append(data.ChainPG, cpg.AvgNanos())

@@ -1,0 +1,175 @@
+// Package service is the concurrent query-serving layer over the
+// engines: a worker pool executes a workload of conjunctive queries
+// against one immutable rdf.Snapshot, with a context-derived per-query
+// deadline, and reports both per-query results (index-aligned with the
+// input, identical to serial execution) and aggregate latency statistics
+// (QPS, p50/p95/p99). The snapshot is never mutated, so any number of
+// Run calls — even for different engines — may share one snapshot
+// concurrently; this is the serving shape the ROADMAP's
+// heavy-traffic north star asks for, and the shape the paper's
+// Section 5.1 experiment implies when racing two engines over the same
+// store.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/rdf"
+)
+
+// Options configures a workload run.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Timeout is the per-query deadline; 0 means no per-query deadline
+	// (the run still honors the parent context).
+	Timeout time.Duration
+}
+
+// LatencyStats summarizes per-query latencies of one run.
+type LatencyStats struct {
+	// QPS is completed queries per second of wall-clock time.
+	QPS float64
+	// P50, P95, P99 and Max are latency percentiles; timed-out queries
+	// contribute the full per-query timeout, as in Figure 3.
+	P50, P95, P99, Max time.Duration
+}
+
+// Report is the outcome of one workload run.
+type Report struct {
+	Engine string
+	// Results holds one engine result per input query, index-aligned:
+	// Results[i] answers queries[i] regardless of execution order.
+	Results []engine.Result
+	// Wall is the end-to-end wall-clock time of the run.
+	Wall time.Duration
+	// Timeouts counts queries that hit the deadline or cancellation.
+	Timeouts int
+	Stats    LatencyStats
+}
+
+// TotalResults sums bindings across completed queries.
+func (r *Report) TotalResults() int64 {
+	var n int64
+	for _, res := range r.Results {
+		if !res.TimedOut {
+			n += res.Count
+		}
+	}
+	return n
+}
+
+// Run executes the workload on a pool of Options.Workers goroutines, all
+// reading the shared snapshot. Cancelling ctx stops the run: in-flight
+// queries abort via their per-query context and undispatched queries are
+// marked timed out.
+func Run(ctx context.Context, e engine.Engine, sn *rdf.Snapshot, queries []engine.CQ, opt Options) Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) && len(queries) > 0 {
+		workers = len(queries)
+	}
+	rep := Report{Engine: e.Name(), Results: make([]engine.Result, len(queries))}
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Results[i] = runOne(ctx, e, sn, queries[i], opt.Timeout)
+			}
+		}()
+	}
+dispatch:
+	for i := range queries {
+		// Check cancellation before the send: when both select cases are
+		// ready Go picks randomly, which could keep dispatching after
+		// cancellation.
+		if ctx.Err() != nil {
+			for j := i; j < len(queries); j++ {
+				rep.Results[j] = engine.Result{TimedOut: true}
+			}
+			break dispatch
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched as timed out.
+			for j := i; j < len(queries); j++ {
+				rep.Results[j] = engine.Result{TimedOut: true}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+
+	durs := make([]time.Duration, 0, len(queries))
+	for _, res := range rep.Results {
+		if res.TimedOut {
+			rep.Timeouts++
+		}
+		durs = append(durs, res.Duration)
+	}
+	rep.Stats = Percentiles(durs)
+	if rep.Wall > 0 {
+		rep.Stats.QPS = float64(len(queries)-rep.Timeouts) / rep.Wall.Seconds()
+	}
+	return rep
+}
+
+// runOne executes a single query under a per-query deadline derived from
+// the run context, normalizing timed-out durations to the full timeout
+// (the convention WorkloadStats and Figure 3 use).
+func runOne(ctx context.Context, e engine.Engine, sn *rdf.Snapshot, q engine.CQ, timeout time.Duration) engine.Result {
+	qctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if qctx.Err() != nil {
+		// Cancelled before the query started (the engines only poll the
+		// context every ~1k steps, so a short query could otherwise
+		// complete under a dead context).
+		return engine.Result{TimedOut: true}
+	}
+	res := e.ExecuteContext(qctx, sn, q)
+	if res.TimedOut && timeout > 0 && res.Duration > timeout {
+		res.Duration = timeout
+	}
+	if res.TimedOut && timeout > 0 && ctx.Err() == nil {
+		// Deadline (not parent cancellation): report the full budget.
+		res.Duration = timeout
+	}
+	return res
+}
+
+// Percentiles computes latency percentiles over a sample of durations.
+func Percentiles(durs []time.Duration) LatencyStats {
+	if len(durs) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyStats{
+		P50: at(0.50),
+		P95: at(0.95),
+		P99: at(0.99),
+		Max: sorted[len(sorted)-1],
+	}
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/gmark"
+)
+
+// workload builds a mixed chain/cycle CQ workload over a small Bib graph.
+func workload(t testing.TB, nodes, perShape int) (*gmark.Graph, []engine.CQ) {
+	t.Helper()
+	g := gmark.Generate(gmark.Config{Nodes: nodes, Seed: 11})
+	var cqs []engine.CQ
+	for _, q := range g.Workload(gmark.Chain, 3, perShape, 5) {
+		cqs = append(cqs, q.CQ)
+	}
+	for _, q := range g.Workload(gmark.Cycle, 3, perShape, 6) {
+		cqs = append(cqs, q.CQ)
+	}
+	return g, cqs
+}
+
+// TestParallelMatchesSerial is the correctness contract of the service
+// layer: with both engines querying ONE shared snapshot from concurrent
+// worker pools (>= 8 queries in flight across engines), every per-query
+// count and timeout flag must be identical to serial execution. Run under
+// -race this is also the regression test for the old lazy-Freeze data
+// race: before the snapshot split, the first two concurrent Execute calls
+// would race on the store's index sort.
+func TestParallelMatchesSerial(t *testing.T) {
+	g, cqs := workload(t, 1500, 6) // 12 queries per engine
+	if len(cqs) < 8 {
+		t.Fatalf("want >= 8 queries, got %d", len(cqs))
+	}
+	timeout := 5 * time.Second
+	engines := []engine.Engine{&engine.GraphEngine{}, &engine.RelationalEngine{}}
+
+	// Serial reference, one engine at a time.
+	serial := make([][]engine.Result, len(engines))
+	for ei, e := range engines {
+		serial[ei] = make([]engine.Result, len(cqs))
+		for qi, q := range cqs {
+			serial[ei][qi] = e.Execute(g.Snapshot, q, timeout)
+		}
+	}
+
+	// Both engines' pools run concurrently against the same snapshot.
+	reports := make([]Report, len(engines))
+	var wg sync.WaitGroup
+	for ei, e := range engines {
+		wg.Add(1)
+		go func(ei int, e engine.Engine) {
+			defer wg.Done()
+			reports[ei] = Run(context.Background(), e, g.Snapshot, cqs,
+				Options{Workers: 4, Timeout: timeout})
+		}(ei, e)
+	}
+	wg.Wait()
+
+	for ei, e := range engines {
+		rep := reports[ei]
+		if len(rep.Results) != len(cqs) {
+			t.Fatalf("%s: %d results for %d queries", e.Name(), len(rep.Results), len(cqs))
+		}
+		for qi := range cqs {
+			got, want := rep.Results[qi], serial[ei][qi]
+			if got.Count != want.Count || got.TimedOut != want.TimedOut {
+				t.Errorf("%s query %d: parallel = (count %d, timeout %v), serial = (count %d, timeout %v)",
+					e.Name(), qi, got.Count, got.TimedOut, want.Count, want.TimedOut)
+			}
+		}
+		if rep.Stats.P50 < 0 || rep.Stats.P99 < rep.Stats.P50 {
+			t.Errorf("%s: implausible percentiles %+v", e.Name(), rep.Stats)
+		}
+		if rep.Timeouts == 0 && rep.Stats.QPS <= 0 {
+			t.Errorf("%s: QPS = %v, want > 0", e.Name(), rep.Stats.QPS)
+		}
+	}
+}
+
+// TestRunHonorsCancellation verifies that cancelling the parent context
+// stops the run and marks the remaining queries as timed out.
+func TestRunHonorsCancellation(t *testing.T) {
+	g, cqs := workload(t, 2000, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: everything must be marked
+	rep := Run(ctx, &engine.GraphEngine{}, g.Snapshot, cqs, Options{Workers: 2})
+	if rep.Timeouts != len(cqs) {
+		t.Errorf("timeouts = %d, want %d (all)", rep.Timeouts, len(cqs))
+	}
+}
+
+// TestRunPerQueryDeadline gives an adversarial cycle workload a tiny
+// per-query budget; the run must come back quickly with timeouts counted
+// at the full budget.
+func TestRunPerQueryDeadline(t *testing.T) {
+	g := gmark.Generate(gmark.Config{Nodes: 4000, Seed: 3})
+	var cqs []engine.CQ
+	for _, q := range g.Workload(gmark.Cycle, 6, 6, 9) {
+		cqs = append(cqs, q.CQ)
+	}
+	budget := 5 * time.Millisecond
+	rep := Run(context.Background(), &engine.RelationalEngine{}, g.Snapshot, cqs,
+		Options{Workers: 2, Timeout: budget})
+	for i, res := range rep.Results {
+		if res.TimedOut && res.Duration != budget {
+			t.Errorf("query %d: timed out with duration %v, want the %v budget", i, res.Duration, budget)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var durs []time.Duration
+	for i := 1; i <= 100; i++ {
+		durs = append(durs, time.Duration(i)*time.Millisecond)
+	}
+	st := Percentiles(durs)
+	if st.P50 != 50*time.Millisecond || st.P95 != 95*time.Millisecond ||
+		st.P99 != 99*time.Millisecond || st.Max != 100*time.Millisecond {
+		t.Errorf("percentiles = %+v", st)
+	}
+	if got := Percentiles(nil); got != (LatencyStats{}) {
+		t.Errorf("empty percentiles = %+v", got)
+	}
+}
