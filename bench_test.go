@@ -22,6 +22,7 @@ import (
 	"sparqlog/internal/gmark"
 	"sparqlog/internal/graph"
 	"sparqlog/internal/loggen"
+	"sparqlog/internal/plan"
 	"sparqlog/internal/repro"
 	"sparqlog/internal/service"
 	"sparqlog/internal/shapes"
@@ -535,6 +536,19 @@ func BenchmarkConcurrentQueries(b *testing.B) {
 			b.ReportMetric(float64(len(cqs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
 	}
+	// The serving configuration: the pool shares one shape-keyed plan
+	// cache, so recurring query shapes are planned once.
+	b.Run("parallel-4-plancache", func(b *testing.B) {
+		cache := plan.NewCache(g.Snapshot)
+		for i := 0; i < b.N; i++ {
+			rep := service.Run(context.Background(), e, g.Snapshot, cqs,
+				service.Options{Workers: 4, Timeout: timeout, Plans: cache})
+			if rep.Timeouts > 0 {
+				b.Fatal("unexpected timeout")
+			}
+		}
+		b.ReportMetric(float64(len(cqs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // ---------- Component micro-benchmarks ----------

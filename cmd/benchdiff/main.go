@@ -1,0 +1,232 @@
+// Command benchdiff compares Go benchmark results against a checked-in
+// baseline and fails on regressions — the comparison half of the
+// bench-regression CI gate, kept as a plain command so the same check
+// runs locally:
+//
+//	go test -json -run=NONE -bench='...' -benchtime=3x -count=3 ./... > bench.json
+//	go run ./cmd/benchdiff -current bench.json -baseline BENCH_BASELINE.json
+//
+// The current file is `go test -json` output; the baseline is the
+// distilled form this tool writes with -update:
+//
+//	go run ./cmd/benchdiff -current bench.json -update BENCH_BASELINE.json
+//
+// With -count > 1 the minimum ns/op per benchmark is compared (the run
+// least disturbed by machine noise). A benchmark regresses when its
+// current minimum exceeds baseline*(1+tolerance); missing benchmarks on
+// either side are reported but only fail with -strict. Exit status: 0 ok,
+// 1 regression (or -strict violation), 2 usage/parse error.
+//
+// The checked-in baseline is hardware-specific: refresh it with -update
+// when the reference machine changes, and keep the tolerance generous
+// enough for shared-runner noise.
+//
+// Benchmark names are compared exactly as printed, and Go appends a
+// "-<GOMAXPROCS>" suffix whenever GOMAXPROCS != 1 — so baseline and
+// current runs MUST use the same -cpu setting (the CI gate pins -cpu=1,
+// which also keeps ns/op comparable across runners with different core
+// counts). A current run whose names match no baseline entry at all is
+// a configuration error and exits 2 rather than silently passing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in distilled form.
+type Baseline struct {
+	// Note documents provenance (machine, date, command).
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (with -cpu suffix as printed) to the
+	// minimum observed ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// testEvent is the subset of `go test -json` events we read.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line, e.g.
+// "BenchmarkFoo/sub-8   	     123	   9876 ns/op	 12 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseCurrent extracts minimum ns/op per benchmark from `go test -json`
+// output (falling back to plain `go test -bench` text, which has the
+// same result lines without the JSON envelope). The test runner splits
+// one result line across several output events (the padded name first,
+// the timings later), so output is re-assembled per package and split on
+// newlines before matching.
+func parseCurrent(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mins := map[string]float64{}
+	add := func(line string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return
+		}
+		if cur, ok := mins[m[1]]; !ok || ns < cur {
+			mins[m[1]] = ns
+		}
+	}
+	buffers := map[string]*strings.Builder{}
+	feed := func(pkg, output string) {
+		buf, ok := buffers[pkg]
+		if !ok {
+			buf = &strings.Builder{}
+			buffers[pkg] = buf
+		}
+		buf.WriteString(output)
+		for {
+			text := buf.String()
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				return
+			}
+			add(text[:nl])
+			buf.Reset()
+			buf.WriteString(text[nl+1:])
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					feed(ev.Package, ev.Output)
+				}
+				continue
+			}
+		}
+		add(line)
+	}
+	for _, buf := range buffers {
+		add(buf.String())
+	}
+	return mins, sc.Err()
+}
+
+func main() {
+	current := flag.String("current", "bench.json", "go test -json output of the current run")
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "checked-in baseline to compare against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
+	update := flag.String("update", "", "write a distilled baseline to this path instead of comparing")
+	note := flag.String("note", "", "provenance note stored with -update")
+	strict := flag.Bool("strict", false, "also fail when benchmarks are missing from either side")
+	flag.Parse()
+
+	mins, err := parseCurrent(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: reading current:", err)
+		os.Exit(2)
+	}
+	if len(mins) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in", *current)
+		os.Exit(2)
+	}
+
+	if *update != "" {
+		out := Baseline{Note: *note, NsPerOp: mins}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*update, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(mins), *update)
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: reading baseline:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: parsing baseline:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	matched := 0
+	for name := range base.NsPerOp {
+		if _, ok := mins[name]; ok {
+			matched++
+		}
+	}
+	if matched == 0 && len(base.NsPerOp) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no current benchmark matches any baseline entry —")
+		fmt.Fprintln(os.Stderr, "  likely a GOMAXPROCS name-suffix mismatch (run both sides with the same -cpu,")
+		fmt.Fprintln(os.Stderr, "  e.g. -cpu=1 as the CI gate does) or the wrong -bench filter")
+		os.Exit(2)
+	}
+
+	var regressions, missing int
+	for _, name := range names {
+		baseNs := base.NsPerOp[name]
+		curNs, ok := mins[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline %.0f ns/op, not in current run\n", name, baseNs)
+			missing++
+			continue
+		}
+		ratio := curNs / baseNs
+		status := "ok      "
+		if curNs > baseNs*(1+*tolerance) {
+			status = "REGRESS "
+			regressions++
+		}
+		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			status, name, baseNs, curNs, (ratio-1)*100)
+	}
+	var extra []string
+	for name := range mins {
+		if _, ok := base.NsPerOp[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("NEW      %-60s %12.0f ns/op (not in baseline; run -update)\n", name, mins[name])
+	}
+
+	switch {
+	case regressions > 0:
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)
+		os.Exit(1)
+	case *strict && (missing > 0 || len(extra) > 0):
+		fmt.Fprintf(os.Stderr, "benchdiff: -strict: %d missing, %d new\n", missing, len(extra))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(names)-missing, *tolerance*100)
+}

@@ -5,6 +5,11 @@
 //
 //	sparqlquery -data graph.nt 'SELECT * WHERE { ?s ?p ?o } LIMIT 10'
 //	sparqlquery -bib 5000 'PREFIX bib: <http://gmark.bib/p/> ASK { ?p bib:cites ?q }'
+//	sparqlquery -bib 5000 -explain 'SELECT ...'   # print the chosen join order
+//
+// With -explain the query's conjunctive core is planned by the
+// cost-based planner and executed instrumented; the transcript shows the
+// chosen atom order with estimated vs. actual intermediate row counts.
 package main
 
 import (
@@ -23,6 +28,7 @@ func main() {
 	data := flag.String("data", "", "N-Triples data file")
 	bib := flag.Int("bib", 0, "generate a gMark Bib graph of this many nodes instead of loading data")
 	seed := flag.Int64("seed", 1, "generator seed for -bib")
+	explain := flag.Bool("explain", false, "print the planner's join order with estimated vs. actual rows instead of query results")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sparqlquery [-data file.nt | -bib N] '<query>'")
@@ -60,6 +66,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parse error:", err)
 		os.Exit(1)
+	}
+	if *explain {
+		text, err := eval.Explain(sn, q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explain error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
 	}
 	res, err := eval.Query(sn, q)
 	if err != nil {

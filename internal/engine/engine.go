@@ -4,10 +4,12 @@
 // Blazegraph and a relational engine in the role of PostgreSQL over a
 // triples table.
 //
-// GraphEngine performs index nested-loop joins with greedy
-// selectivity-based ordering and short-circuits ASK queries at the first
-// result — cheap index-driven traversal, the behaviour that keeps cycle
-// queries tractable on graph engines.
+// GraphEngine performs index nested-loop joins in the order chosen by
+// the statistics-driven cost-based planner (internal/plan, computed once
+// per query from the snapshot's Freeze-time statistics) and
+// short-circuits ASK queries at the first result — cheap index-driven
+// traversal, the behaviour that keeps cycle queries tractable on graph
+// engines.
 //
 // RelationalEngine executes a left-deep pipeline of hash joins in the
 // query's syntactic order, fully materializing every intermediate result
@@ -26,27 +28,23 @@ import (
 	"errors"
 	"time"
 
+	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 )
 
 // TermRef is one position of a query atom: either a variable (index into
-// the query's variable table) or a constant store ID.
-type TermRef struct {
-	IsVar bool
-	Var   int
-	ID    rdf.ID
-}
+// the query's variable table) or a constant store ID. The representation
+// is owned by the planner; the alias keeps the engines' historical API.
+type TermRef = plan.TermRef
 
 // V constructs a variable reference.
-func V(i int) TermRef { return TermRef{IsVar: true, Var: i} }
+func V(i int) TermRef { return plan.V(i) }
 
 // C constructs a constant reference.
-func C(id rdf.ID) TermRef { return TermRef{ID: id} }
+func C(id rdf.ID) TermRef { return plan.C(id) }
 
 // Atom is one triple pattern of a conjunctive query.
-type Atom struct {
-	S, P, O TermRef
-}
+type Atom = plan.Atom
 
 // CQ is a conjunctive query over a store.
 type CQ struct {
@@ -55,6 +53,18 @@ type CQ struct {
 	// Ask indicates existence semantics: engines that support
 	// short-circuiting may stop at the first result.
 	Ask bool
+}
+
+// Reordered returns a copy of the query with atoms permuted into the
+// plan's execution order.
+func (q CQ) Reordered(p *plan.Plan) CQ {
+	atoms := make([]Atom, len(q.Atoms))
+	for k, ai := range p.Order {
+		atoms[k] = q.Atoms[ai]
+	}
+	out := q
+	out.Atoms = atoms
+	return out
 }
 
 // Result reports one query execution.
@@ -135,8 +145,11 @@ type OrderMode int
 
 // Join orderings.
 const (
-	// OrderGreedy picks the cheapest next atom given current bindings
-	// (most bound positions, then smallest index estimate).
+	// OrderGreedy executes atoms in the statistics-driven order of the
+	// cost-based planner (internal/plan): greedy minimum selectivity with
+	// bound-variable propagation, computed once per query from the
+	// snapshot's Freeze-time statistics instead of re-estimated with
+	// index probes at every search node.
 	OrderGreedy OrderMode = iota
 	// OrderSyntactic processes atoms in query order (ablation mode).
 	OrderSyntactic
@@ -146,6 +159,10 @@ const (
 // snapshot's SPO/POS/OSP indexes.
 type GraphEngine struct {
 	Order OrderMode
+	// Plans, when set, caches plans by query shape; it must have been
+	// built for the snapshot being queried (a cache for a different
+	// snapshot is bypassed). Nil plans each query individually.
+	Plans *plan.Cache
 }
 
 // Name identifies the engine in reports.
@@ -163,14 +180,23 @@ func (e *GraphEngine) Execute(sn *rdf.Snapshot, q CQ, timeout time.Duration) Res
 
 // ExecuteContext runs the query under the context's deadline.
 func (e *GraphEngine) ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ) Result {
+	res, _ := e.run(ctx, sn, q, e.order(sn, q), false)
+	return res
+}
+
+// run executes the query in the given atom order, optionally
+// instrumented with per-step actual row counts (the Explain path).
+func (e *GraphEngine) run(ctx context.Context, sn *rdf.Snapshot, q CQ, order []int, instrument bool) (Result, *graphExec) {
 	start := time.Now()
 	ex := &graphExec{
 		sn:       sn,
 		q:        q,
+		order:    order,
 		bindings: make([]int64, q.NumVars),
-		used:     make([]bool, len(q.Atoms)),
 		tk:       newTicker(ctx),
-		order:    e.Order,
+	}
+	if instrument {
+		ex.actual = make([]int64, len(q.Atoms))
 	}
 	for i := range ex.bindings {
 		ex.bindings[i] = unbound
@@ -180,17 +206,33 @@ func (e *GraphEngine) ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ
 	if errors.Is(err, errTimeout) {
 		res.TimedOut = true
 	}
-	return res
+	return res, ex
+}
+
+// order resolves the atom execution order: the identity permutation for
+// OrderSyntactic, otherwise the cost-based plan (cached when the engine
+// carries a plan cache for this snapshot).
+func (e *GraphEngine) order(sn *rdf.Snapshot, q CQ) []int {
+	if e.Order == OrderSyntactic {
+		order := make([]int, len(q.Atoms))
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	return e.Plans.For(sn, q.Atoms, q.NumVars).Order
 }
 
 type graphExec struct {
 	sn       *rdf.Snapshot
 	q        CQ
+	order    []int // atom execution order (a permutation of atom indexes)
 	bindings []int64
-	used     []bool
 	count    int64
 	tk       ticker
-	order    OrderMode
+	// actual, when non-nil, counts the rows that survived each step
+	// (indexed by plan step, not atom index).
+	actual []int64
 }
 
 // errDone stops the search after the first result for ASK queries.
@@ -207,10 +249,7 @@ func (ex *graphExec) search(depth int) error {
 		}
 		return nil
 	}
-	ai := ex.pickAtom()
-	ex.used[ai] = true
-	defer func() { ex.used[ai] = false }()
-	atom := ex.q.Atoms[ai]
+	atom := ex.q.Atoms[ex.order[depth]]
 	err := ex.enumerate(atom, func(s, p, o rdf.ID) error {
 		var setVars [3]int
 		n := 0
@@ -229,6 +268,9 @@ func (ex *graphExec) search(depth int) error {
 		ok := bind(atom.S, s) && bind(atom.P, p) && bind(atom.O, o)
 		var err error
 		if ok {
+			if ex.actual != nil {
+				ex.actual[depth]++
+			}
 			err = ex.search(depth + 1)
 		}
 		for i := 0; i < n; i++ {
@@ -237,28 +279,6 @@ func (ex *graphExec) search(depth int) error {
 		return err
 	})
 	return err
-}
-
-// pickAtom chooses the next atom to evaluate.
-func (ex *graphExec) pickAtom() int {
-	if ex.order == OrderSyntactic {
-		for i := range ex.q.Atoms {
-			if !ex.used[i] {
-				return i
-			}
-		}
-	}
-	best, bestCost := -1, int64(1)<<62
-	for i, a := range ex.q.Atoms {
-		if ex.used[i] {
-			continue
-		}
-		cost := ex.estimate(a)
-		if cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	return best
 }
 
 // resolve returns the concrete value of a term ref under current bindings,
@@ -271,31 +291,6 @@ func (ex *graphExec) resolve(r TermRef) (rdf.ID, bool) {
 		return rdf.ID(v), true
 	}
 	return 0, false
-}
-
-// estimate approximates the number of index entries the atom would touch.
-func (ex *graphExec) estimate(a Atom) int64 {
-	s, sb := ex.resolve(a.S)
-	p, pb := ex.resolve(a.P)
-	o, ob := ex.resolve(a.O)
-	switch {
-	case sb && pb && ob:
-		return 1
-	case sb && pb:
-		return int64(len(ex.sn.Objects(s, p))) + 1
-	case pb && ob:
-		return int64(len(ex.sn.Subjects(p, o))) + 1
-	case sb && ob:
-		return int64(len(ex.sn.Predicates(s, o))) + 1
-	case pb:
-		return int64(ex.sn.PredicateCardinality(p)) + 2
-	case sb:
-		return int64(ex.sn.SubjectDegree(s)) + 4
-	case ob:
-		return int64(ex.sn.ObjectDegree(o)) + 4
-	default:
-		return int64(ex.sn.Len()) + 8
-	}
 }
 
 // enumerate yields the triples matching the atom under current bindings

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"context"
+
+	"sparqlog/internal/plan"
+	"sparqlog/internal/rdf"
+)
+
+// Explain executes the query on the graph engine with per-step
+// instrumentation and returns the chosen plan annotated with estimated
+// vs. actual intermediate row counts, plus the execution result. The
+// instrumented run is a real execution (same result as ExecuteContext),
+// so actual counts are exact, not sampled. ASK queries short-circuit as
+// usual, which truncates the actual counts at the first result.
+func (e *GraphEngine) Explain(ctx context.Context, sn *rdf.Snapshot, q CQ) (*plan.Explained, Result) {
+	var p *plan.Plan
+	cacheHit := false
+	if e.Order == OrderSyntactic {
+		order := make([]int, len(q.Atoms))
+		for i := range order {
+			order[i] = i
+		}
+		p = &plan.Plan{Order: order, Est: make([]float64, len(order)), Rows: make([]float64, len(order))}
+	} else {
+		p, cacheHit = e.Plans.Lookup(sn, q.Atoms, q.NumVars)
+		if p.Key == "" {
+			p.Key = plan.ShapeKey(q.Atoms)
+		}
+	}
+	res, ex := e.run(ctx, sn, q, p.Order, true)
+	return &plan.Explained{
+		Atoms:    q.Atoms,
+		Plan:     p,
+		Actual:   ex.actual,
+		CacheHit: cacheHit,
+	}, res
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"sparqlog/internal/engine"
+	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -41,6 +42,10 @@ type Result struct {
 type Limits struct {
 	// MaxRows caps any intermediate binding set (0 = DefaultMaxRows).
 	MaxRows int
+	// NoReorder keeps basic graph patterns in their syntactic order
+	// instead of the cost-based planner's order — the pre-planner
+	// behaviour, kept for ablation benchmarks and differential tests.
+	NoReorder bool
 }
 
 // DefaultMaxRows bounds intermediate results.
@@ -285,12 +290,19 @@ func (ev *evaluator) pattern(p sparql.Pattern, in []binding) ([]binding, error) 
 }
 
 // group evaluates elements in order; FILTERs apply after the group's
-// joins, per the SPARQL algebra translation.
+// joins, per the SPARQL algebra translation. Runs of adjacent triple
+// patterns (basic graph patterns) are reordered by the cost-based
+// planner first — joins are commutative, so only the enumeration order
+// changes, not the solution set.
 func (ev *evaluator) group(g *sparql.Group, in []binding) ([]binding, error) {
+	elems := g.Elems
+	if !ev.lim.NoReorder {
+		elems = ev.reorderBGPs(elems, in)
+	}
 	rows := in
 	var filters []sparql.Expr
 	var err error
-	for _, el := range g.Elems {
+	for _, el := range elems {
 		if f, ok := el.(*sparql.Filter); ok {
 			filters = append(filters, f.Constraint)
 			continue
@@ -311,6 +323,149 @@ func (ev *evaluator) group(g *sparql.Group, in []binding) ([]binding, error) {
 		}
 	}
 	return rows, nil
+}
+
+// reorderBGPs rewrites the group's element list with every maximal run
+// of adjacent triple patterns permuted into the cost-based planner's
+// order (greedy minimum selectivity over the snapshot's Freeze-time
+// statistics). Non-triple elements keep their positions: OPTIONAL,
+// MINUS, BIND and friends are order-sensitive, so only the commutative
+// BGP joins between them are touched. Variables bound by earlier
+// elements (or by the incoming binding set) seed the planner's
+// bound-variable propagation.
+func (ev *evaluator) reorderBGPs(elems []sparql.Pattern, in []binding) []sparql.Pattern {
+	multi := false
+	for i := 1; i < len(elems); i++ {
+		_, a := elems[i-1].(*sparql.TriplePattern)
+		_, b := elems[i].(*sparql.TriplePattern)
+		if a && b {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return elems
+	}
+	bound := map[string]bool{}
+	if len(in) > 0 {
+		for k := range in[0] {
+			bound[k] = true
+		}
+	}
+	out := make([]sparql.Pattern, 0, len(elems))
+	for i := 0; i < len(elems); {
+		tp, ok := elems[i].(*sparql.TriplePattern)
+		if !ok {
+			ev.markPatternVars(elems[i], bound)
+			out = append(out, elems[i])
+			i++
+			continue
+		}
+		run := []*sparql.TriplePattern{tp}
+		j := i + 1
+		for j < len(elems) {
+			next, ok := elems[j].(*sparql.TriplePattern)
+			if !ok {
+				break
+			}
+			run = append(run, next)
+			j++
+		}
+		for _, t := range ev.orderRun(run, bound) {
+			out = append(out, t)
+		}
+		for _, t := range run {
+			for _, term := range [3]sparql.Term{t.S, t.P, t.O} {
+				if name, ok := varName(term); ok {
+					bound[name] = true
+				}
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// compileBGP compiles triple patterns to planner atoms, returning the
+// variable-name table (planner variable index -> binding name).
+// Constants missing from the dictionary compile to an out-of-dictionary
+// ID, whose zero statistics order the (necessarily empty) atom first.
+// Shared by orderRun and Explain so the two compile paths cannot drift.
+func (ev *evaluator) compileBGP(patterns []*sparql.TriplePattern) ([]plan.Atom, []string) {
+	varIdx := map[string]int{}
+	var names []string
+	idx := func(name string) int {
+		if i, ok := varIdx[name]; ok {
+			return i
+		}
+		varIdx[name] = len(names)
+		names = append(names, name)
+		return len(names) - 1
+	}
+	toRef := func(t sparql.Term) plan.TermRef {
+		if txt, ok := ev.termText(t); ok {
+			if id, known := ev.st.Lookup(txt); known {
+				return plan.C(id)
+			}
+			return plan.C(^rdf.ID(0))
+		}
+		name, _ := varName(t)
+		return plan.V(idx(name))
+	}
+	atoms := make([]plan.Atom, len(patterns))
+	for i, tp := range patterns {
+		atoms[i] = plan.Atom{S: toRef(tp.S), P: toRef(tp.P), O: toRef(tp.O)}
+	}
+	return atoms, names
+}
+
+// orderRun plans one basic graph pattern.
+func (ev *evaluator) orderRun(run []*sparql.TriplePattern, bound map[string]bool) []*sparql.TriplePattern {
+	if len(run) < 2 {
+		return run
+	}
+	atoms, names := ev.compileBGP(run)
+	initial := make([]bool, len(names))
+	for i, name := range names {
+		initial[i] = bound[name]
+	}
+	p := plan.Planner{Stats: ev.st.Stats()}.PlanBound(atoms, len(names), initial)
+	ordered := make([]*sparql.TriplePattern, len(run))
+	for k, ai := range p.Order {
+		ordered[k] = run[ai]
+	}
+	return ordered
+}
+
+// markPatternVars marks the variables a non-triple group element can
+// bind, for planning purposes only (a miss costs plan quality, never
+// correctness; OPTIONAL/UNION variables are not guaranteed bound at
+// runtime, but planning as if they were beats ignoring them). Nested
+// patterns are walked recursively.
+func (ev *evaluator) markPatternVars(p sparql.Pattern, bound map[string]bool) {
+	sparql.Walk(p, func(n sparql.Pattern) bool {
+		switch x := n.(type) {
+		case *sparql.TriplePattern:
+			for _, t := range [3]sparql.Term{x.S, x.P, x.O} {
+				if name, ok := varName(t); ok {
+					bound[name] = true
+				}
+			}
+		case *sparql.PathPattern:
+			for _, t := range [2]sparql.Term{x.S, x.O} {
+				if name, ok := varName(t); ok {
+					bound[name] = true
+				}
+			}
+		case *sparql.Bind:
+			bound[x.Var.Value] = true
+		case *sparql.InlineData:
+			for _, v := range x.Vars {
+				bound[v.Value] = true
+			}
+		}
+		return true
+	})
 }
 
 func (ev *evaluator) triple(tp *sparql.TriplePattern, in []binding) ([]binding, error) {

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// Explain plans and executes the conjunctive core of a parsed SPARQL
+// query — every triple pattern of its WHERE clause, joined — and renders
+// the chosen atom order with estimated vs. actual intermediate row
+// counts (the EXPLAIN ANALYZE view the -explain flag of cmd/sparqlquery
+// prints). Operators outside the conjunctive core (UNION, OPTIONAL,
+// FILTER, property paths, ...) do not enter the plan; when present they
+// are listed in the trailer so the transcript is honest that the
+// explained query is the conjunction of all triple patterns, not the
+// full algebra.
+func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
+	ev := &evaluator{st: sn, prefixes: prefixMap(q)}
+	patterns := q.Triples()
+	if len(patterns) == 0 {
+		return "", fmt.Errorf("eval: query has no triple patterns to explain")
+	}
+	atoms, varNames := ev.compileBGP(patterns)
+	cq := engine.CQ{Atoms: atoms, NumVars: len(varNames)}
+
+	ge := &engine.GraphEngine{}
+	explained, res := ge.Explain(context.Background(), sn, cq)
+	text := explained.Format(sn.TermOf, func(i int) string {
+		if i < len(varNames) {
+			return "?" + varNames[i]
+		}
+		return fmt.Sprintf("?v%d", i)
+	})
+	text += fmt.Sprintf("conjunctive core: %d atoms, %d result rows in %s\n",
+		len(atoms), res.Count, res.Duration)
+	if extras := nonConjunctiveOperators(q); len(extras) > 0 {
+		text += fmt.Sprintf("note: query also contains %s — only the conjunctive core above was planned\n"+
+			"      and executed; full evaluation may return different results\n",
+			strings.Join(extras, ", "))
+	}
+	return text, nil
+}
+
+// nonConjunctiveOperators names the WHERE-clause operators that the
+// conjunctive-core explain does not model, in first-appearance order.
+func nonConjunctiveOperators(q *sparql.Query) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+		switch p.(type) {
+		case *sparql.Union:
+			add("UNION")
+		case *sparql.Optional:
+			add("OPTIONAL")
+		case *sparql.MinusGraph:
+			add("MINUS")
+		case *sparql.Filter:
+			add("FILTER")
+		case *sparql.Bind:
+			add("BIND")
+		case *sparql.InlineData:
+			add("VALUES")
+		case *sparql.SubSelect:
+			add("subquery")
+		case *sparql.PathPattern:
+			add("property path")
+		case *sparql.GraphGraph:
+			add("GRAPH")
+		case *sparql.ServiceGraph:
+			add("SERVICE")
+		}
+		return true
+	})
+	return names
+}

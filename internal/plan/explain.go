@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sparqlog/internal/rdf"
+)
+
+// Explained pairs a plan with per-step actual row counts measured during
+// an instrumented execution, the EXPLAIN ANALYZE view of a query: the
+// chosen order and, per step, the estimated vs. observed intermediate
+// result size.
+type Explained struct {
+	// Atoms are the query's atoms in their original order; Plan.Order
+	// indexes into them.
+	Atoms []Atom
+	Plan  *Plan
+	// Actual[k] is the number of rows that survived step k (bindings
+	// passed to step k+1). Nil when the execution was not instrumented.
+	Actual []int64
+	// CacheHit reports whether the plan came out of a Cache.
+	CacheHit bool
+}
+
+// Format renders the explanation as an aligned table. term resolves
+// constant IDs to their text; varName names variable indexes (either may
+// be nil for positional fallbacks).
+func (ex *Explained) Format(term func(rdf.ID) string, varName func(int) string) string {
+	if varName == nil {
+		varName = func(i int) string { return fmt.Sprintf("?v%d", i) }
+	}
+	renderRef := func(r TermRef) string {
+		if r.IsVar {
+			return varName(r.Var)
+		}
+		if term != nil {
+			if t := term(r.ID); t != "" {
+				return "<" + t + ">"
+			}
+		}
+		return fmt.Sprintf("#%d", r.ID)
+	}
+	renderAtom := func(a Atom) string {
+		return renderRef(a.S) + " " + renderRef(a.P) + " " + renderRef(a.O)
+	}
+
+	var b strings.Builder
+	if ex.Plan.Key != "" {
+		fmt.Fprintf(&b, "shape key: %s", ex.Plan.Key)
+		if ex.CacheHit {
+			b.WriteString("  (plan cache hit)")
+		}
+		b.WriteByte('\n')
+	}
+	rows := make([][4]string, 0, len(ex.Plan.Order))
+	for k, ai := range ex.Plan.Order {
+		actual := "-"
+		if ex.Actual != nil {
+			actual = fmt.Sprintf("%d", ex.Actual[k])
+		}
+		rows = append(rows, [4]string{
+			fmt.Sprintf("%d", k+1),
+			renderAtom(ex.Atoms[ai]),
+			formatEst(ex.Plan.Rows[k]),
+			actual,
+		})
+	}
+	header := [4]string{"step", "atom", "est rows", "actual rows"}
+	widths := [4]int{}
+	for c := 0; c < 4; c++ {
+		widths[c] = len(header[c])
+		for _, r := range rows {
+			if len(r[c]) > widths[c] {
+				widths[c] = len(r[c])
+			}
+		}
+	}
+	writeRow := func(r [4]string) {
+		for c := 0; c < 4; c++ {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(r[c])
+			if c < 3 {
+				b.WriteString(strings.Repeat(" ", widths[c]-len(r[c])))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// formatEst renders a cardinality estimate compactly.
+func formatEst(v float64) string {
+	switch {
+	case v >= 100 || v == float64(int64(v)):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -22,6 +22,10 @@ type Snapshot struct {
 	// preserved within each group.
 	byPred  []Triple
 	predOff []uint32
+
+	// stats is the statistics block computed once from the indexes;
+	// immutable like everything else here.
+	stats *Stats
 }
 
 // csr is a compact sparse-row index: for first-component key k, rows
@@ -119,8 +123,12 @@ func (s *Store) Freeze() *Snapshot {
 		sn.byPred[fill[t.P]] = t
 		fill[t.P]++
 	}
+	sn.stats = computeStats(sn)
 	return sn
 }
+
+// Stats returns the statistics block computed at Freeze time.
+func (sn *Snapshot) Stats() *Stats { return sn.stats }
 
 // Lookup returns the ID of a term if it is known.
 func (sn *Snapshot) Lookup(term string) (ID, bool) {

@@ -8,7 +8,10 @@
 // concurrently; this is the serving shape the ROADMAP's
 // heavy-traffic north star asks for, and the shape the paper's
 // Section 5.1 experiment implies when racing two engines over the same
-// store.
+// store. With Options.Plans set, the whole pool shares one
+// shape-keyed plan cache, so a workload of recurring query shapes (the
+// paper's log-study finding) is planned once and executed millions of
+// times.
 package service
 
 import (
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"sparqlog/internal/engine"
+	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 )
 
@@ -29,6 +33,11 @@ type Options struct {
 	// Timeout is the per-query deadline; 0 means no per-query deadline
 	// (the run still honors the parent context).
 	Timeout time.Duration
+	// Plans, when set, is the shared plan cache the whole worker pool
+	// consults: each query shape is planned once and every worker reuses
+	// the cached order. Build it with plan.NewCache(snapshot) for the
+	// snapshot passed to Run. Engines that do not plan ignore it.
+	Plans *plan.Cache
 }
 
 // LatencyStats summarizes per-query latencies of one run.
@@ -51,6 +60,9 @@ type Report struct {
 	// Timeouts counts queries that hit the deadline or cancellation.
 	Timeouts int
 	Stats    LatencyStats
+	// PlanHits and PlanMisses are this run's deltas on the shared plan
+	// cache (zero when Options.Plans was nil).
+	PlanHits, PlanMisses int64
 }
 
 // TotalResults sums bindings across completed queries.
@@ -75,6 +87,11 @@ func Run(ctx context.Context, e engine.Engine, sn *rdf.Snapshot, queries []engin
 	}
 	if workers > len(queries) && len(queries) > 0 {
 		workers = len(queries)
+	}
+	var hits0, misses0 int64
+	if opt.Plans != nil {
+		hits0, misses0 = opt.Plans.Hits(), opt.Plans.Misses()
+		e = withPlans(e, opt.Plans)
 	}
 	rep := Report{Engine: e.Name(), Results: make([]engine.Result, len(queries))}
 	start := time.Now()
@@ -125,7 +142,28 @@ dispatch:
 	if rep.Wall > 0 {
 		rep.Stats.QPS = float64(len(queries)-rep.Timeouts) / rep.Wall.Seconds()
 	}
+	if opt.Plans != nil {
+		rep.PlanHits = opt.Plans.Hits() - hits0
+		rep.PlanMisses = opt.Plans.Misses() - misses0
+	}
 	return rep
+}
+
+// withPlans returns a copy of the engine wired to the shared plan cache,
+// leaving the caller's engine untouched (engines may be shared across
+// concurrent Run calls with different caches).
+func withPlans(e engine.Engine, plans *plan.Cache) engine.Engine {
+	switch ge := e.(type) {
+	case *engine.GraphEngine:
+		cp := *ge
+		cp.Plans = plans
+		return &cp
+	case *engine.RelationalEngine:
+		cp := *ge
+		cp.Plans = plans
+		return &cp
+	}
+	return e
 }
 
 // runOne executes a single query under a per-query deadline derived from

@@ -8,6 +8,7 @@ import (
 
 	"sparqlog/internal/engine"
 	"sparqlog/internal/gmark"
+	"sparqlog/internal/plan"
 )
 
 // workload builds a mixed chain/cycle CQ workload over a small Bib graph.
@@ -110,6 +111,80 @@ func TestRunPerQueryDeadline(t *testing.T) {
 		if res.TimedOut && res.Duration != budget {
 			t.Errorf("query %d: timed out with duration %v, want the %v budget", i, res.Duration, budget)
 		}
+	}
+}
+
+// TestPlanCacheSharedAcrossWorkers is the plan-cache correctness test:
+// a workload alternating between two query *shapes* (star and chain,
+// constants varying per query) runs on a concurrent pool sharing one
+// plan cache. Exactly two plans may be computed — every other query must
+// hit the cache — and every result must equal serial uncached execution.
+// The service package's CI race run covers this test, so the cache's
+// concurrent access is exercised under -race.
+func TestPlanCacheSharedAcrossWorkers(t *testing.T) {
+	g := gmark.Generate(gmark.Config{Nodes: 1500, Seed: 19})
+	cites := g.PredID["cites"]
+	authoredBy := g.PredID["authoredBy"]
+	publishedIn := g.PredID["publishedIn"]
+	journals := g.Nodes[gmark.Journal]
+	papers := g.Nodes[gmark.Paper]
+
+	var cqs []engine.CQ
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			// Star shape: varying journal constant.
+			cqs = append(cqs, engine.CQ{
+				Atoms: []engine.Atom{
+					{S: engine.V(0), P: engine.C(cites), O: engine.V(1)},
+					{S: engine.V(0), P: engine.C(authoredBy), O: engine.V(2)},
+					{S: engine.V(0), P: engine.C(publishedIn), O: engine.C(journals[i%len(journals)])},
+				},
+				NumVars: 3,
+			})
+		} else {
+			// Chain shape: varying start-paper constant.
+			cqs = append(cqs, engine.CQ{
+				Atoms: []engine.Atom{
+					{S: engine.C(papers[i%len(papers)]), P: engine.C(cites), O: engine.V(0)},
+					{S: engine.V(0), P: engine.C(cites), O: engine.V(1)},
+					{S: engine.V(1), P: engine.C(authoredBy), O: engine.V(2)},
+				},
+				NumVars: 3,
+			})
+		}
+	}
+
+	e := &engine.GraphEngine{}
+	serial := make([]engine.Result, len(cqs))
+	for i, q := range cqs {
+		serial[i] = e.Execute(g.Snapshot, q, 5*time.Second)
+	}
+
+	cache := plan.NewCache(g.Snapshot)
+	rep := Run(context.Background(), e, g.Snapshot, cqs,
+		Options{Workers: 4, Timeout: 5 * time.Second, Plans: cache})
+
+	if rep.PlanMisses != 2 {
+		t.Errorf("plan misses = %d, want 2 (one per shape)", rep.PlanMisses)
+	}
+	if want := int64(len(cqs) - 2); rep.PlanHits != want {
+		t.Errorf("plan hits = %d, want %d", rep.PlanHits, want)
+	}
+	for i := range cqs {
+		if rep.Results[i].Count != serial[i].Count || rep.Results[i].TimedOut != serial[i].TimedOut {
+			t.Fatalf("query %d: cached-parallel = (count %d, timeout %v), serial = (count %d, timeout %v)",
+				i, rep.Results[i].Count, rep.Results[i].TimedOut, serial[i].Count, serial[i].TimedOut)
+		}
+	}
+	// The caller's engine must not have been mutated by the run.
+	if e.Plans != nil {
+		t.Error("Run mutated the caller's engine")
+	}
+	// A second run over the same cache is all hits.
+	rep2 := Run(context.Background(), e, g.Snapshot, cqs,
+		Options{Workers: 4, Timeout: 5 * time.Second, Plans: cache})
+	if rep2.PlanMisses != 0 || rep2.PlanHits != int64(len(cqs)) {
+		t.Errorf("second run hits/misses = %d/%d, want %d/0", rep2.PlanHits, rep2.PlanMisses, len(cqs))
 	}
 }
 

@@ -32,6 +32,19 @@ func FuzzParse(f *testing.F) {
 		"SELECT",
 		"{}",
 		"",
+		// The planner's canonicalized-shape corpus: the conjunctive
+		// shapes the cost-based planner (internal/plan) caches plans by —
+		// star, chain, cycle, snowflake, and the selective-atom-last
+		// orders the planner exists to fix. Fuzzing from these shapes
+		// exercises the parser on exactly the BGP structures the
+		// planner-ordered evaluator rewrites.
+		"SELECT * WHERE { ?c <p0> ?a . ?c <p1> ?b . ?c <p2> ?d . ?c <p3> <konst> }",
+		"SELECT * WHERE { ?x0 <p0> ?x1 . ?x1 <p1> ?x2 . ?x2 <p2> ?x3 . ?x3 <p3> ?x4 }",
+		"ASK { ?x0 <p0> ?x1 . ?x1 <p1> ?x2 . ?x2 <p2> ?x0 }",
+		"SELECT * WHERE { ?c <p0> ?a . ?a <p1> ?t . ?c <p2> ?b . ?b <p3> ?u }",
+		"SELECT ?p1 ?r WHERE { ?p1 <cites> ?p2 . ?p2 <cites> ?p3 . ?p1 <authoredBy> ?r . ?p1 <publishedIn> <j1> }",
+		"SELECT * WHERE { ?s ?p0 ?o . ?o ?p0 ?s }",
+		"SELECT * WHERE { <s> <p> <o> . ?x <p> ?y . ?x <q> ?x }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

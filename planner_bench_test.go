@@ -1,0 +1,174 @@
+// Planner benchmarks: the statistics-driven join-ordering win on the
+// three dominant workload shapes of the log study (star, chain, cycle),
+// the plan cache's amortization, and the evaluator's BGP reordering.
+// These are part of the bench-regression CI gate (see BENCH_BASELINE.json
+// and cmd/benchdiff).
+package sparqlog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlog/internal/engine"
+	"sparqlog/internal/eval"
+	"sparqlog/internal/gmark"
+	"sparqlog/internal/plan"
+	"sparqlog/internal/sparql"
+)
+
+// plannerBenchGraph is the shared gMark Bib instance for the planner
+// benchmarks: large enough that join order dominates, small enough for
+// the CI bench sweep.
+var (
+	plannerGraphOnce sync.Once
+	plannerGraph     *gmark.Graph
+)
+
+func plannerBenchGraph(b *testing.B) *gmark.Graph {
+	b.Helper()
+	plannerGraphOnce.Do(func() {
+		plannerGraph = gmark.Generate(gmark.Config{Nodes: 6000, Seed: 41})
+	})
+	return plannerGraph
+}
+
+// starWorkload builds 3-atom star queries centered on a paper variable,
+// written with the selective atom (bound journal object) LAST — the
+// adversarial syntactic order from the log study's star shapes.
+func starWorkload(g *gmark.Graph, count int) []engine.CQ {
+	var cqs []engine.CQ
+	journals := g.Nodes[gmark.Journal]
+	for i := 0; i < count; i++ {
+		j := journals[i%len(journals)]
+		cqs = append(cqs, engine.CQ{
+			Atoms: []engine.Atom{
+				{S: engine.V(0), P: engine.C(g.PredID["cites"]), O: engine.V(1)},
+				{S: engine.V(0), P: engine.C(g.PredID["authoredBy"]), O: engine.V(2)},
+				{S: engine.V(0), P: engine.C(g.PredID["publishedIn"]), O: engine.C(j)},
+			},
+			NumVars: 3,
+		})
+	}
+	return cqs
+}
+
+// chainWorkload derives counting (non-ASK) chains from the gMark
+// generator's ASK chains.
+func chainWorkload(g *gmark.Graph, length, count int) []engine.CQ {
+	var cqs []engine.CQ
+	for _, q := range g.Workload(gmark.Chain, length, count, 9) {
+		cq := q.CQ
+		cq.Ask = false
+		cqs = append(cqs, cq)
+	}
+	return cqs
+}
+
+func cycleWorkload(g *gmark.Graph, length, count int) []engine.CQ {
+	var cqs []engine.CQ
+	for _, q := range g.Workload(gmark.Cycle, length, count, 9) {
+		cqs = append(cqs, q.CQ)
+	}
+	return cqs
+}
+
+// BenchmarkPlannerShapes measures the graph engine on the three dominant
+// conjunctive shapes in three ordering modes: statistics-planned per
+// call, planned through the shape-keyed plan cache, and the syntactic
+// baseline. Before the planner landed, the "planned" mode was the
+// engine's per-search-node exact-degree greedy ordering — compare runs
+// of this benchmark across that boundary for the before/after numbers in
+// the README.
+func BenchmarkPlannerShapes(b *testing.B) {
+	g := plannerBenchGraph(b)
+	shapes := []struct {
+		name string
+		cqs  []engine.CQ
+	}{
+		{"star", starWorkload(g, 16)},
+		{"chain", chainWorkload(g, 5, 16)},
+		{"cycle", cycleWorkload(g, 5, 16)},
+	}
+	for _, sh := range shapes {
+		modes := []struct {
+			name string
+			e    engine.Engine
+		}{
+			{"planned", &engine.GraphEngine{}},
+			{"planned-cached", &engine.GraphEngine{Plans: plan.NewCache(g.Snapshot)}},
+			{"syntactic", &engine.GraphEngine{Order: engine.OrderSyntactic}},
+		}
+		for _, m := range modes {
+			b.Run(sh.name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					st := engine.RunWorkload(m.e, g.Snapshot, sh.cqs, 30*time.Second)
+					if st.Timeouts > 0 {
+						b.Fatal("timeout")
+					}
+				}
+				b.ReportMetric(float64(len(sh.cqs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// BenchmarkPlanCache contrasts a cache hit (shape-key + map lookup) with
+// full planning, the overhead the service layer's shared cache removes
+// from every query after a shape's first sighting.
+func BenchmarkPlanCache(b *testing.B) {
+	g := plannerBenchGraph(b)
+	cqs := starWorkload(g, 1)
+	atoms, numVars := cqs[0].Atoms, cqs[0].NumVars
+	b.Run("plan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan.For(g.Snapshot, atoms, numVars)
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := plan.NewCache(g.Snapshot)
+		cache.For(g.Snapshot, atoms, numVars)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.For(g.Snapshot, atoms, numVars)
+		}
+	})
+}
+
+// BenchmarkEvalJoinOrder measures full SPARQL evaluation of a chain
+// query written selective-last: the planner-ordered default against the
+// pre-planner syntactic baseline (Limits.NoReorder).
+func BenchmarkEvalJoinOrder(b *testing.B) {
+	g := plannerBenchGraph(b)
+	journals := g.Nodes[gmark.Journal]
+	jname := g.Snapshot.TermOf(journals[1])
+	src := fmt.Sprintf(`PREFIX bib: <http://gmark.bib/p/>
+		SELECT ?p1 ?p2 ?r WHERE {
+			?p1 bib:cites ?p2 .
+			?p2 bib:cites ?p3 .
+			?p1 bib:authoredBy ?r .
+			?p1 bib:publishedIn <%s> .
+		}`, jname)
+	q, err := sparql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		lim  eval.Limits
+	}{
+		{"planned", eval.Limits{}},
+		{"syntactic", eval.Limits{NoReorder: true}},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.QueryWithLimits(g.Snapshot, q, m.lim); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
