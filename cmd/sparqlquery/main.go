@@ -10,6 +10,10 @@
 // With -explain the query's conjunctive core is planned by the
 // cost-based planner and executed instrumented; the transcript shows the
 // chosen atom order with estimated vs. actual intermediate row counts.
+// Property-path patterns get their own section: the compiled automaton
+// (states, transitions, fast-path selection), the search direction
+// chosen from the endpoint shape and the snapshot statistics, and the
+// estimated vs. actual reached counts.
 package main
 
 import (
@@ -28,7 +32,7 @@ func main() {
 	data := flag.String("data", "", "N-Triples data file")
 	bib := flag.Int("bib", 0, "generate a gMark Bib graph of this many nodes instead of loading data")
 	seed := flag.Int64("seed", 1, "generator seed for -bib")
-	explain := flag.Bool("explain", false, "print the planner's join order with estimated vs. actual rows instead of query results")
+	explain := flag.Bool("explain", false, "print the planner's join order and compiled path automata with estimated vs. actual counts instead of query results")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sparqlquery [-data file.nt | -bib N] '<query>'")

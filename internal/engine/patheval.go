@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -14,6 +15,13 @@ import (
 // paths. (Bagan et al.'s Ctract dichotomy concerns the stricter
 // simple-path semantics, which is NP-hard in general and not used by
 // SPARQL endpoints.)
+//
+// The public entry points compile the expression into internal/pathcomp's
+// NFA and run the bitset product-graph search. The recursive interpreter
+// they replaced is retained below as the Naive* functions: it is the
+// executable specification the differential suite and the fuzz target
+// check the compiled engine against, and the baseline the path
+// benchmarks measure the speedup from.
 
 // PathResolver maps IRI text as written in a path expression to store
 // IDs. Implementations typically expand prefixed names first.
@@ -24,31 +32,65 @@ func StoreResolver(sn *rdf.Snapshot) PathResolver {
 	return func(iri string) (rdf.ID, bool) { return sn.Lookup(iri) }
 }
 
-// EvalPathFrom returns the set of nodes reachable from start via the
-// path expression.
-func EvalPathFrom(sn *rdf.Snapshot, start rdf.ID, p sparql.PathExpr, resolve PathResolver) map[rdf.ID]bool {
+// EvalPathFrom returns the nodes reachable from start via the path
+// expression, as a sorted ID slice.
+func EvalPathFrom(sn *rdf.Snapshot, start rdf.ID, p sparql.PathExpr, resolve PathResolver) []rdf.ID {
+	return pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).From(start)
+}
+
+// EvalPathTo returns the nodes from which the path reaches end, as a
+// sorted ID slice — the reverse image object-bound patterns need.
+func EvalPathTo(sn *rdf.Snapshot, end rdf.ID, p sparql.PathExpr, resolve PathResolver) []rdf.ID {
+	return pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).To(end)
+}
+
+// PathHolds reports whether the path connects s to o. The compiled
+// search starts from whichever end the snapshot statistics say is
+// rarer and stops as soon as the target is reached.
+func PathHolds(sn *rdf.Snapshot, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
+	return pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).Holds(s, o)
+}
+
+// EvalPathPairs enumerates all (subject, object) pairs connected by the
+// path, up to limit pairs (0 = unlimited), ordered by subject then
+// object ID. The subject candidates are all subjects and objects in the
+// store.
+func EvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
+	return pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).Pairs(limit)
+}
+
+// ---------- naive reference interpreter ----------
+
+// NaiveEvalPathFrom is the interpretive reference implementation of
+// EvalPathFrom: per-node recursive evaluation over hash sets. Kept as
+// the executable specification for differential tests and benchmarks.
+func NaiveEvalPathFrom(sn *rdf.Snapshot, start rdf.ID, p sparql.PathExpr, resolve PathResolver) map[rdf.ID]bool {
 	e := &pathEval{sn: sn, resolve: resolve}
 	out := make(map[rdf.ID]bool)
-	e.from(start, p, func(n rdf.ID) { out[n] = true })
+	e.from(start, p, func(n rdf.ID) bool { out[n] = true; return true })
 	return out
 }
 
-// PathHolds reports whether the path connects s to o.
-func PathHolds(sn *rdf.Snapshot, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
+// NaivePathHolds is the interpretive reference for PathHolds. Even the
+// interpreter short-circuits: the yield callback's stop signal unwinds
+// the traversal as soon as the target is seen, instead of materializing
+// the full closure.
+func NaivePathHolds(sn *rdf.Snapshot, s, o rdf.ID, p sparql.PathExpr, resolve PathResolver) bool {
 	found := false
 	e := &pathEval{sn: sn, resolve: resolve}
-	e.from(s, p, func(n rdf.ID) {
+	e.from(s, p, func(n rdf.ID) bool {
 		if n == o {
 			found = true
+			return false
 		}
+		return true
 	})
 	return found
 }
 
-// EvalPathPairs enumerates all (subject, object) pairs connected by the
-// path, up to limit pairs (0 = unlimited). The subject candidates are
-// all subjects and objects in the store.
-func EvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
+// NaiveEvalPathPairs is the interpretive reference for EvalPathPairs:
+// a per-start-node closure enumeration over all subject/object nodes.
+func NaiveEvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
 	e := &pathEval{sn: sn, resolve: resolve}
 	var out [][2]rdf.ID
 	seenStart := make(map[rdf.ID]bool)
@@ -58,15 +100,9 @@ func EvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, li
 				continue
 			}
 			seenStart[s] = true
-			stop := false
-			e.from(s, p, func(n rdf.ID) {
-				if stop {
-					return
-				}
+			e.from(s, p, func(n rdf.ID) bool {
 				out = append(out, [2]rdf.ID{s, n})
-				if limit > 0 && len(out) >= limit {
-					stop = true
-				}
+				return limit <= 0 || len(out) < limit
 			})
 			if limit > 0 && len(out) >= limit {
 				return out
@@ -82,63 +118,88 @@ type pathEval struct {
 }
 
 // from streams the nodes reachable from start via p (with duplicates
-// possible for fixed-length parts; callers deduplicate as needed).
-func (e *pathEval) from(start rdf.ID, p sparql.PathExpr, yield func(rdf.ID)) {
+// possible for fixed-length parts; callers deduplicate as needed). The
+// yield callback returns false to stop the traversal; from propagates
+// the stop by returning false itself.
+func (e *pathEval) from(start rdf.ID, p sparql.PathExpr, yield func(rdf.ID) bool) bool {
 	switch n := p.(type) {
 	case *sparql.PathIRI:
 		if pid, ok := e.resolve(n.IRI); ok {
 			for _, o := range e.sn.Objects(start, pid) {
-				yield(o)
+				if !yield(o) {
+					return false
+				}
 			}
 		}
 	case *sparql.PathInverse:
-		e.inverseFrom(start, n.X, yield)
+		return e.inverseFrom(start, n.X, yield)
 	case *sparql.PathSeq:
-		e.seqFrom(start, n.Parts, yield)
+		return e.seqFrom(start, n.Parts, yield)
 	case *sparql.PathAlt:
 		for _, part := range n.Parts {
-			e.from(start, part, yield)
+			if !e.from(start, part, yield) {
+				return false
+			}
 		}
 	case *sparql.PathMod:
 		switch n.Mod {
 		case '?':
-			yield(start)
-			e.from(start, n.X, yield)
+			if !yield(start) {
+				return false
+			}
+			return e.from(start, n.X, yield)
 		case '*', '+':
-			e.closure(start, n.X, n.Mod == '*', yield)
+			return e.closure(start, n.X, n.Mod == '*', yield)
 		}
 	case *sparql.PathNeg:
-		e.negFrom(start, n.Set, yield)
+		return e.negFrom(start, n.Set, yield)
 	}
+	return true
 }
 
 // inverseFrom follows X backwards. Only the atomic forms the grammar
 // allows under ^ are supported (IRI); general inversion recurses.
-func (e *pathEval) inverseFrom(start rdf.ID, x sparql.PathExpr, yield func(rdf.ID)) {
+func (e *pathEval) inverseFrom(start rdf.ID, x sparql.PathExpr, yield func(rdf.ID) bool) bool {
 	if iri, ok := x.(*sparql.PathIRI); ok {
 		if pid, ok := e.resolve(iri.IRI); ok {
 			for _, s := range e.sn.Subjects(pid, start) {
-				yield(s)
+				if !yield(s) {
+					return false
+				}
 			}
 		}
-		return
+		return true
 	}
 	// General case: scan candidate sources (rare in practice; the
-	// grammar nests ^ around atoms).
+	// grammar nests ^ around atoms). Objects count as candidates too —
+	// a reflexive inner path (e.g. ^(a*)) matches zero-length from
+	// nodes that never appear in subject position.
+	seen := make(map[rdf.ID]bool)
 	for _, t := range e.sn.Triples() {
-		src := t.S
-		e.from(src, x, func(n rdf.ID) {
-			if n == start {
-				yield(src)
+		for _, src := range [2]rdf.ID{t.S, t.O} {
+			if seen[src] {
+				continue
 			}
-		})
+			seen[src] = true
+			hit := false
+			e.from(src, x, func(n rdf.ID) bool {
+				if n == start {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit && !yield(src) {
+				return false
+			}
+		}
 	}
+	return true
 }
 
-func (e *pathEval) seqFrom(start rdf.ID, parts []sparql.PathExpr, yield func(rdf.ID)) {
+func (e *pathEval) seqFrom(start rdf.ID, parts []sparql.PathExpr, yield func(rdf.ID) bool) bool {
 	if len(parts) == 0 {
-		yield(start)
-		return
+		return yield(start)
 	}
 	// Deduplicate the frontier between stages to avoid exponential
 	// re-exploration on diamond-shaped data.
@@ -146,50 +207,53 @@ func (e *pathEval) seqFrom(start rdf.ID, parts []sparql.PathExpr, yield func(rdf
 	for _, part := range parts[:len(parts)-1] {
 		next := make(map[rdf.ID]bool)
 		for n := range frontier {
-			e.from(n, part, func(m rdf.ID) { next[m] = true })
+			e.from(n, part, func(m rdf.ID) bool { next[m] = true; return true })
 		}
 		frontier = next
 		if len(frontier) == 0 {
-			return
+			return true
 		}
 	}
 	for n := range frontier {
-		e.from(n, parts[len(parts)-1], yield)
+		if !e.from(n, parts[len(parts)-1], yield) {
+			return false
+		}
 	}
+	return true
 }
 
 // closure is BFS reachability via the inner path: reflexive for '*'.
-func (e *pathEval) closure(start rdf.ID, inner sparql.PathExpr, reflexive bool, yield func(rdf.ID)) {
+func (e *pathEval) closure(start rdf.ID, inner sparql.PathExpr, reflexive bool, yield func(rdf.ID) bool) bool {
 	visited := make(map[rdf.ID]bool)
 	var queue []rdf.ID
-	push := func(n rdf.ID) {
-		if !visited[n] {
-			visited[n] = true
-			queue = append(queue, n)
+	// step yields n if new and enqueues it; it returns false on stop.
+	step := func(n rdf.ID) bool {
+		if visited[n] {
+			return true
 		}
+		visited[n] = true
+		queue = append(queue, n)
+		return yield(n)
 	}
 	if reflexive {
-		push(start)
-		yield(start)
+		if !step(start) {
+			return false
+		}
 	} else {
-		// '+': seed with one step.
-		e.from(start, inner, func(n rdf.ID) {
-			if !visited[n] {
-				yield(n)
-			}
-			push(n)
-		})
+		// '+': seed with one step; the start node is only a result if
+		// re-reached through the closure.
+		if !e.from(start, inner, step) {
+			return false
+		}
 	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		e.from(cur, inner, func(n rdf.ID) {
-			if !visited[n] {
-				yield(n)
-			}
-			push(n)
-		})
+		if !e.from(cur, inner, step) {
+			return false
+		}
 	}
+	return true
 }
 
 // negFrom implements the W3C negated-property-set semantics: forward
@@ -197,7 +261,7 @@ func (e *pathEval) closure(start rdf.ID, inner sparql.PathExpr, reflexive bool, 
 // reverse edges. Forward edges are traversed only when the set has
 // forward members (or no inverse members at all, covering !() and the
 // plain !a form); reverse edges only when it has inverse members.
-func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.ID)) {
+func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.ID) bool) bool {
 	excluded := make(map[rdf.ID]bool)
 	excludedInv := make(map[rdf.ID]bool)
 	var hasForward, hasInverse bool
@@ -221,7 +285,9 @@ func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.I
 		preds, objs := e.sn.SubjectEdges(start)
 		for i := range preds {
 			if !excluded[preds[i]] {
-				yield(objs[i])
+				if !yield(objs[i]) {
+					return false
+				}
 			}
 		}
 	}
@@ -229,8 +295,11 @@ func (e *pathEval) negFrom(start rdf.ID, set []sparql.PathExpr, yield func(rdf.I
 		subs, preds := e.sn.ObjectEdges(start)
 		for i := range subs {
 			if !excludedInv[preds[i]] {
-				yield(subs[i])
+				if !yield(subs[i]) {
+					return false
+				}
 			}
 		}
 	}
+	return true
 }

@@ -42,12 +42,25 @@ func reach(t *testing.T, st *rdf.Snapshot, from, expr string) []string {
 	if !ok {
 		t.Fatalf("unknown node %s", from)
 	}
-	set := EvalPathFrom(st, id, parsePath(t, expr), StoreResolver(st))
+	p := parsePath(t, expr)
+	ids := EvalPathFrom(st, id, p, StoreResolver(st))
 	var out []string
-	for n := range set {
+	for _, n := range ids {
 		out = append(out, st.TermOf(n))
 	}
 	sort.Strings(out)
+
+	// The naive interpreter is the executable spec: both evaluators must
+	// agree on every case the suite exercises.
+	naive := NaiveEvalPathFrom(st, id, p, StoreResolver(st))
+	if len(naive) != len(ids) {
+		t.Errorf("reach(%s, %s): compiled %d nodes, naive %d", from, expr, len(ids), len(naive))
+	}
+	for _, n := range ids {
+		if !naive[n] {
+			t.Errorf("reach(%s, %s): compiled-only node %s", from, expr, st.TermOf(n))
+		}
+	}
 	return out
 }
 
@@ -136,6 +149,63 @@ func TestEvalPathPairs(t *testing.T) {
 		t.Errorf("limited pairs = %d, want 3", len(lim))
 	}
 }
+
+func TestEvalPathTo(t *testing.T) {
+	st := pathStore()
+	d, _ := st.Lookup("d")
+	got := EvalPathTo(st, d, parsePath(t, "<p>+"), StoreResolver(st))
+	var names []string
+	for _, n := range got {
+		names = append(names, st.TermOf(n))
+	}
+	sort.Strings(names)
+	if !eq(names, []string{"a", "b", "c"}) {
+		t.Errorf("to(d, <p>+) = %v, want [a b c]", names)
+	}
+	// Reverse image of an inverse path: ^p to a is everything a reaches
+	// forward via p.
+	a, _ := st.Lookup("a")
+	got = EvalPathTo(st, a, parsePath(t, "^<p>"), StoreResolver(st))
+	if len(got) != 1 || st.TermOf(got[0]) != "b" {
+		t.Errorf("to(a, ^<p>) = %v, want [b]", got)
+	}
+}
+
+// TestNaivePathHoldsShortCircuits pins the interpreter's early exit: the
+// resolver is called once per node expansion, so finding a target two
+// hops into a 60-node chain must stop the closure immediately instead of
+// walking all 60 nodes.
+func TestNaivePathHoldsShortCircuits(t *testing.T) {
+	st := rdf.NewStore()
+	for i := 0; i < 60; i++ {
+		st.Add(node(i), "p", node(i+1))
+	}
+	sn := st.Freeze()
+	s, _ := sn.Lookup(node(0))
+	o, _ := sn.Lookup(node(2))
+	calls := 0
+	counting := func(iri string) (rdf.ID, bool) {
+		calls++
+		return sn.Lookup(iri)
+	}
+	if !NaivePathHolds(sn, s, o, parsePath(t, "<p>+"), counting) {
+		t.Fatal("chain head must reach node 2 via <p>+")
+	}
+	if calls > 5 {
+		t.Errorf("naive PathHolds expanded %d nodes for a 2-hop target; short-circuit is broken", calls)
+	}
+	// Compiled engine agrees, including on the negative case.
+	far, _ := sn.Lookup(node(59))
+	if !PathHolds(sn, s, far, parsePath(t, "<p>+"), StoreResolver(sn)) {
+		t.Error("compiled PathHolds missed the chain tail")
+	}
+	x := sn.NumTerms() // out-of-graph target can never hold
+	if PathHolds(sn, s, rdf.ID(x), parsePath(t, "<p>+"), StoreResolver(sn)) {
+		t.Error("compiled PathHolds held for an absent node")
+	}
+}
+
+func node(i int) string { return "n" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
 
 func TestPathEvalSeqDeduplicatesFrontier(t *testing.T) {
 	// Diamond data: without frontier dedup, the final stage would yield

@@ -16,7 +16,7 @@ import (
 	"sort"
 	"strings"
 
-	"sparqlog/internal/engine"
+	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
@@ -46,6 +46,12 @@ type Limits struct {
 	// instead of the cost-based planner's order — the pre-planner
 	// behaviour, kept for ablation benchmarks and differential tests.
 	NoReorder bool
+	// Paths optionally shares a compiled-path cache across queries
+	// against the same snapshot (the plan.Cache pattern): a serving
+	// layer evaluating recurring path shapes compiles each shape once.
+	// Nil gives every query its own cache, which still amortizes
+	// compilation across bindings and repeated patterns within it.
+	Paths *pathcomp.Cache
 }
 
 // DefaultMaxRows bounds intermediate results.
@@ -81,6 +87,24 @@ type evaluator struct {
 	st       *rdf.Snapshot
 	prefixes map[string]string
 	lim      Limits
+	// pathc caches compiled property-path automata for this snapshot,
+	// so a path evaluated under many bindings (or appearing several
+	// times in the query) compiles once. Lazily built on first path.
+	pathc *pathcomp.Cache
+}
+
+// pathCache returns the compiled-path cache: the caller-shared one from
+// Limits.Paths when set (and built for this snapshot — the cache itself
+// degrades a mismatch to uncached compilation), else a per-query cache
+// created on first use.
+func (ev *evaluator) pathCache() *pathcomp.Cache {
+	if ev.lim.Paths != nil {
+		return ev.lim.Paths
+	}
+	if ev.pathc == nil {
+		ev.pathc = pathcomp.NewCache(ev.st)
+	}
+	return ev.pathc
 }
 
 func prefixMap(q *sparql.Query) map[string]string {
@@ -603,15 +627,28 @@ func (ev *evaluator) matchTriple(tp *sparql.TriplePattern, b binding, yield func
 	return nil
 }
 
-func (ev *evaluator) path(pp *sparql.PathPattern, in []binding) ([]binding, error) {
-	resolver := func(iri string) (rdf.ID, bool) {
-		// Path IRIs may be prefixed; expand against the prologue.
+// pathResolver maps path-expression IRI text to store IDs, expanding
+// prefixed names against the prologue first.
+func (ev *evaluator) pathResolver() pathcomp.Resolver {
+	return func(iri string) (rdf.ID, bool) {
 		full := ev.expand(iri, strings.Contains(iri, ":") && !strings.Contains(iri, "://"))
 		if iri == sparql.RDFType {
 			full = sparql.RDFType
 		}
 		return ev.st.Lookup(full)
 	}
+}
+
+func (ev *evaluator) path(pp *sparql.PathPattern, in []binding) ([]binding, error) {
+	resolver := ev.pathResolver()
+	// Compile once per pattern — the automaton is shared by every
+	// binding below (and by re-evaluations of the same shape elsewhere
+	// in the query, through the per-snapshot cache).
+	cp := ev.pathCache().Compile(ev.st, pp.Path, resolver)
+	// Loop nodes for the same-variable case are binding-independent;
+	// compute them once, on first need.
+	var loops []rdf.ID
+	loopsDone := false
 	var out []binding
 	for _, b := range in {
 		sTxt, sConst := ev.termText(pp.S)
@@ -632,7 +669,7 @@ func (ev *evaluator) path(pp *sparql.PathPattern, in []binding) ([]binding, erro
 		case sConst && oConst:
 			sid, ok1 := ev.st.Lookup(sTxt)
 			oid, ok2 := ev.st.Lookup(oTxt)
-			if ok1 && ok2 && engine.PathHolds(ev.st, sid, oid, pp.Path, resolver) {
+			if ok1 && ok2 && cp.Holds(sid, oid) {
 				out = append(out, b.clone())
 			}
 		case sConst:
@@ -640,24 +677,48 @@ func (ev *evaluator) path(pp *sparql.PathPattern, in []binding) ([]binding, erro
 			if !ok {
 				continue
 			}
-			for n := range engine.EvalPathFrom(ev.st, sid, pp.Path, resolver) {
+			for _, n := range cp.From(sid) {
 				nb := b.clone()
 				nb[oName] = ev.st.TermOf(n)
 				out = append(out, nb)
 			}
-		default:
-			// Both ends open (or only the object bound): enumerate pairs.
-			for _, pair := range engine.EvalPathPairs(ev.st, pp.Path, resolver, ev.lim.MaxRows) {
-				sT := ev.st.TermOf(pair[0])
-				oT := ev.st.TermOf(pair[1])
-				if oConst && oT != oTxt {
-					continue
-				}
+		case oConst:
+			// Object bound, subject free: evaluate the path in reverse
+			// from the object instead of enumerating every pair and
+			// filtering — which also fixes the old limit bug where pairs
+			// were capped at MaxRows BEFORE the object filter, silently
+			// dropping matches past the cap.
+			oid, ok := ev.st.Lookup(oTxt)
+			if !ok {
+				continue
+			}
+			for _, n := range cp.To(oid) {
 				nb := b.clone()
-				nb[sName] = sT
-				if !oConst {
-					nb[oName] = oT
-				}
+				nb[sName] = ev.st.TermOf(n)
+				out = append(out, nb)
+			}
+		case sName == oName:
+			// Same variable on both ends (?x path ?x): only loop nodes
+			// match, computed once in a single sweep.
+			if !loopsDone {
+				loops, loopsDone = cp.Loops(), true
+			}
+			for _, id := range loops {
+				nb := b.clone()
+				nb[sName] = ev.st.TermOf(id)
+				out = append(out, nb)
+			}
+		default:
+			// Both ends open: enumerate pairs. The enumeration cap sits
+			// one past the row limit so an overflowing result trips the
+			// row-limit error below instead of truncating silently.
+			// Invariant: the end-of-loop check keeps len(out) <= MaxRows
+			// whenever a binding starts, so this limit is always >= 1
+			// (0 would mean unlimited to Pairs).
+			for _, pair := range cp.Pairs(ev.lim.MaxRows + 1 - len(out)) {
+				nb := b.clone()
+				nb[sName] = ev.st.TermOf(pair[0])
+				nb[oName] = ev.st.TermOf(pair[1])
 				out = append(out, nb)
 			}
 		}

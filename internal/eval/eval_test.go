@@ -3,6 +3,7 @@ package eval
 import (
 	"testing"
 
+	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -348,5 +349,131 @@ func TestRepeatedVariableInTriple(t *testing.T) {
 	res := run(t, b.Freeze(), `PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:knows ?x }`)
 	if len(res.Rows) != 1 {
 		t.Fatalf("self-loop rows = %v", res.Rows)
+	}
+}
+
+// TestPathObjectBoundLimitRegression pins the fix for the limit bug in
+// object-bound path patterns: the old evaluator enumerated ALL path
+// pairs capped at MaxRows BEFORE filtering on the bound object, so a
+// match past the cap was silently dropped. The matching subjects here
+// sit behind ten unrelated pair-producing chains; with MaxRows=5 the
+// old code returned zero rows.
+func TestPathObjectBoundLimitRegression(t *testing.T) {
+	st := rdf.NewStore()
+	// Ten noise chains whose pairs enumerate first.
+	for i := 0; i < 10; i++ {
+		st.Add("http://ex/x"+string(rune('a'+i)), "http://ex/p", "http://ex/y"+string(rune('a'+i)))
+	}
+	// The matches: w -p-> z -p-> target.
+	st.Add("http://ex/w", "http://ex/p", "http://ex/z")
+	st.Add("http://ex/z", "http://ex/p", "http://ex/target")
+	sn := st.Freeze()
+	q, err := sparql.Parse(`PREFIX ex: <http://ex/>
+		SELECT ?s WHERE { ?s ex:p+ ex:target }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := QueryWithLimits(sn, q, Limits{MaxRows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0]] = true
+	}
+	if len(got) != 2 || !got["http://ex/w"] || !got["http://ex/z"] {
+		t.Fatalf("object-bound path rows = %v, want w and z (limit must apply to surviving rows)", res.Rows)
+	}
+}
+
+// TestPathPairsOverflowErrors pins the companion semantics for fully
+// unbound paths: a result that genuinely exceeds MaxRows must fail with
+// the row-limit error, not truncate silently at exactly MaxRows.
+func TestPathPairsOverflowErrors(t *testing.T) {
+	st := rdf.NewStore()
+	for i := 0; i < 10; i++ {
+		st.Add("http://ex/x"+string(rune('a'+i)), "http://ex/p", "http://ex/y"+string(rune('a'+i)))
+	}
+	sn := st.Freeze()
+	q, err := sparql.Parse(`PREFIX ex: <http://ex/>
+		SELECT ?s ?o WHERE { ?s ex:p+ ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QueryWithLimits(sn, q, Limits{MaxRows: 3}); err == nil {
+		t.Fatal("10 pairs under MaxRows=3 must error, not truncate")
+	}
+	// Under the limit, all pairs come back.
+	res, err := QueryWithLimits(sn, q, Limits{MaxRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("pair rows = %d, want 10", len(res.Rows))
+	}
+}
+
+// TestPathSameVariableBothEnds: ?x path ?x must bind only loop nodes,
+// consistently (the old pair enumeration bound the object end over the
+// subject end, producing rows for non-loops).
+func TestPathSameVariableBothEnds(t *testing.T) {
+	st := rdf.NewStore()
+	st.Add("http://ex/a", "http://ex/p", "http://ex/b")
+	st.Add("http://ex/b", "http://ex/p", "http://ex/a")
+	st.Add("http://ex/c", "http://ex/p", "http://ex/d") // no loop
+	sn := st.Freeze()
+	res := run(t, sn, `PREFIX ex: <http://ex/>
+		SELECT ?x WHERE { ?x ex:p+ ?x }`)
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0]] = true
+	}
+	if len(got) != 2 || !got["http://ex/a"] || !got["http://ex/b"] {
+		t.Fatalf("loop rows = %v, want exactly a and b", res.Rows)
+	}
+}
+
+// TestPathObjectBoundReverse exercises the reverse evaluation path on
+// the social store, including through a pre-bound object variable.
+func TestPathObjectBoundReverse(t *testing.T) {
+	res := run(t, people(), `PREFIX ex: <http://ex/>
+		SELECT ?s WHERE { ?s ex:knows+ ex:carol }`)
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0]] = true
+	}
+	if len(got) != 2 || !got["http://ex/alice"] || !got["http://ex/bob"] {
+		t.Fatalf("reverse path rows = %v, want alice and bob", res.Rows)
+	}
+	// Object bound by an earlier pattern rather than a constant.
+	res2 := run(t, people(), `PREFIX ex: <http://ex/>
+		SELECT ?s ?o WHERE { ?o ex:name "Carol" . ?s ex:knows+ ?o }`)
+	if len(res2.Rows) != 2 {
+		t.Fatalf("pre-bound object path rows = %v", res2.Rows)
+	}
+}
+
+// TestSharedPathCacheAcrossQueries: Limits.Paths shares one compiled-path
+// cache across queries on a snapshot, so a recurring path shape compiles
+// once (the plan.Cache pattern at the SPARQL level).
+func TestSharedPathCacheAcrossQueries(t *testing.T) {
+	sn := people()
+	cache := pathcomp.NewCache(sn)
+	q, err := sparql.Parse(`PREFIX ex: <http://ex/>
+		SELECT ?x WHERE { ex:alice ex:knows+ ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := QueryWithLimits(sn, q, Limits{Paths: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("run %d: rows = %v", i, res.Rows)
+		}
+	}
+	if cache.Misses() != 1 || cache.Hits() != 2 {
+		t.Errorf("shared cache misses=%d hits=%d, want 1/2", cache.Misses(), cache.Hits())
 	}
 }

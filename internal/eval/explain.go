@@ -10,44 +10,121 @@ import (
 	"sparqlog/internal/sparql"
 )
 
-// Explain plans and executes the conjunctive core of a parsed SPARQL
-// query — every triple pattern of its WHERE clause, joined — and renders
-// the chosen atom order with estimated vs. actual intermediate row
-// counts (the EXPLAIN ANALYZE view the -explain flag of cmd/sparqlquery
-// prints). Operators outside the conjunctive core (UNION, OPTIONAL,
-// FILTER, property paths, ...) do not enter the plan; when present they
-// are listed in the trailer so the transcript is honest that the
-// explained query is the conjunction of all triple patterns, not the
-// full algebra.
+// Explain plans and executes the explainable parts of a parsed SPARQL
+// query and renders the transcript cmd/sparqlquery's -explain flag
+// prints. Two sections can appear:
+//
+//   - The conjunctive core — every triple pattern of the WHERE clause,
+//     joined — planned by the cost-based planner and executed
+//     instrumented, showing the chosen atom order with estimated vs.
+//     actual intermediate row counts.
+//   - One section per property-path pattern, showing the compiled
+//     automaton (states, transitions, fast-path selection), the search
+//     direction chosen from the endpoint shape and statistics, and the
+//     estimated vs. actual reached counts of an execution.
+//
+// Operators outside both (UNION, OPTIONAL, FILTER, ...) do not enter
+// either view; when present they are listed in a trailer so the
+// transcript is honest about what was and wasn't modeled.
 func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
 	ev := &evaluator{st: sn, prefixes: prefixMap(q)}
 	patterns := q.Triples()
-	if len(patterns) == 0 {
-		return "", fmt.Errorf("eval: query has no triple patterns to explain")
+	pathPatterns := q.PathPatterns()
+	if len(patterns) == 0 && len(pathPatterns) == 0 {
+		return "", fmt.Errorf("eval: query has no triple or path patterns to explain")
 	}
-	atoms, varNames := ev.compileBGP(patterns)
-	cq := engine.CQ{Atoms: atoms, NumVars: len(varNames)}
+	var text string
+	if len(patterns) > 0 {
+		atoms, varNames := ev.compileBGP(patterns)
+		cq := engine.CQ{Atoms: atoms, NumVars: len(varNames)}
 
-	ge := &engine.GraphEngine{}
-	explained, res := ge.Explain(context.Background(), sn, cq)
-	text := explained.Format(sn.TermOf, func(i int) string {
-		if i < len(varNames) {
-			return "?" + varNames[i]
-		}
-		return fmt.Sprintf("?v%d", i)
-	})
-	text += fmt.Sprintf("conjunctive core: %d atoms, %d result rows in %s\n",
-		len(atoms), res.Count, res.Duration)
+		ge := &engine.GraphEngine{}
+		explained, res := ge.Explain(context.Background(), sn, cq)
+		text += explained.Format(sn.TermOf, func(i int) string {
+			if i < len(varNames) {
+				return "?" + varNames[i]
+			}
+			return fmt.Sprintf("?v%d", i)
+		})
+		text += fmt.Sprintf("conjunctive core: %d atoms, %d result rows in %s\n",
+			len(atoms), res.Count, res.Duration)
+	}
+	for _, pp := range pathPatterns {
+		text += ev.explainPath(pp)
+	}
 	if extras := nonConjunctiveOperators(q); len(extras) > 0 {
-		text += fmt.Sprintf("note: query also contains %s — only the conjunctive core above was planned\n"+
-			"      and executed; full evaluation may return different results\n",
+		text += fmt.Sprintf("note: query also contains %s — only the conjunctive core and property\n"+
+			"      paths above were planned and executed; full evaluation may return different results\n",
 			strings.Join(extras, ", "))
 	}
 	return text, nil
 }
 
+// explainPath compiles one path pattern and executes it according to
+// its endpoint shape, reporting the automaton, the chosen direction and
+// estimated vs. actual reached counts.
+func (ev *evaluator) explainPath(pp *sparql.PathPattern) string {
+	render := func(t sparql.Term) string {
+		if txt, ok := ev.termText(t); ok {
+			return "<" + txt + ">"
+		}
+		name, _ := varName(t)
+		return "?" + name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "property path: %s %s %s\n",
+		render(pp.S), sparql.PathString(pp.Path), render(pp.O))
+	cp := ev.pathCache().Compile(ev.st, pp.Path, ev.pathResolver())
+	for _, line := range strings.Split(strings.TrimRight(cp.Describe(ev.st.TermOf), "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+
+	lookupConst := func(t sparql.Term) (rdf.ID, bool, bool) {
+		txt, isConst := ev.termText(t)
+		if !isConst {
+			return 0, false, false
+		}
+		id, known := ev.st.Lookup(txt)
+		return id, true, known
+	}
+	sid, sConst, sKnown := lookupConst(pp.S)
+	oid, oConst, oKnown := lookupConst(pp.O)
+	if (sConst && !sKnown) || (oConst && !oKnown) {
+		b.WriteString("  endpoint constant not in dictionary — no matches\n")
+		return b.String()
+	}
+	switch {
+	case sConst && oConst:
+		dir := cp.Direction(sid, oid)
+		fmt.Fprintf(&b, "  direction: %s (both ends bound; searching from the rarer end)\n", dir)
+		fmt.Fprintf(&b, "  est reach %.0f nodes; holds: %v\n", cp.EstimateReach(dir == "reverse"), cp.Holds(sid, oid))
+	case sConst:
+		n := len(cp.From(sid))
+		fmt.Fprintf(&b, "  direction: forward (subject bound)\n")
+		fmt.Fprintf(&b, "  est reach %.0f nodes, actual %d\n", cp.EstimateReach(false), n)
+	case oConst:
+		n := len(cp.To(oid))
+		fmt.Fprintf(&b, "  direction: reverse (object bound)\n")
+		fmt.Fprintf(&b, "  est reach %.0f nodes, actual %d\n", cp.EstimateReach(true), n)
+	default:
+		// Cap the enumeration: explain only reports the count, so a
+		// huge closure must not materialize unbounded pairs here.
+		const explainPairCap = 100_000
+		pairs := cp.Pairs(explainPairCap)
+		suffix := ""
+		if len(pairs) == explainPairCap {
+			suffix = "+ (capped)"
+		}
+		fmt.Fprintf(&b, "  direction: multi-source sweep (both ends free)\n")
+		fmt.Fprintf(&b, "  est reach %.0f nodes per source, actual %d pairs%s\n",
+			cp.EstimateReach(false), len(pairs), suffix)
+	}
+	return b.String()
+}
+
 // nonConjunctiveOperators names the WHERE-clause operators that the
-// conjunctive-core explain does not model, in first-appearance order.
+// explain transcript does not model, in first-appearance order.
+// Property paths are absent: they get their own explain section.
 func nonConjunctiveOperators(q *sparql.Query) []string {
 	var names []string
 	seen := map[string]bool{}
@@ -73,8 +150,6 @@ func nonConjunctiveOperators(q *sparql.Query) []string {
 			add("VALUES")
 		case *sparql.SubSelect:
 			add("subquery")
-		case *sparql.PathPattern:
-			add("property path")
 		case *sparql.GraphGraph:
 			add("GRAPH")
 		case *sparql.ServiceGraph:

@@ -171,3 +171,45 @@ func TestReorderMovesSelectiveAtomFirst(t *testing.T) {
 		t.Fatalf("explain did not disclose the UNION:\n%s", text2)
 	}
 }
+
+// TestExplainPropertyPath: a path-only query must produce an automaton
+// section with direction and est/actual counts instead of erroring.
+func TestExplainPropertyPath(t *testing.T) {
+	st := rdf.NewStore()
+	st.Add("urn:a", "urn:p", "urn:b")
+	st.Add("urn:b", "urn:p", "urn:c")
+	sn := st.Freeze()
+	q, err := sparql.Parse(`SELECT ?x WHERE { <urn:a> <urn:p>+ ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Explain(sn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"property path", "automaton", "fast path", "direction: forward", "actual 2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain transcript missing %q:\n%s", want, text)
+		}
+	}
+	// Object-bound: reverse direction.
+	q2, _ := sparql.Parse(`SELECT ?x WHERE { ?x <urn:p>+ <urn:c> }`)
+	text2, err := Explain(sn, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text2, "direction: reverse") {
+		t.Errorf("object-bound explain did not choose reverse:\n%s", text2)
+	}
+	// Mixed query: both a BGP table and a path section.
+	q3, _ := sparql.Parse(`SELECT * WHERE { ?x <urn:p> ?y . ?y <urn:p>* ?z . FILTER(?x != ?z) }`)
+	text3, err := Explain(sn, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"est rows", "property path", "note:", "FILTER"} {
+		if !strings.Contains(text3, want) {
+			t.Errorf("mixed explain missing %q:\n%s", want, text3)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package pathcomp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// DefaultMaxPaths bounds the cache. Real logs concentrate on few path
+// shapes (Table 5 of the source paper lists 21 across the whole
+// corpus), so the bound only bites on adversarial churn; past it, new
+// shapes compile uncached — degrade-to-correct, never wrong.
+const DefaultMaxPaths = 512
+
+// Cache is a per-snapshot compiled-path cache keyed by resolved path
+// shape, following the bounded-cache pattern of plan.Cache. Compiled
+// paths are immutable, so one Cache serves any number of goroutines and
+// hands out shared *Path values without copying.
+type Cache struct {
+	sn *rdf.Snapshot
+
+	mu    sync.Mutex
+	paths map[string]*Path
+
+	hits, misses atomic.Int64
+}
+
+// NewCache returns an empty compiled-path cache bound to the snapshot
+// whose dictionary the paths resolve against.
+func NewCache(sn *rdf.Snapshot) *Cache {
+	return &Cache{sn: sn, paths: map[string]*Path{}}
+}
+
+// Snapshot returns the snapshot the cache compiles for.
+func (c *Cache) Snapshot() *rdf.Snapshot { return c.sn }
+
+// Compile returns the compiled path for p, compiling and caching on
+// first sight of the shape. A nil cache, or a snapshot other than the
+// one the cache was built for, falls back to uncached compilation — a
+// misrouted cache degrades to correct-but-slower, never to a wrong
+// automaton.
+func (c *Cache) Compile(sn *rdf.Snapshot, p sparql.PathExpr, resolve Resolver) *Path {
+	if c == nil || sn != c.sn {
+		return Compile(sn, p, resolve)
+	}
+	key := ShapeKey(p, resolve)
+	c.mu.Lock()
+	if pa, ok := c.paths[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return pa
+	}
+	// Compiling under the lock keeps miss counts exact (one per distinct
+	// shape); automata are microseconds to build, so contention is
+	// immaterial next to evaluation.
+	pa := Compile(sn, p, resolve)
+	if len(c.paths) < DefaultMaxPaths {
+		c.paths[key] = pa
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return pa
+}
+
+// Hits returns the number of cache hits so far.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of cache misses (= automata compiled).
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached shapes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.paths)
+}

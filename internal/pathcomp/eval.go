@@ -1,0 +1,684 @@
+package pathcomp
+
+import (
+	"math/bits"
+
+	"sparqlog/internal/rdf"
+)
+
+// item is one product-graph node: an automaton state paired with a
+// graph node. The queue of items doubles as the trace used to clear
+// scratch bitsets between multi-source sweeps.
+type item struct {
+	q int32
+	n rdf.ID
+}
+
+// runner is the per-evaluation state of the product-graph search: one
+// visited bitset per automaton state (the semi-naive frontier — a
+// (state, node) pair is expanded exactly once), plus the set of nodes
+// reached in an accepting state.
+type runner struct {
+	pa      *Path
+	a       *nfa
+	visited []rdf.Bitset
+	queue   []item
+	reached rdf.Bitset
+	out     []rdf.ID
+}
+
+func newRunner(pa *Path, a *nfa) *runner {
+	r := &runner{pa: pa, a: a}
+	r.visited = make([]rdf.Bitset, len(a.edges))
+	for i := range r.visited {
+		r.visited[i] = pa.sn.NewBitset()
+	}
+	r.reached = pa.sn.NewBitset()
+	return r
+}
+
+// getRunner takes a reset runner for the given direction from the
+// Path's pool, or builds one. Return it with putRunner when done (the
+// result slice must be copied out first — reset empties it).
+func (pa *Path) getRunner(reverse bool) *runner {
+	pool := &pa.fwdPool
+	if reverse {
+		pool = &pa.revPool
+	}
+	if v := pool.Get(); v != nil {
+		return v.(*runner)
+	}
+	a := pa.fwd
+	if reverse {
+		a = pa.rev
+	}
+	return newRunner(pa, a)
+}
+
+func (pa *Path) putRunner(reverse bool, r *runner) {
+	r.reset()
+	if reverse {
+		pa.revPool.Put(r)
+	} else {
+		pa.fwdPool.Put(r)
+	}
+}
+
+// getScratch takes a cleared closure scratch from the pool; return it
+// with putScratch (which replays out to clear the visited bitset, so
+// callers must not hold onto out).
+func (pa *Path) getScratch() *closureScratch {
+	if v := pa.scPool.Get(); v != nil {
+		return v.(*closureScratch)
+	}
+	return &closureScratch{visited: pa.sn.NewBitset()}
+}
+
+func (pa *Path) putScratch(sc *closureScratch) {
+	sc.clear()
+	pa.scPool.Put(sc)
+}
+
+// reset clears the scratch state in time proportional to what the last
+// run touched, so a multi-source sweep does not pay O(terms) per source.
+func (r *runner) reset() {
+	for _, it := range r.queue {
+		r.visited[it.q].Unset(it.n)
+	}
+	for _, n := range r.out {
+		r.reached.Unset(n)
+	}
+	r.queue = r.queue[:0]
+	r.out = r.out[:0]
+}
+
+// visit records the product node (q, n) if new; it reports true when n
+// is the search target and was just reached in an accepting state.
+func (r *runner) visit(q int32, n rdf.ID, target rdf.ID, hasTarget bool) bool {
+	if !r.visited[q].Set(n) {
+		return false
+	}
+	r.queue = append(r.queue, item{q, n})
+	if r.a.accept[q] && r.reached.Set(n) {
+		r.out = append(r.out, n)
+		if hasTarget && n == target {
+			return true
+		}
+	}
+	return false
+}
+
+// run expands the product graph breadth-first from start. With a target
+// it stops as soon as the target is reached in an accepting state and
+// reports true (goal-directed early termination).
+func (r *runner) run(start rdf.ID, target rdf.ID, hasTarget bool) bool {
+	if r.visit(r.a.start, start, target, hasTarget) {
+		return true
+	}
+	sn := r.pa.sn
+	for i := 0; i < len(r.queue); i++ {
+		it := r.queue[i]
+		for _, e := range r.a.edges[it.q] {
+			switch e.kind {
+			case opFwd:
+				for _, m := range sn.Objects(it.n, e.pid) {
+					if r.visit(e.to, m, target, hasTarget) {
+						return true
+					}
+				}
+			case opInv:
+				for _, m := range sn.Subjects(e.pid, it.n) {
+					if r.visit(e.to, m, target, hasTarget) {
+						return true
+					}
+				}
+			case opNegFwd:
+				preds, objs := sn.SubjectEdges(it.n)
+				for k := range preds {
+					if !idIn(e.excl, preds[k]) {
+						if r.visit(e.to, objs[k], target, hasTarget) {
+							return true
+						}
+					}
+				}
+			case opNegInv:
+				subs, preds := sn.ObjectEdges(it.n)
+				for k := range subs {
+					if !idIn(e.excl, preds[k]) {
+						if r.visit(e.to, subs[k], target, hasTarget) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// idIn reports membership in a small sorted exclusion set.
+func idIn(set []rdf.ID, id rdf.ID) bool {
+	for _, x := range set {
+		if x == id {
+			return true
+		}
+		if x > id {
+			return false
+		}
+	}
+	return false
+}
+
+// closureScratch is the fast path's reusable state: one visited bitset
+// and an explicit work stack, cleared by replaying the result list.
+type closureScratch struct {
+	visited rdf.Bitset
+	stack   []rdf.ID
+	out     []rdf.ID
+}
+
+// closureRun evaluates the fast-path closure (a*, a+, alt-star,
+// alt-plus) from start, directly on the SPO/POS posting lists. flip
+// evaluates the reversed path (for To); with a target it terminates as
+// soon as the target is reached. The scratch's out holds the reached
+// nodes in visit order on return.
+func (pa *Path) closureRun(sc *closureScratch, start rdf.ID, flip bool, target rdf.ID, hasTarget bool) bool {
+	sn := pa.sn
+	sc.stack = append(sc.stack[:0], start)
+	sc.out = sc.out[:0]
+	if pa.reflexive {
+		if sc.visited.Set(start) {
+			sc.out = append(sc.out, start)
+			if hasTarget && start == target {
+				return true
+			}
+		}
+	}
+	for len(sc.stack) > 0 {
+		n := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		for _, at := range pa.atoms {
+			var targets []rdf.ID
+			if at.inv != flip {
+				targets = sn.Subjects(at.pid, n)
+			} else {
+				targets = sn.Objects(n, at.pid)
+			}
+			for _, m := range targets {
+				if sc.visited.Set(m) {
+					sc.out = append(sc.out, m)
+					sc.stack = append(sc.stack, m)
+					if hasTarget && m == target {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// clear resets the scratch by replaying the last run's results.
+func (sc *closureScratch) clear() {
+	for _, n := range sc.out {
+		sc.visited.Unset(n)
+	}
+	sc.out = sc.out[:0]
+}
+
+// From returns the nodes reachable from start via the path, as a sorted
+// ID slice.
+func (pa *Path) From(start rdf.ID) []rdf.ID {
+	return pa.endpointEval(start, false)
+}
+
+// To returns the nodes from which the path reaches end (the reverse
+// image), as a sorted ID slice. Object-bound patterns evaluate this way
+// instead of enumerating all pairs and filtering.
+func (pa *Path) To(end rdf.ID) []rdf.ID {
+	return pa.endpointEval(end, true)
+}
+
+func (pa *Path) endpointEval(start rdf.ID, reverse bool) []rdf.ID {
+	var out []rdf.ID
+	if pa.closure {
+		sc := pa.getScratch()
+		pa.closureRun(sc, start, reverse, 0, false)
+		out = append(out, sc.out...)
+		pa.putScratch(sc)
+	} else {
+		r := pa.getRunner(reverse)
+		r.run(start, 0, false)
+		out = append(out, r.out...)
+		pa.putRunner(reverse, r)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Holds reports whether the path connects s to o. The search runs from
+// whichever end the snapshot statistics say expands less — forward from
+// s or backward from o over the reversed automaton — and stops the
+// moment the target is reached.
+func (pa *Path) Holds(s, o rdf.ID) bool {
+	reverse := pa.dirCost(o, true) < pa.dirCost(s, false)
+	start, target := s, o
+	if reverse {
+		start, target = o, s
+	}
+	if pa.closure {
+		sc := pa.getScratch()
+		found := pa.closureRun(sc, start, reverse, target, true)
+		pa.putScratch(sc)
+		return found
+	}
+	r := pa.getRunner(reverse)
+	found := r.run(start, target, true)
+	pa.putRunner(reverse, r)
+	return found
+}
+
+// Direction reports the end Holds would search from for the given
+// endpoints ("forward" or "reverse"), for explain output.
+func (pa *Path) Direction(s, o rdf.ID) string {
+	if pa.dirCost(o, true) < pa.dirCost(s, false) {
+		return "reverse"
+	}
+	return "forward"
+}
+
+// dirCost estimates the two-step expansion cost of starting at node:
+// the node's exact first-step degree under the automaton's initial
+// labels, times the statistics' average continuation fan-out. Lower
+// means the rarer end.
+func (pa *Path) dirCost(node rdf.ID, reverse bool) float64 {
+	sn := pa.sn
+	st := sn.Stats()
+	globalFwd := avg(st.Triples, st.DistinctSubjects)
+	globalInv := avg(st.Triples, st.DistinctObjects)
+	cost := 0.0
+	add := func(kind opKind, pid rdf.ID) {
+		switch kind {
+		case opFwd:
+			ps := st.Predicate(pid)
+			cost += float64(len(sn.Objects(node, pid))) * (1 + avg(int(ps.Card), int(ps.Subjects)))
+		case opInv:
+			ps := st.Predicate(pid)
+			cost += float64(len(sn.Subjects(pid, node))) * (1 + avg(int(ps.Card), int(ps.Objects)))
+		case opNegFwd:
+			cost += float64(sn.SubjectDegree(node)) * (1 + globalFwd)
+		case opNegInv:
+			cost += float64(sn.ObjectDegree(node)) * (1 + globalInv)
+		}
+	}
+	if pa.closure {
+		for _, at := range pa.atoms {
+			kind := opFwd
+			if at.inv != reverse {
+				kind = opInv
+			}
+			add(kind, at.pid)
+		}
+		return cost
+	}
+	a := pa.fwd
+	if reverse {
+		a = pa.rev
+	}
+	for _, e := range a.edges[a.start] {
+		add(e.kind, e.pid)
+	}
+	return cost
+}
+
+func avg(num, den int) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// adjacency is a materialized edge list (CSR) for the closure fast
+// path's multi-source sweep: the union of all closure atoms' edges,
+// addressed by source node. Building it costs one pass over the
+// relevant posting lists; afterwards every expansion is a plain slice
+// walk instead of a per-node binary search.
+type adjacency struct {
+	off []uint32
+	dst []rdf.ID
+}
+
+// closureAdjacency merges the closure atoms into one forward adjacency.
+func (pa *Path) closureAdjacency() *adjacency {
+	sn := pa.sn
+	nTerms := sn.NumTerms()
+	ad := &adjacency{off: make([]uint32, nTerms+1)}
+	for _, at := range pa.atoms {
+		for _, t := range sn.ScanPredicate(at.pid) {
+			src := t.S
+			if at.inv {
+				src = t.O
+			}
+			ad.off[src+1]++
+		}
+	}
+	for k := 1; k <= nTerms; k++ {
+		ad.off[k] += ad.off[k-1]
+	}
+	ad.dst = make([]rdf.ID, ad.off[nTerms])
+	fill := append([]uint32(nil), ad.off...)
+	for _, at := range pa.atoms {
+		for _, t := range sn.ScanPredicate(at.pid) {
+			src, dst := t.S, t.O
+			if at.inv {
+				src, dst = dst, src
+			}
+			ad.dst[fill[src]] = dst
+			fill[src]++
+		}
+	}
+	return ad
+}
+
+// closureSweep runs the fast-path closure from start over the
+// materialized adjacency. Results are the set bits of sc.visited on
+// return; the returned word range [lo, hi] bounds where they live, so
+// the caller can extract (already sorted) and clear in one pass over
+// only the touched words.
+func (pa *Path) closureSweep(ad *adjacency, sc *closureScratch, start rdf.ID) (lo, hi int) {
+	lo, hi = len(sc.visited), -1
+	mark := func(m rdf.ID) bool {
+		if !sc.visited.Set(m) {
+			return false
+		}
+		if w := int(m >> 6); w < lo {
+			lo = w
+		}
+		if w := int(m >> 6); w > hi {
+			hi = w
+		}
+		return true
+	}
+	sc.stack = append(sc.stack[:0], start)
+	if pa.reflexive {
+		mark(start)
+	}
+	for len(sc.stack) > 0 {
+		n := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		for _, m := range ad.dst[ad.off[n]:ad.off[n+1]] {
+			if mark(m) {
+				sc.stack = append(sc.stack, m)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// tarjanSCC computes the strongly connected components of the
+// adjacency over nodes [0, n), iteratively (no recursion, so graph
+// depth cannot overflow the stack). Component IDs come out in reverse
+// topological order: every component a node can step into has a
+// smaller ID than its own, so a single pass over IDs 0..C-1 sees
+// successors before predecessors.
+func tarjanSCC(ad *adjacency, n int) (comp []int32, members [][]rdf.ID) {
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n) // 0 = unvisited, else discovery index + 1
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	var tstack []rdf.ID
+	type frame struct {
+		v  rdf.ID
+		ei uint32
+	}
+	var cs []frame
+	var idx int32
+	for root := 0; root < n; root++ {
+		if index[root] != 0 {
+			continue
+		}
+		idx++
+		index[root], low[root] = idx, idx
+		tstack = append(tstack, rdf.ID(root))
+		onStack[root] = true
+		cs = append(cs[:0], frame{rdf.ID(root), ad.off[root]})
+		for len(cs) > 0 {
+			f := &cs[len(cs)-1]
+			if f.ei < ad.off[f.v+1] {
+				w := ad.dst[f.ei]
+				f.ei++
+				if index[w] == 0 {
+					idx++
+					index[w], low[w] = idx, idx
+					tstack = append(tstack, w)
+					onStack[w] = true
+					cs = append(cs, frame{w, ad.off[w]})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			cs = cs[:len(cs)-1]
+			if len(cs) > 0 {
+				if p := cs[len(cs)-1].v; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				cid := int32(len(members))
+				var ms []rdf.ID
+				for {
+					w := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					onStack[w] = false
+					comp[w] = cid
+					ms = append(ms, w)
+					if w == v {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+		}
+	}
+	return comp, members
+}
+
+// closurePairsAll enumerates every closure pair via SCC condensation:
+// all nodes of a strongly connected component share one closure, so
+// each component's reach list is computed once (successor components
+// first — guaranteed by Tarjan's reverse-topological numbering) and
+// every member source emits it verbatim. Memory is bounded by the
+// output: each stored list is emitted at least once per member.
+func (pa *Path) closurePairsAll() [][2]rdf.ID {
+	sn := pa.sn
+	nTerms := sn.NumTerms()
+	ad := pa.closureAdjacency()
+	comp, members := tarjanSCC(ad, nTerms)
+	closed := make([][]rdf.ID, len(members))
+	scratch := rdf.NewBitset(nTerms)
+	for c := 0; c < len(members); c++ {
+		var acc []rdf.ID
+		add := func(id rdf.ID) {
+			if scratch.Set(id) {
+				acc = append(acc, id)
+			}
+		}
+		for _, m := range members[c] {
+			add(m)
+		}
+		for _, m := range members[c] {
+			for _, w := range ad.dst[ad.off[m]:ad.off[m+1]] {
+				if wc := comp[w]; int(wc) != c {
+					for _, x := range closed[wc] {
+						add(x)
+					}
+				}
+			}
+		}
+		for _, x := range acc {
+			scratch.Unset(x)
+		}
+		sortIDs(acc)
+		closed[c] = acc
+	}
+
+	var out [][2]rdf.ID
+	var acc []rdf.ID
+	for s := rdf.ID(0); int(s) < nTerms; s++ {
+		if sn.SubjectDegree(s) == 0 && sn.ObjectDegree(s) == 0 {
+			continue
+		}
+		c := comp[s]
+		var reach []rdf.ID
+		switch {
+		case pa.reflexive, len(members[c]) > 1:
+			// A multi-node component reaches its own closure even under
+			// '+': every member sits on a cycle.
+			reach = closed[c]
+		default:
+			// Singleton component under '+': the closure of the
+			// successors (which includes s itself exactly when s has a
+			// self-loop).
+			acc = acc[:0]
+			for _, w := range ad.dst[ad.off[s]:ad.off[s+1]] {
+				for _, x := range closed[comp[w]] {
+					if scratch.Set(x) {
+						acc = append(acc, x)
+					}
+				}
+			}
+			for _, x := range acc {
+				scratch.Unset(x)
+			}
+			sortIDs(acc)
+			reach = acc
+		}
+		for _, o := range reach {
+			out = append(out, [2]rdf.ID{s, o})
+		}
+	}
+	return out
+}
+
+// Loops returns the sorted nodes the path connects to themselves — the
+// solutions of `?x path ?x`. Closure paths answer structurally (every
+// candidate under '*'; under '+', membership in a multi-node strongly
+// connected component or a self-edge); the general automaton runs one
+// goal-directed search per candidate over shared scratch. Either way
+// the cost is one pass, not one allocation per node.
+func (pa *Path) Loops() []rdf.ID {
+	sn := pa.sn
+	nTerms := sn.NumTerms()
+	var out []rdf.ID
+	if pa.closure {
+		var comp []int32
+		var members [][]rdf.ID
+		var ad *adjacency
+		if !pa.reflexive {
+			ad = pa.closureAdjacency()
+			comp, members = tarjanSCC(ad, nTerms)
+		}
+		for s := rdf.ID(0); int(s) < nTerms; s++ {
+			if sn.SubjectDegree(s) == 0 && sn.ObjectDegree(s) == 0 {
+				continue
+			}
+			if pa.reflexive {
+				out = append(out, s)
+				continue
+			}
+			if len(members[comp[s]]) > 1 {
+				out = append(out, s)
+				continue
+			}
+			for _, w := range ad.dst[ad.off[s]:ad.off[s+1]] {
+				if w == s {
+					out = append(out, s)
+					break
+				}
+			}
+		}
+		return out
+	}
+	r := newRunner(pa, pa.fwd)
+	for s := rdf.ID(0); int(s) < nTerms; s++ {
+		if sn.SubjectDegree(s) == 0 && sn.ObjectDegree(s) == 0 {
+			continue
+		}
+		r.reset()
+		if r.run(s, s, true) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Pairs enumerates the (subject, object) pairs connected by the path,
+// up to limit pairs (0 = unlimited): a multi-source product-graph sweep
+// over every node appearing in subject or object position, with scratch
+// state shared across sources so each source costs only what it
+// reaches. Closure fast paths materialize their edge set once; the
+// unlimited enumeration additionally condenses it into strongly
+// connected components so each component's closure is computed once and
+// shared by all members. Pairs are ordered by subject ID, then object
+// ID.
+func (pa *Path) Pairs(limit int) [][2]rdf.ID {
+	sn := pa.sn
+	if pa.closure && limit <= 0 {
+		return pa.closurePairsAll()
+	}
+	var out [][2]rdf.ID
+	var sc *closureScratch
+	var ad *adjacency
+	var r *runner
+	if pa.closure {
+		sc = &closureScratch{visited: sn.NewBitset()}
+		ad = pa.closureAdjacency()
+	} else {
+		r = newRunner(pa, pa.fwd)
+	}
+	nTerms := rdf.ID(sn.NumTerms())
+	var sorted []rdf.ID
+	for s := rdf.ID(0); s < nTerms; s++ {
+		if sn.SubjectDegree(s) == 0 && sn.ObjectDegree(s) == 0 {
+			continue
+		}
+		if pa.closure {
+			// Extract pairs straight off the visited bitset — ascending
+			// by construction — clearing each word as it is consumed.
+			lo, hi := pa.closureSweep(ad, sc, s)
+			for w := lo; w <= hi; w++ {
+				word := sc.visited[w]
+				sc.visited[w] = 0
+				base := rdf.ID(w) << 6
+				for word != 0 {
+					o := base + rdf.ID(bits.TrailingZeros64(word))
+					word &= word - 1
+					out = append(out, [2]rdf.ID{s, o})
+					if limit > 0 && len(out) >= limit {
+						for ; w <= hi; w++ {
+							sc.visited[w] = 0
+						}
+						return out
+					}
+				}
+			}
+			continue
+		}
+		r.reset()
+		r.run(s, 0, false)
+		sorted = append(sorted[:0], r.out...)
+		sortIDs(sorted)
+		for _, o := range sorted {
+			out = append(out, [2]rdf.ID{s, o})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}

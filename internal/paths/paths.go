@@ -8,6 +8,12 @@
 // expressions the atoms a, ^a, and !a are all treated as literals; the
 // symmetric variant of each type (e.g. b/a* for a*/b) is folded into the
 // type listed in the table.
+//
+// Classification is no longer only reporting: the compiled path engine
+// (internal/pathcomp) classifies every expression at compile time and
+// uses the result to select evaluation fast paths — the dominant types
+// a*, a+, (a1|···|ak)* and (a1|···|ak)+ run as direct posting-list
+// closures instead of the general product-automaton search.
 package paths
 
 import (
@@ -64,6 +70,55 @@ func (t ExprType) String() string {
 type Class struct {
 	Type ExprType
 	K    int
+}
+
+// CorpusExample pairs a Table-5 expression type with a concrete SPARQL
+// path expression of that type over predicates <a>, <b>, <c>.
+type CorpusExample struct {
+	Type ExprType
+	Expr string
+}
+
+// Corpus returns a concrete expression for every one of the 21 Table-5
+// types, plus type-preserving variants exercising inverse (^a) and
+// negated (!a) atoms — the table treats all three atom forms as
+// literals. It seeds the compiled engine's differential suite and the
+// FuzzPathCompile corpus, so every row of the table has an executable
+// witness.
+func Corpus() []CorpusExample {
+	return []CorpusExample{
+		{AltStar, "(<a>|<b>)*"},
+		{Star, "<a>*"},
+		{Seq, "<a>/<b>/<c>"},
+		{StarSeqLit, "<a>*/<b>"},
+		{Alt, "<a>|<b>|<c>"},
+		{Plus, "<a>+"},
+		{OptSeq, "<a>?/<b>?"},
+		{LitAltSeq, "<a>/(<b>|<c>)"},
+		{LitOptSeq, "<a>/<b>?/<c>?"},
+		{SeqStarAltLit, "(<a>/<b>*)|<c>"},
+		{StarOptSeq, "<a>*/<b>?"},
+		{LitLitStarSeq, "<a>/<b>/<c>*"},
+		{NegAlt, "!(<a>|<b>)"},
+		{AltPlus, "(<a>|<b>)+"},
+		{AltAltSeq, "(<a>|<b>)/(<a>|<b>)"},
+		{OptAltLit, "<a>?|<b>"},
+		{StarAltLit, "<a>*|<b>"},
+		{AltOpt, "(<a>|<b>)?"},
+		{LitAltPlus, "<a>|<b>+"},
+		{PlusAltPlus, "<a>+|<b>+"},
+		{SeqStar, "(<a>/<b>)*"},
+		// Inverse and negated atoms are literals to the table; these
+		// variants keep the compiled engine honest on both edge kinds.
+		{AltStar, "(^<a>|<b>)*"},
+		{Star, "(^<a>)*"},
+		{Star, "(!<a>)*"},
+		{Plus, "(^<a>)+"},
+		{Seq, "<a>/^<b>/<c>"},
+		{StarSeqLit, "<a>*/^<b>"},
+		{NegAlt, "!(<a>|^<b>)"},
+		{Alt, "^<a>|!<b>"},
+	}
 }
 
 // IsTrivial reports whether the expression is one of the forms the paper

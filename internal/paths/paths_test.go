@@ -171,3 +171,23 @@ func TestTable5Merge(t *testing.T) {
 		t.Error("empty merge changed total")
 	}
 }
+
+// TestCorpusClassifies pins every corpus example to its declared Table-5
+// type: the corpus is what the compiled engine's differential suite and
+// fuzz seeds run on, so a misclassified example would silently shrink
+// that coverage.
+func TestCorpusClassifies(t *testing.T) {
+	seen := map[ExprType]bool{}
+	for _, ex := range Corpus() {
+		c := Classify(pathOf(t, ex.Expr))
+		if c.Type != ex.Type {
+			t.Errorf("Classify(%s) = %s, want %s", ex.Expr, c.Type, ex.Type)
+		}
+		seen[ex.Type] = true
+	}
+	for typ := AltStar; typ < Unclassified; typ++ {
+		if !seen[typ] {
+			t.Errorf("corpus has no example of type %s", typ)
+		}
+	}
+}
