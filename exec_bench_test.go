@@ -1,0 +1,96 @@
+// Columnar-executor benchmarks: the slot-based batch pipeline
+// (internal/exec, the eval default) against the legacy materialized
+// map-binding path (Limits.Legacy) on the log study's dominant
+// conjunctive shapes — chain, star, cycle — under the solution
+// modifiers real traffic hammers (DISTINCT, LIMIT). The columnar
+// entries are part of the bench-regression CI gate; the legacy entries
+// run ungated as the speedup denominator.
+package sparqlog
+
+import (
+	"fmt"
+	"testing"
+
+	"sparqlog/internal/eval"
+	"sparqlog/internal/gmark"
+	"sparqlog/internal/sparql"
+)
+
+// execBatchQueries builds the shape × modifier matrix over the shared
+// gMark Bib graph.
+func execBatchQueries(b *testing.B, g *gmark.Graph) map[string]*sparql.Query {
+	b.Helper()
+	journals := g.Nodes[gmark.Journal]
+	jname := g.Snapshot.TermOf(journals[1])
+	srcs := map[string]string{
+		// Selective chain: journal-anchored citation chain, projected
+		// DISTINCT on the far end — the dedup-dominated shape.
+		"chain/distinct": fmt.Sprintf(`PREFIX bib: <http://gmark.bib/p/>
+			SELECT DISTINCT ?p3 WHERE {
+				?p1 bib:publishedIn <%s> .
+				?p1 bib:cites ?p2 .
+				?p2 bib:cites ?p3 .
+			}`, jname),
+		"chain/limit": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT ?p1 ?p3 WHERE {
+				?p1 bib:cites ?p2 .
+				?p2 bib:cites ?p3 .
+				?p3 bib:publishedIn ?j .
+			} LIMIT 50`,
+		// Star: all facts around citing papers, deduplicated authors.
+		"star/distinct": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT DISTINCT ?r WHERE {
+				?p bib:cites ?q .
+				?p bib:authoredBy ?r .
+				?p bib:publishedIn ?j .
+			}`,
+		"star/limit": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT ?p ?r ?j WHERE {
+				?p bib:cites ?q .
+				?p bib:authoredBy ?r .
+				?p bib:publishedIn ?j .
+			} LIMIT 100`,
+		// Cycle: mutual citation, distinct pairs.
+		"cycle/distinct": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT DISTINCT ?a ?b WHERE {
+				?a bib:cites ?b .
+				?b bib:cites ?a .
+			}`,
+	}
+	out := make(map[string]*sparql.Query, len(srcs))
+	for name, src := range srcs {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		out[name] = q
+	}
+	return out
+}
+
+// BenchmarkExecBatch is the columnar-vs-legacy matrix. Gated entries:
+// the columnar cells (BENCH_BASELINE.json); legacy cells are the
+// ablation denominator.
+func BenchmarkExecBatch(b *testing.B) {
+	g := plannerBenchGraph(b)
+	queries := execBatchQueries(b, g)
+	for _, name := range []string{"chain/distinct", "chain/limit", "star/distinct", "star/limit", "cycle/distinct"} {
+		q := queries[name]
+		for _, m := range []struct {
+			mode string
+			lim  eval.Limits
+		}{
+			{"columnar", eval.Limits{}},
+			{"legacy", eval.Limits{Legacy: true}},
+		} {
+			b.Run(name+"/"+m.mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eval.QueryWithLimits(g.Snapshot, q, m.lim); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

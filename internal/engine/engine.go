@@ -28,6 +28,7 @@ import (
 	"errors"
 	"time"
 
+	"sparqlog/internal/exec"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 )
@@ -163,6 +164,16 @@ type GraphEngine struct {
 	// built for the snapshot being queried (a cache for a different
 	// snapshot is bypassed). Nil plans each query individually.
 	Plans *plan.Cache
+	// Columnar executes counting queries on the slot-based batch
+	// pipeline shared with the SPARQL evaluator (internal/exec): one
+	// exec.Join per planned atom pulling ID batches. The default (off)
+	// keeps the depth-first backtracking search with its dense []int64
+	// slot scratch, which is measurably faster when only a count is
+	// needed — nothing is materialized at all — while the columnar mode
+	// is the execution shape that returns whole binding batches and
+	// per-operator row/batch counts (Explain always uses it for
+	// counting queries; differential tests pin count equality).
+	Columnar bool
 }
 
 // Name identifies the engine in reports.
@@ -180,12 +191,16 @@ func (e *GraphEngine) Execute(sn *rdf.Snapshot, q CQ, timeout time.Duration) Res
 
 // ExecuteContext runs the query under the context's deadline.
 func (e *GraphEngine) ExecuteContext(ctx context.Context, sn *rdf.Snapshot, q CQ) Result {
+	if e.Columnar && !q.Ask {
+		res, _, _ := e.runColumnar(ctx, sn, q, e.order(sn, q))
+		return res
+	}
 	res, _ := e.run(ctx, sn, q, e.order(sn, q), false)
 	return res
 }
 
-// run executes the query in the given atom order, optionally
-// instrumented with per-step actual row counts (the Explain path).
+// run executes the query in the given atom order with the backtracking
+// search, optionally instrumented with per-step actual row counts.
 func (e *GraphEngine) run(ctx context.Context, sn *rdf.Snapshot, q CQ, order []int, instrument bool) (Result, *graphExec) {
 	start := time.Now()
 	ex := &graphExec{
@@ -207,6 +222,42 @@ func (e *GraphEngine) run(ctx context.Context, sn *rdf.Snapshot, q CQ, order []i
 		res.TimedOut = true
 	}
 	return res, ex
+}
+
+// runColumnar executes the query on the slot-based batch pipeline: one
+// exec.Join per planned atom, intermediate results flowing as
+// slot-indexed ID batches (plan variable indexes double as batch
+// slots, so a cached plan executes without any name re-resolution).
+// It returns the result plus per-operator actual row and batch counts
+// — the instrumented view Explain renders.
+func (e *GraphEngine) runColumnar(ctx context.Context, sn *rdf.Snapshot, q CQ, order []int) (Result, []int64, []int64) {
+	start := time.Now()
+	c := exec.NewCtx(ctx)
+	var op exec.Operator = exec.NewUnit(q.NumVars)
+	joins := make([]exec.Operator, len(order))
+	for k, ai := range order {
+		op = exec.NewJoin(sn, op, q.Atoms[ai], false)
+		joins[k] = op
+	}
+	stopAt := int64(0)
+	if q.Ask {
+		stopAt = 1
+	}
+	count, err := exec.Count(c, op, stopAt)
+	if q.Ask && count > 1 {
+		count = 1
+	}
+	res := Result{Count: count, Duration: time.Since(start)}
+	if err != nil {
+		res.TimedOut = true
+	}
+	actual := make([]int64, len(joins))
+	batches := make([]int64, len(joins))
+	for k, j := range joins {
+		st := j.Stats()
+		actual[k], batches[k] = st.Rows, st.Batches
+	}
+	return res, actual, batches
 }
 
 // order resolves the atom execution order: the identity permutation for

@@ -9,10 +9,12 @@ import (
 
 // Explain executes the query on the graph engine with per-step
 // instrumentation and returns the chosen plan annotated with estimated
-// vs. actual intermediate row counts, plus the execution result. The
-// instrumented run is a real execution (same result as ExecuteContext),
-// so actual counts are exact, not sampled. ASK queries short-circuit as
-// usual, which truncates the actual counts at the first result.
+// vs. actual intermediate row counts — and, for counting queries run
+// on the columnar pipeline, per-operator batch counts — plus the
+// execution result. The instrumented run is a real execution (same
+// result as ExecuteContext), so actual counts are exact, not sampled.
+// ASK queries short-circuit as usual, which truncates the actual
+// counts at the first result.
 func (e *GraphEngine) Explain(ctx context.Context, sn *rdf.Snapshot, q CQ) (*plan.Explained, Result) {
 	var p *plan.Plan
 	cacheHit := false
@@ -28,11 +30,21 @@ func (e *GraphEngine) Explain(ctx context.Context, sn *rdf.Snapshot, q CQ) (*pla
 			p.Key = plan.ShapeKey(q.Atoms)
 		}
 	}
-	res, ex := e.run(ctx, sn, q, p.Order, true)
+	if q.Ask {
+		res, ex := e.run(ctx, sn, q, p.Order, true)
+		return &plan.Explained{
+			Atoms:    q.Atoms,
+			Plan:     p,
+			Actual:   ex.actual,
+			CacheHit: cacheHit,
+		}, res
+	}
+	res, actual, batches := e.runColumnar(ctx, sn, q, p.Order)
 	return &plan.Explained{
 		Atoms:    q.Atoms,
 		Plan:     p,
-		Actual:   ex.actual,
+		Actual:   actual,
+		Batches:  batches,
 		CacheHit: cacheHit,
 	}, res
 }

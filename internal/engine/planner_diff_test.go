@@ -139,3 +139,32 @@ func TestPlanCacheAmortizes(t *testing.T) {
 		t.Fatalf("hits = %d, want 9", cache.Hits())
 	}
 }
+
+// TestColumnarEngineDifferential: the columnar batch pipeline must
+// count exactly like the backtracking search on the consistency
+// corpus, and its per-operator stats must be self-consistent (final
+// actual rows == count).
+func TestColumnarEngineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 120; trial++ {
+		sn, q := randomConsistencyCase(rng)
+		search := (&GraphEngine{}).Execute(sn, q, time.Second)
+		columnar := (&GraphEngine{Columnar: true}).Execute(sn, q, time.Second)
+		if search.TimedOut || columnar.TimedOut {
+			t.Fatalf("trial %d: unexpected timeout", trial)
+		}
+		if search.Count != columnar.Count {
+			t.Fatalf("trial %d: columnar count %d != search count %d (atoms=%v)",
+				trial, columnar.Count, search.Count, q.Atoms)
+		}
+		e := &GraphEngine{Columnar: true}
+		explained, res := e.Explain(context.Background(), sn, q)
+		if res.Count != search.Count {
+			t.Fatalf("trial %d: columnar explain count %d != %d", trial, res.Count, search.Count)
+		}
+		if n := len(q.Atoms); explained.Batches == nil || explained.Actual[n-1] != res.Count {
+			t.Fatalf("trial %d: explain stats inconsistent: actual=%v batches=%v count=%d",
+				trial, explained.Actual, explained.Batches, res.Count)
+		}
+	}
+}

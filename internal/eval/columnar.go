@@ -1,0 +1,561 @@
+package eval
+
+import (
+	"fmt"
+
+	"sparqlog/internal/exec"
+	"sparqlog/internal/plan"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// This file is the slot-based columnar executor — the default
+// evaluation path. The WHERE clause compiles once into a tree of
+// internal/exec operators over a query-wide Schema (every variable
+// gets a dense slot; plan variable indexes are slots), and solutions
+// flow through it as ID batches. Strings appear only at the edges:
+// constants resolve against the snapshot dictionary at compile time,
+// computed values (BIND, VALUES, subquery rows) intern into the
+// execution's Pool overflow, and projection/ORDER BY/aggregation
+// materialize text lazily per touched cell. The legacy materialized
+// path (Limits.Legacy) remains as the differential reference; the
+// compiler mirrors its operator semantics — including evaluation
+// order, row-budget checkpoints, and lazy evaluation of subqueries and
+// MINUS bodies behind empty inputs — so the two produce identical
+// solution multisets in identical order.
+//
+// Two deliberate behavioural improvements over the legacy path (both
+// strictly enlarge the set of queries that succeed): ASK stops at the
+// first solution instead of materializing the full WHERE result, and
+// DISTINCT/LIMIT without ORDER BY stream — dedup on packed ID tuples,
+// early exit once the limit is reached — so a query can succeed where
+// the legacy evaluator overflowed MaxRows computing rows it would
+// have sliced away.
+
+// colExec is one columnar query execution.
+type colExec struct {
+	ev     *evaluator
+	schema *exec.Schema
+	pool   *exec.Pool
+	ec     *exec.Ctx
+
+	// existsPlans caches the compiled subtree per EXISTS pattern node:
+	// re-evaluated per row, compiled once.
+	existsPlans map[sparql.Pattern]*existsPlan
+}
+
+type existsPlan struct {
+	seed *exec.Seed
+	root exec.Operator
+	err  error
+}
+
+// rowEnv adapts one batch row to the expression evaluator's env: text
+// materializes only when an expression touches a variable.
+type rowEnv struct {
+	ce  *colExec
+	b   *exec.Batch
+	row int
+}
+
+func (r rowEnv) lookupVar(name string) (string, bool) {
+	slot, ok := r.ce.schema.SlotOf(name)
+	if !ok {
+		return "", false
+	}
+	id := r.b.Get(slot, r.row)
+	if id == exec.Unbound {
+		return "", false
+	}
+	return r.ce.pool.Text(id), true
+}
+
+func (r rowEnv) eachBound(fn func(string)) {
+	for s := 0; s < r.ce.schema.Len(); s++ {
+		if r.b.Get(s, r.row) != exec.Unbound {
+			fn(r.ce.schema.Name(s))
+		}
+	}
+}
+
+func (r rowEnv) exists(ev *evaluator, p sparql.Pattern) (bool, error) {
+	return r.ce.exists(p, r.b, r.row)
+}
+
+func (ev *evaluator) queryColumnar(q *sparql.Query) (*Result, error) {
+	ce := &colExec{ev: ev, schema: exec.NewSchema(), pool: exec.NewPool(ev.st)}
+	ev.colPool = ce.pool
+	ctx := ev.ctx
+	if ctx == nil {
+		return nil, fmt.Errorf("eval: nil context")
+	}
+	ce.ec = exec.NewCtx(ctx)
+	ce.ec.MaxRows = ev.lim.MaxRows
+	ce.collectVars(q)
+	width := ce.schema.Len()
+	var root exec.Operator = exec.NewUnit(width)
+	var err error
+	bound := map[string]bool{}
+	if q.Where != nil {
+		root, err = ce.compile(q.Where, root, bound)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.TrailingValues != nil {
+		root = ce.compileValues(q.TrailingValues, root)
+	}
+	switch q.Type {
+	case sparql.AskQuery:
+		n, err := exec.Count(ce.ec, root, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Bool: n > 0}, nil
+	case sparql.SelectQuery:
+		return ce.finishSelect(q, root)
+	case sparql.ConstructQuery:
+		envs, err := ce.drain(root)
+		if err != nil {
+			return nil, err
+		}
+		return ev.finishConstruct(q, envs)
+	case sparql.DescribeQuery:
+		envs, err := ce.drain(root)
+		if err != nil {
+			return nil, err
+		}
+		return ev.finishDescribe(q, envs)
+	}
+	return nil, fmt.Errorf("eval: unknown query type")
+}
+
+// collectVars assigns a slot to every variable the query can bind,
+// anywhere: the WHERE tree (including EXISTS patterns inside filter
+// and bind expressions, which sparql.Walk descends into), subquery
+// projections, trailing VALUES, and EXISTS patterns inside projection
+// and modifier expressions. The schema is complete before the first
+// operator is built, so every batch has the full width.
+func (ce *colExec) collectVars(q *sparql.Query) {
+	addTerm := func(t sparql.Term) {
+		if name, ok := varName(t); ok {
+			ce.schema.Slot(name)
+		}
+	}
+	handler := func(n sparql.Pattern) bool {
+		switch x := n.(type) {
+		case *sparql.TriplePattern:
+			addTerm(x.S)
+			addTerm(x.P)
+			addTerm(x.O)
+		case *sparql.PathPattern:
+			addTerm(x.S)
+			addTerm(x.O)
+		case *sparql.Bind:
+			ce.schema.Slot(x.Var.Value)
+		case *sparql.InlineData:
+			for _, v := range x.Vars {
+				ce.schema.Slot(v.Value)
+			}
+		case *sparql.GraphGraph:
+			addTerm(x.Name)
+		case *sparql.SubSelect:
+			// A subquery only exposes its projected variables; its
+			// internal variables are scoped to its own execution and
+			// must not widen every outer batch with dead columns.
+			if x.Query != nil {
+				for v := range x.Query.ProjectedVars() {
+					ce.schema.Slot(v)
+				}
+			}
+			return false
+		}
+		return true
+	}
+	if q.Where != nil {
+		sparql.Walk(q.Where, handler)
+	}
+	if q.TrailingValues != nil {
+		for _, v := range q.TrailingValues.Vars {
+			ce.schema.Slot(v.Value)
+		}
+	}
+	var exprs []sparql.Expr
+	for _, it := range q.Select {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, k := range q.Mods.OrderBy {
+		exprs = append(exprs, k.Expr)
+	}
+	for _, g := range q.Mods.GroupBy {
+		exprs = append(exprs, g.Expr)
+	}
+	exprs = append(exprs, q.Mods.Having...)
+	for _, e := range exprs {
+		if e != nil {
+			sparql.WalkExprPatterns(e, handler)
+		}
+	}
+}
+
+// slot returns the slot of a variable collected by collectVars; a miss
+// is a compiler bug (the schema is sealed once operators exist).
+func (ce *colExec) slot(name string) int {
+	s, ok := ce.schema.SlotOf(name)
+	if !ok {
+		panic("eval: variable " + name + " missed by collectVars")
+	}
+	return s
+}
+
+// compile lowers a pattern onto an operator consuming in. bound tracks
+// variables possibly bound by already-compiled operators — planning
+// input only, never correctness (exactly like the legacy evaluator's
+// reorder seeds).
+func (ce *colExec) compile(p sparql.Pattern, in exec.Operator, bound map[string]bool) (exec.Operator, error) {
+	ev := ce.ev
+	width := ce.schema.Len()
+	switch n := p.(type) {
+	case *sparql.Group:
+		elems := n.Elems
+		if !ev.lim.NoReorder {
+			elems = ev.reorderElems(elems, copyBound(bound))
+		}
+		var filters []sparql.Expr
+		cur := in
+		var err error
+		for _, el := range elems {
+			if f, ok := el.(*sparql.Filter); ok {
+				filters = append(filters, f.Constraint)
+				continue
+			}
+			cur, err = ce.compile(el, cur, bound)
+			if err != nil {
+				return nil, err
+			}
+			ev.markPatternVars(el, bound)
+		}
+		for _, f := range filters {
+			cur = ce.compileFilter(f, cur)
+		}
+		return cur, nil
+	case *sparql.TriplePattern:
+		return exec.NewJoin(ev.st, in, ce.compileAtom(n), true), nil
+	case *sparql.PathPattern:
+		return ce.compilePath(n, in), nil
+	case *sparql.Union:
+		lseed, rseed := exec.NewSeed(width), exec.NewSeed(width)
+		left, err := ce.compile(n.Left, lseed, copyBound(bound))
+		if err != nil {
+			return nil, err
+		}
+		right, err := ce.compile(n.Right, rseed, copyBound(bound))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewUnion(in, left, lseed, right, rseed), nil
+	case *sparql.Optional:
+		seed := exec.NewSeed(width)
+		inner, err := ce.compile(n.Inner, seed, copyBound(bound))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewOptional(in, inner, seed), nil
+	case *sparql.MinusGraph:
+		// The removal set evaluates from the unit binding, lazily (the
+		// legacy group short-circuits before a MINUS whose input died).
+		inner, err := ce.compile(n.Inner, exec.NewUnit(width), map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewMinus(in, inner), nil
+	case *sparql.GraphGraph:
+		cur := in
+		if v, ok := varName(n.Name); ok {
+			slot := ce.slot(v)
+			gid := ce.pool.Intern(DefaultGraph)
+			cur = exec.NewApply(in, false, func(c *exec.Ctx, b *exec.Batch, row int, out *exec.Batch) error {
+				if cv := b.Get(slot, row); cv != exec.Unbound && cv != gid {
+					return nil
+				}
+				r := out.AppendRow(b, row)
+				out.Set(slot, r, gid)
+				return nil
+			})
+			bound[v] = true
+		}
+		return ce.compile(n.Inner, cur, bound)
+	case *sparql.ServiceGraph:
+		if !n.Silent {
+			return ce.compile(n.Inner, in, bound)
+		}
+		seed := exec.NewSeed(width)
+		inner, err := ce.compile(n.Inner, seed, copyBound(bound))
+		if err != nil {
+			// SILENT swallows the failure; the input passes through,
+			// as the legacy evaluator's error fallback did.
+			return in, nil
+		}
+		return exec.NewRecover(in, inner, seed), nil
+	case *sparql.Filter:
+		return ce.compileFilter(n.Constraint, in), nil
+	case *sparql.Bind:
+		slot := ce.slot(n.Var.Value)
+		expr := n.Expr
+		return exec.NewApply(in, false, func(c *exec.Ctx, b *exec.Batch, row int, out *exec.Batch) error {
+			v, err := ev.eval(expr, rowEnv{ce, b, row})
+			r := out.AppendRow(b, row)
+			if err == nil {
+				// Intern maps the empty lexical form to Unbound; skip
+				// the write so an existing binding is not clobbered
+				// (the legacy path skips the map write the same way).
+				if id := ce.pool.Intern(v.text()); id != exec.Unbound {
+					out.Set(slot, r, id)
+				}
+			}
+			return nil
+		}), nil
+	case *sparql.InlineData:
+		return ce.compileValues(n, in), nil
+	case *sparql.SubSelect:
+		return ce.compileSubselect(n, in), nil
+	}
+	return nil, fmt.Errorf("eval: unsupported pattern %T", p)
+}
+
+func copyBound(bound map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(bound))
+	for k, v := range bound {
+		out[k] = v
+	}
+	return out
+}
+
+func (ce *colExec) compileFilter(e sparql.Expr, in exec.Operator) exec.Operator {
+	return exec.NewFilter(in, func(c *exec.Ctx, b *exec.Batch, row int) bool {
+		v, err := ce.ev.eval(e, rowEnv{ce, b, row})
+		return err == nil && v.truthy()
+	})
+}
+
+// compileAtom resolves a triple pattern against the dictionary:
+// variables become slot references, constants become IDs (or the
+// impossible constant when absent — such an atom matches nothing,
+// exactly like the legacy path).
+func (ce *colExec) compileAtom(tp *sparql.TriplePattern) plan.Atom {
+	ref := func(t sparql.Term) plan.TermRef {
+		if txt, ok := ce.ev.termText(t); ok {
+			if id, known := ce.ev.st.Lookup(txt); known {
+				return plan.C(id)
+			}
+			return plan.C(^rdf.ID(0))
+		}
+		name, _ := varName(t)
+		return plan.V(ce.slot(name))
+	}
+	return plan.Atom{S: ref(tp.S), P: ref(tp.P), O: ref(tp.O)}
+}
+
+// compilePath compiles the path expression once (through the shared
+// per-snapshot cache) and routes its sorted []rdf.ID results straight
+// into batch columns — no per-node string round trips.
+func (ce *colExec) compilePath(pp *sparql.PathPattern, in exec.Operator) exec.Operator {
+	ev := ce.ev
+	cp := ev.pathCache().Compile(ev.st, pp.Path, ev.pathResolver())
+	end := func(t sparql.Term) exec.PathEnd {
+		if txt, ok := ev.termText(t); ok {
+			id, known := ev.st.Lookup(txt)
+			return exec.PathConst(id, known)
+		}
+		name, _ := varName(t)
+		return exec.PathVar(ce.slot(name))
+	}
+	return exec.NewPath(ev.st, in, cp, end(pp.S), end(pp.O))
+}
+
+func (ce *colExec) compileValues(vd *sparql.InlineData, in exec.Operator) exec.Operator {
+	slots := make([]int, len(vd.Vars))
+	for i, v := range vd.Vars {
+		slots[i] = ce.slot(v.Value)
+	}
+	rows := make([][]rdf.ID, len(vd.Rows))
+	for ri, row := range vd.Rows {
+		r := make([]rdf.ID, len(vd.Vars))
+		for ci := range vd.Vars {
+			r[ci] = exec.Unbound
+			if ci < len(vd.Undef[ri]) && vd.Undef[ri][ci] {
+				continue
+			}
+			if ci >= len(row) {
+				continue
+			}
+			txt, _ := ce.ev.termText(row[ci])
+			r[ci] = ce.pool.Intern(txt)
+		}
+		rows[ri] = r
+	}
+	return exec.NewTableJoin(in, slots, rows, false)
+}
+
+// compileSubselect evaluates the subquery lazily — on the first input
+// row, so a dead upstream skips it entirely, like the legacy group
+// short-circuit — then joins its materialized rows by projected
+// variable, interning row text back to IDs once.
+func (ce *colExec) compileSubselect(ss *sparql.SubSelect, in exec.Operator) exec.Operator {
+	loaded := false
+	var slots []int
+	var rows [][]rdf.ID
+	return exec.NewApply(in, true, func(c *exec.Ctx, b *exec.Batch, row int, out *exec.Batch) error {
+		if !loaded {
+			sub, err := ce.ev.query(ss.Query)
+			if err != nil {
+				return err
+			}
+			slots = make([]int, len(sub.Vars))
+			for i, v := range sub.Vars {
+				if s, ok := ce.schema.SlotOf(v); ok {
+					slots[i] = s
+				} else {
+					slots[i] = -1
+				}
+			}
+			rows = make([][]rdf.ID, len(sub.Rows))
+			for ri, srow := range sub.Rows {
+				r := make([]rdf.ID, len(srow))
+				for i, cell := range srow {
+					r[i] = ce.pool.Intern(cell)
+				}
+				rows[ri] = r
+			}
+			loaded = true
+		}
+		for _, trow := range rows {
+			ok := true
+			for i, v := range trow {
+				if v == exec.Unbound || slots[i] < 0 {
+					continue
+				}
+				if cur := b.Get(slots[i], row); cur != exec.Unbound && cur != v {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			r := out.AppendRow(b, row)
+			for i, v := range trow {
+				if v != exec.Unbound && slots[i] >= 0 {
+					out.Set(slots[i], r, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// exists evaluates an EXISTS pattern under one row, compiling the
+// subtree once per pattern node and reseeding it per evaluation. The
+// subtree is drained fully — short-circuiting would diverge from the
+// legacy reference when the body overflows the row budget.
+func (ce *colExec) exists(p sparql.Pattern, b *exec.Batch, row int) (bool, error) {
+	sp, ok := ce.existsPlans[p]
+	if !ok {
+		seed := exec.NewSeed(ce.schema.Len())
+		root, err := ce.compile(p, seed, map[string]bool{})
+		sp = &existsPlan{seed: seed, root: root, err: err}
+		if ce.existsPlans == nil {
+			ce.existsPlans = map[sparql.Pattern]*existsPlan{}
+		}
+		ce.existsPlans[p] = sp
+	}
+	if sp.err != nil {
+		return false, sp.err
+	}
+	sp.seed.SetRow(b, row)
+	sp.root.Reset()
+	n, err := exec.Count(ce.ec, sp.root, 0)
+	if err != nil {
+		return false, err
+	}
+	return n > 0, nil
+}
+
+// drain materializes the stream as expression-visible rows.
+func (ce *colExec) drain(root exec.Operator) ([]env, error) {
+	batches, err := exec.Materialize(ce.ec, root)
+	if err != nil {
+		return nil, err
+	}
+	var envs []env
+	for _, b := range batches {
+		for r := 0; r < b.Rows(); r++ {
+			envs = append(envs, rowEnv{ce, b, r})
+		}
+	}
+	return envs, nil
+}
+
+// finishSelect applies solution modifiers. Without ORDER BY,
+// aggregation or SELECT *, DISTINCT runs streaming on packed ID tuples
+// of the projected slots and LIMIT/OFFSET stop the pull early;
+// otherwise the stream materializes and the shared (env-generic)
+// finishing path applies the modifiers in the legacy order.
+func (ce *colExec) finishSelect(q *sparql.Query, root exec.Operator) (*Result, error) {
+	ev := ce.ev
+	agg := hasAggregates(q)
+	streamDistinct, streamSliced := false, false
+	if !agg && len(q.Mods.OrderBy) == 0 && !q.SelectStar {
+		if (q.Distinct || q.Reduced) && allPlainVars(q.Select) {
+			var slots []int
+			for _, it := range q.Select {
+				if s, ok := ce.schema.SlotOf(it.Var.Value); ok {
+					slots = append(slots, s)
+				}
+				// A projected variable the query never binds is
+				// constant-unbound across rows; it cannot split
+				// dedup classes, so it is simply left out of the key.
+			}
+			root = exec.NewDistinct(root, slots)
+			streamDistinct = true
+		}
+		if (q.Mods.HasLimit || q.Mods.HasOffset) && (streamDistinct || !(q.Distinct || q.Reduced)) {
+			off, lim := 0, -1
+			if q.Mods.HasOffset {
+				off = int(q.Mods.Offset)
+			}
+			if q.Mods.HasLimit {
+				lim = int(q.Mods.Limit)
+			}
+			root = exec.NewLimit(root, off, lim)
+			streamSliced = true
+		}
+	}
+	envs, err := ce.drain(root)
+	if err != nil {
+		return nil, err
+	}
+	if agg {
+		return ev.finishAggregate(q, envs)
+	}
+	res := ev.projectSelect(q, envs)
+	ev.applyOrder(q, res, envs)
+	if !streamDistinct {
+		applyDistinct(q, res)
+	}
+	if !streamSliced {
+		applySlice(q, res)
+	}
+	return res, nil
+}
+
+// allPlainVars reports whether every projection item is a bare
+// variable (no AS expressions).
+func allPlainVars(items []sparql.SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -4,6 +4,13 @@
 // the solution modifiers (projection, DISTINCT, ORDER BY, LIMIT/OFFSET,
 // GROUP BY with aggregates, HAVING).
 //
+// Evaluation runs on the slot-based columnar executor (internal/exec):
+// the WHERE clause compiles once into an operator tree over a
+// query-wide variable→slot schema and solutions flow through it as
+// rdf.ID batches, with strings only at the edges (see columnar.go).
+// The pre-refactor materialized path — per-row map bindings — survives
+// behind Limits.Legacy as the differential-testing reference.
+//
 // The store's dictionary is untyped text, so literals match on their
 // lexical form; language tags and datatypes are compared syntactically
 // where expressions need them. GRAPH and SERVICE blocks evaluate against
@@ -12,10 +19,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"sparqlog/internal/exec"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
@@ -25,7 +34,11 @@ import (
 // DefaultGraph is the pseudo-IRI a GRAPH variable binds to.
 const DefaultGraph = "urn:sparqlog:default-graph"
 
-// Unbound marks an unbound variable in result rows.
+// Unbound marks an unbound variable in result rows. The empty string
+// is the unbound marker throughout the evaluator: an expression or
+// VALUES term whose lexical form is empty binds nothing (both
+// executors enforce this uniformly — the columnar pool interns "" to
+// its Unbound sentinel, the legacy path skips the map write).
 const Unbound = ""
 
 // Result is the outcome of evaluating a query.
@@ -46,12 +59,24 @@ type Limits struct {
 	// instead of the cost-based planner's order — the pre-planner
 	// behaviour, kept for ablation benchmarks and differential tests.
 	NoReorder bool
+	// Legacy evaluates on the pre-columnar materialized path: per-row
+	// map[string]string bindings flowing through the pattern algebra.
+	// Kept as the differential-testing reference for the slot-based
+	// columnar executor (the default), and for ablation benchmarks.
+	Legacy bool
 	// Paths optionally shares a compiled-path cache across queries
 	// against the same snapshot (the plan.Cache pattern): a serving
 	// layer evaluating recurring path shapes compiles each shape once.
 	// Nil gives every query its own cache, which still amortizes
 	// compilation across bindings and repeated patterns within it.
 	Paths *pathcomp.Cache
+	// Plans optionally shares a query-shape plan cache across queries
+	// against the same snapshot: the planner runs once per BGP shape
+	// and every execution reuses the cached order (plans carry slot
+	// assignments, so a cache hit is executable without re-resolving
+	// variables). Only unseeded runs consult it; a BGP whose variables
+	// were pre-bound by earlier operators plans directly.
+	Plans *plan.Cache
 }
 
 // DefaultMaxRows bounds intermediate results.
@@ -66,10 +91,18 @@ func Query(sn *rdf.Snapshot, q *sparql.Query) (*Result, error) {
 
 // QueryWithLimits evaluates with explicit bounds.
 func QueryWithLimits(sn *rdf.Snapshot, q *sparql.Query, lim Limits) (*Result, error) {
+	return QueryContext(context.Background(), sn, q, lim)
+}
+
+// QueryContext evaluates under the context's deadline and cancellation,
+// polled from the executor's inner loops; an expired context surfaces
+// as exec.ErrTimeout. (The legacy path polls between pattern operators
+// only — coarser, but it exists for differential testing, not serving.)
+func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Limits) (*Result, error) {
 	if lim.MaxRows <= 0 {
 		lim.MaxRows = DefaultMaxRows
 	}
-	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim}
+	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim, ctx: ctx}
 	return ev.query(q)
 }
 
@@ -87,10 +120,15 @@ type evaluator struct {
 	st       *rdf.Snapshot
 	prefixes map[string]string
 	lim      Limits
+	ctx      context.Context
 	// pathc caches compiled property-path automata for this snapshot,
 	// so a path evaluated under many bindings (or appearing several
 	// times in the query) compiles once. Lazily built on first path.
 	pathc *pathcomp.Cache
+	// colPool records the last columnar execution's term pool; tests
+	// read its Text-call counter to pin the lazy-materialization
+	// contract (operators move IDs, only the edges touch strings).
+	colPool *exec.Pool
 }
 
 // pathCache returns the compiled-path cache: the caller-shared one from
@@ -155,7 +193,18 @@ func varName(t sparql.Term) (string, bool) {
 	return "", false
 }
 
+// query dispatches to the columnar executor (the default) or the
+// legacy materialized path (Limits.Legacy, the differential
+// reference). Subqueries recurse through here, so both paths stay
+// internally homogeneous.
 func (ev *evaluator) query(q *sparql.Query) (*Result, error) {
+	if ev.lim.Legacy {
+		return ev.queryLegacy(q)
+	}
+	return ev.queryColumnar(q)
+}
+
+func (ev *evaluator) queryLegacy(q *sparql.Query) (*Result, error) {
 	rows := []binding{{}}
 	var err error
 	if q.Where != nil {
@@ -170,38 +219,44 @@ func (ev *evaluator) query(q *sparql.Query) (*Result, error) {
 			return nil, err
 		}
 	}
+	envs := make([]env, len(rows))
+	for i := range rows {
+		envs[i] = rows[i]
+	}
 	switch q.Type {
 	case sparql.AskQuery:
 		return &Result{Bool: len(rows) > 0}, nil
 	case sparql.SelectQuery:
-		return ev.finishSelect(q, rows)
+		return ev.finishSelect(q, envs)
 	case sparql.ConstructQuery:
-		return ev.finishConstruct(q, rows)
+		return ev.finishConstruct(q, envs)
 	case sparql.DescribeQuery:
-		return ev.finishDescribe(q, rows)
+		return ev.finishDescribe(q, envs)
 	}
 	return nil, fmt.Errorf("eval: unknown query type")
 }
 
 // finishConstruct instantiates the template per solution, returning the
-// constructed triples as three-column rows (s, p, o), deduplicated.
-func (ev *evaluator) finishConstruct(q *sparql.Query, rows []binding) (*Result, error) {
+// constructed triples as three-column rows (s, p, o), deduplicated on
+// the term triple (no joined-string keys).
+func (ev *evaluator) finishConstruct(q *sparql.Query, rows []env) (*Result, error) {
 	res := &Result{Vars: []string{"s", "p", "o"}}
-	seen := map[string]bool{}
+	seen := map[[3]string]bool{}
 	emit := func(s, p, o string) {
-		k := s + "\x00" + p + "\x00" + o
+		k := [3]string{s, p, o}
 		if s == "" || p == "" || o == "" || seen[k] {
 			return
 		}
 		seen[k] = true
 		res.Rows = append(res.Rows, []string{s, p, o})
 	}
-	instantiate := func(t sparql.Term, b binding) string {
+	instantiate := func(t sparql.Term, b env) string {
 		if txt, ok := ev.termText(t); ok {
 			return txt
 		}
 		name, _ := varName(t)
-		return b[name]
+		v, _ := b.lookupVar(name)
+		return v
 	}
 	for _, b := range rows {
 		for _, tp := range q.Template {
@@ -215,7 +270,7 @@ func (ev *evaluator) finishConstruct(q *sparql.Query, rows []binding) (*Result, 
 // finishDescribe returns every triple whose subject or object is one of
 // the described resources (the common "concise bounded description"
 // approximation; the output of DESCRIBE is implementation-defined).
-func (ev *evaluator) finishDescribe(q *sparql.Query, rows []binding) (*Result, error) {
+func (ev *evaluator) finishDescribe(q *sparql.Query, rows []env) (*Result, error) {
 	targets := map[string]bool{}
 	for _, t := range q.DescribeTerms {
 		if txt, ok := ev.termText(t); ok {
@@ -224,7 +279,7 @@ func (ev *evaluator) finishDescribe(q *sparql.Query, rows []binding) (*Result, e
 		}
 		if name, ok := varName(t); ok {
 			for _, b := range rows {
-				if v, bound := b[name]; bound {
+				if v, bound := b.lookupVar(name); bound {
 					targets[v] = true
 				}
 			}
@@ -232,9 +287,11 @@ func (ev *evaluator) finishDescribe(q *sparql.Query, rows []binding) (*Result, e
 	}
 	if q.DescribeStar {
 		for _, b := range rows {
-			for _, v := range b {
-				targets[v] = true
-			}
+			b.eachBound(func(name string) {
+				if v, ok := b.lookupVar(name); ok {
+					targets[v] = true
+				}
+			})
 		}
 	}
 	res := &Result{Vars: []string{"s", "p", "o"}}
@@ -252,6 +309,9 @@ func (ev *evaluator) finishDescribe(q *sparql.Query, rows []binding) (*Result, e
 
 // pattern evaluates p against the incoming binding set.
 func (ev *evaluator) pattern(p sparql.Pattern, in []binding) ([]binding, error) {
+	if ev.ctx != nil && ev.ctx.Err() != nil {
+		return nil, exec.ErrTimeout
+	}
 	switch n := p.(type) {
 	case *sparql.Group:
 		return ev.group(n, in)
@@ -358,6 +418,20 @@ func (ev *evaluator) group(g *sparql.Group, in []binding) ([]binding, error) {
 // elements (or by the incoming binding set) seed the planner's
 // bound-variable propagation.
 func (ev *evaluator) reorderBGPs(elems []sparql.Pattern, in []binding) []sparql.Pattern {
+	bound := map[string]bool{}
+	if len(in) > 0 {
+		for k := range in[0] {
+			bound[k] = true
+		}
+	}
+	return ev.reorderElems(elems, bound)
+}
+
+// reorderElems is the order-rewriting core shared by the legacy
+// evaluator (which seeds bound from its first incoming row) and the
+// columnar compiler (which seeds it from the statically bound slots).
+// It marks every variable the elements can bind into bound as it goes.
+func (ev *evaluator) reorderElems(elems []sparql.Pattern, bound map[string]bool) []sparql.Pattern {
 	multi := false
 	for i := 1; i < len(elems); i++ {
 		_, a := elems[i-1].(*sparql.TriplePattern)
@@ -369,12 +443,6 @@ func (ev *evaluator) reorderBGPs(elems []sparql.Pattern, in []binding) []sparql.
 	}
 	if !multi {
 		return elems
-	}
-	bound := map[string]bool{}
-	if len(in) > 0 {
-		for k := range in[0] {
-			bound[k] = true
-		}
 	}
 	out := make([]sparql.Pattern, 0, len(elems))
 	for i := 0; i < len(elems); {
@@ -443,17 +511,29 @@ func (ev *evaluator) compileBGP(patterns []*sparql.TriplePattern) ([]plan.Atom, 
 	return atoms, names
 }
 
-// orderRun plans one basic graph pattern.
+// orderRun plans one basic graph pattern. Runs with no pre-bound
+// variables go through the shared shape-keyed plan cache when
+// Limits.Plans carries one (compileBGP numbers variables by first
+// occurrence — the same canonicalization the shape key uses — so a
+// cached order transfers across queries of one shape); seeded runs
+// plan directly, since the bound-variable seed is not part of the key.
 func (ev *evaluator) orderRun(run []*sparql.TriplePattern, bound map[string]bool) []*sparql.TriplePattern {
 	if len(run) < 2 {
 		return run
 	}
 	atoms, names := ev.compileBGP(run)
 	initial := make([]bool, len(names))
+	seeded := false
 	for i, name := range names {
 		initial[i] = bound[name]
+		seeded = seeded || initial[i]
 	}
-	p := plan.Planner{Stats: ev.st.Stats()}.PlanBound(atoms, len(names), initial)
+	var p *plan.Plan
+	if !seeded && ev.lim.Plans != nil {
+		p = ev.lim.Plans.For(ev.st, atoms, len(names))
+	} else {
+		p = plan.Planner{Stats: ev.st.Stats()}.PlanBound(atoms, len(names), initial)
+	}
 	ordered := make([]*sparql.TriplePattern, len(run))
 	for k, ai := range p.Order {
 		ordered[k] = run[ai]
@@ -789,7 +869,9 @@ func (ev *evaluator) bind(bn *sparql.Bind, in []binding) ([]binding, error) {
 	for _, b := range in {
 		v, err := ev.eval(bn.Expr, b)
 		nb := b.clone()
-		if err == nil {
+		// An empty lexical form is the Unbound marker: bind nothing,
+		// exactly like the columnar executor's pool.
+		if err == nil && v.text() != Unbound {
 			nb[bn.Var.Value] = v.text()
 		}
 		out = append(out, nb)
@@ -811,6 +893,10 @@ func (ev *evaluator) values(vd *sparql.InlineData, in []binding) ([]binding, err
 					continue
 				}
 				txt, _ := ev.termText(row[ci])
+				if txt == Unbound {
+					// Empty lexical form: constrains nothing, like UNDEF.
+					continue
+				}
 				if cur, bound := nb[v.Value]; bound && cur != txt {
 					ok = false
 					break
@@ -869,26 +955,44 @@ func (ev *evaluator) filter(c sparql.Expr, in []binding) ([]binding, error) {
 
 // ---------- SELECT finishing: grouping, ordering, projection ----------
 
-func (ev *evaluator) finishSelect(q *sparql.Query, rows []binding) (*Result, error) {
-	hasAgg := false
-	for _, it := range q.Select {
-		if containsAggregate(it.Expr) {
-			hasAgg = true
-		}
-	}
-	if len(q.Mods.GroupBy) > 0 || hasAgg {
+func (ev *evaluator) finishSelect(q *sparql.Query, rows []env) (*Result, error) {
+	if hasAggregates(q) {
 		return ev.finishAggregate(q, rows)
 	}
+	res := ev.projectSelect(q, rows)
+	ev.applyOrder(q, res, rows)
+	applyDistinct(q, res)
+	applySlice(q, res)
+	return res, nil
+}
+
+// hasAggregates reports whether the query needs grouped evaluation.
+func hasAggregates(q *sparql.Query) bool {
+	if len(q.Mods.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range q.Select {
+		if containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// projectSelect builds the projected result rows (no solution
+// modifiers applied): plain variables copy through, expression
+// projections evaluate per row.
+func (ev *evaluator) projectSelect(q *sparql.Query, rows []env) *Result {
 	res := &Result{}
 	if q.SelectStar {
 		seen := map[string]bool{}
 		for _, b := range rows {
-			for v := range b {
+			b.eachBound(func(v string) {
 				if !strings.HasPrefix(v, "_:") && !seen[v] {
 					seen[v] = true
 					res.Vars = append(res.Vars, v)
 				}
-			}
+			})
 		}
 		sort.Strings(res.Vars)
 	} else {
@@ -899,7 +1003,7 @@ func (ev *evaluator) finishSelect(q *sparql.Query, rows []binding) (*Result, err
 	for _, b := range rows {
 		row := make([]string, len(res.Vars))
 		for i, v := range res.Vars {
-			row[i] = b[v]
+			row[i], _ = b.lookupVar(v)
 		}
 		// Expression projections.
 		for i, it := range q.Select {
@@ -911,10 +1015,7 @@ func (ev *evaluator) finishSelect(q *sparql.Query, rows []binding) (*Result, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	ev.applyOrder(q, res, rows)
-	applyDistinct(q, res)
-	applySlice(q, res)
-	return res, nil
+	return res
 }
 
 func containsAggregate(e sparql.Expr) bool {
@@ -928,13 +1029,13 @@ func containsAggregate(e sparql.Expr) bool {
 	return found
 }
 
-// groupData is one GROUP BY group: its key values and member bindings.
+// groupData is one GROUP BY group: its key values and member rows.
 type groupData struct {
 	key     []string
-	members []binding
+	members []env
 }
 
-func (ev *evaluator) finishAggregate(q *sparql.Query, rows []binding) (*Result, error) {
+func (ev *evaluator) finishAggregate(q *sparql.Query, rows []env) (*Result, error) {
 	// Group rows by the GROUP BY keys.
 	groups := map[string]*groupData{}
 	var order []string
@@ -994,7 +1095,7 @@ func (ev *evaluator) finishAggregate(q *sparql.Query, rows []binding) (*Result, 
 			// A plain variable in an aggregate query is a group key;
 			// take it from any member.
 			if len(g.members) > 0 {
-				row[i] = g.members[0][it.Var.Value]
+				row[i], _ = g.members[0].lookupVar(it.Var.Value)
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -1061,13 +1162,13 @@ func (ev *evaluator) orderAggregated(q *sparql.Query, res *Result, rowGroups []*
 	}
 }
 
-func (ev *evaluator) applyOrder(q *sparql.Query, res *Result, rows []binding) {
+func (ev *evaluator) applyOrder(q *sparql.Query, res *Result, rows []env) {
 	if len(q.Mods.OrderBy) == 0 || len(res.Rows) != len(rows) {
 		return
 	}
 	type pair struct {
 		row []string
-		b   binding
+		b   env
 	}
 	pairs := make([]pair, len(res.Rows))
 	for i := range res.Rows {

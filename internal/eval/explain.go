@@ -16,8 +16,9 @@ import (
 //
 //   - The conjunctive core — every triple pattern of the WHERE clause,
 //     joined — planned by the cost-based planner and executed
-//     instrumented, showing the chosen atom order with estimated vs.
-//     actual intermediate row counts.
+//     instrumented on the columnar batch pipeline, showing the chosen
+//     atom order with estimated vs. actual intermediate row counts and
+//     per-operator batch counts.
 //   - One section per property-path pattern, showing the compiled
 //     automaton (states, transitions, fast-path selection), the search
 //     direction chosen from the endpoint shape and statistics, and the

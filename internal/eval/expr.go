@@ -57,15 +57,48 @@ func (v value) truthy() bool {
 
 var errEval = fmt.Errorf("eval: expression error")
 
-// eval evaluates an expression under one binding. Unbound variables and
+// env is one solution row as the expression evaluator sees it: the
+// legacy map binding and the columnar batch row both implement it, so
+// FILTER/BIND/aggregate semantics are defined once. lookupVar
+// materializes text lazily (the columnar row converts an ID only when
+// an expression actually touches it).
+type env interface {
+	// lookupVar returns the bound text of a variable.
+	lookupVar(name string) (string, bool)
+	// eachBound calls fn for every bound variable name.
+	eachBound(fn func(name string))
+	// exists evaluates an EXISTS pattern under this row.
+	exists(ev *evaluator, p sparql.Pattern) (bool, error)
+}
+
+func (b binding) lookupVar(name string) (string, bool) {
+	v, ok := b[name]
+	return v, ok
+}
+
+func (b binding) eachBound(fn func(string)) {
+	for k := range b {
+		fn(k)
+	}
+}
+
+func (b binding) exists(ev *evaluator, p sparql.Pattern) (bool, error) {
+	rows, err := ev.pattern(p, []binding{b})
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// eval evaluates an expression under one row. Unbound variables and
 // type errors return errEval (SPARQL expression errors), which filters
 // treat as false.
-func (ev *evaluator) eval(e sparql.Expr, b binding) (value, error) {
+func (ev *evaluator) eval(e sparql.Expr, b env) (value, error) {
 	switch n := e.(type) {
 	case *sparql.TermExpr:
 		switch n.Term.Kind {
 		case sparql.TermVar:
-			if v, ok := b[n.Term.Value]; ok {
+			if v, ok := b.lookupVar(n.Term.Value); ok {
 				return textValue(v), nil
 			}
 			return value{}, errEval
@@ -102,11 +135,10 @@ func (ev *evaluator) eval(e sparql.Expr, b binding) (value, error) {
 	case *sparql.FuncCall:
 		return ev.evalFunc(n, b)
 	case *sparql.ExistsExpr:
-		rows, err := ev.pattern(n.Pattern, []binding{b})
+		found, err := b.exists(ev, n.Pattern)
 		if err != nil {
 			return value{}, errEval
 		}
-		found := len(rows) > 0
 		if n.Not {
 			found = !found
 		}
@@ -134,7 +166,7 @@ func (ev *evaluator) eval(e sparql.Expr, b binding) (value, error) {
 	return value{}, errEval
 }
 
-func (ev *evaluator) evalBinary(n *sparql.BinaryExpr, b binding) (value, error) {
+func (ev *evaluator) evalBinary(n *sparql.BinaryExpr, b env) (value, error) {
 	switch n.Op {
 	case "&&":
 		l, errL := ev.eval(n.L, b)
@@ -217,7 +249,7 @@ func compareValues(l, r value) int {
 	return strings.Compare(l.lex, r.lex)
 }
 
-func (ev *evaluator) evalFunc(n *sparql.FuncCall, b binding) (value, error) {
+func (ev *evaluator) evalFunc(n *sparql.FuncCall, b env) (value, error) {
 	arg := func(i int) (value, error) {
 		if i >= len(n.Args) {
 			return value{}, errEval
@@ -228,8 +260,8 @@ func (ev *evaluator) evalFunc(n *sparql.FuncCall, b binding) (value, error) {
 	case "BOUND":
 		if len(n.Args) == 1 {
 			if te, ok := n.Args[0].(*sparql.TermExpr); ok && te.Term.Kind == sparql.TermVar {
-				_, ok := b[te.Term.Value]
-				return boolValue(ok), nil
+				_, bound := b.lookupVar(te.Term.Value)
+				return boolValue(bound), nil
 			}
 		}
 		return value{}, errEval
@@ -405,10 +437,10 @@ func floor(f float64) float64 {
 }
 
 // evalAggregateExpr evaluates an expression that may contain aggregate
-// nodes, over a group's member bindings. Non-aggregate subexpressions
-// are evaluated against the group's first member (they are group keys,
+// nodes, over a group's member rows. Non-aggregate subexpressions are
+// evaluated against the group's first member (they are group keys,
 // constant within the group).
-func (ev *evaluator) evalAggregateExpr(e sparql.Expr, members []binding) (value, error) {
+func (ev *evaluator) evalAggregateExpr(e sparql.Expr, members []env) (value, error) {
 	if agg, ok := e.(*sparql.AggregateExpr); ok {
 		return ev.computeAggregate(agg, members)
 	}
@@ -450,7 +482,7 @@ func litExpr(v value) sparql.Expr {
 	return &sparql.TermExpr{Term: t}
 }
 
-func (ev *evaluator) computeAggregate(agg *sparql.AggregateExpr, members []binding) (value, error) {
+func (ev *evaluator) computeAggregate(agg *sparql.AggregateExpr, members []env) (value, error) {
 	var vals []value
 	if !agg.Star {
 		for _, m := range members {

@@ -1,0 +1,100 @@
+package exec
+
+import "sparqlog/internal/rdf"
+
+// Unbound marks an unbound slot in a batch. It doubles as the
+// impossible-constant marker: no snapshot dictionary grows to 2^32-1
+// terms, so enumerating against it yields nothing.
+const Unbound = ^rdf.ID(0)
+
+// BatchSize is the target row capacity of a batch. Operators flush
+// once a batch reaches it; a single input row's join fan-out is never
+// split, so batches are soft-capped (a high-fanout row may overshoot).
+const BatchSize = 1024
+
+// Batch is a columnar set of bindings: one rdf.ID column per schema
+// slot, all of equal length. A batch is owned by the operator that
+// produced it and is overwritten by that operator's next Next call.
+type Batch struct {
+	cols [][]rdf.ID
+	n    int
+}
+
+// NewBatch returns an empty batch with the given slot count.
+func NewBatch(slots int) *Batch {
+	return &Batch{cols: make([][]rdf.ID, slots)}
+}
+
+// Rows returns the number of rows.
+func (b *Batch) Rows() int { return b.n }
+
+// Slots returns the number of columns.
+func (b *Batch) Slots() int { return len(b.cols) }
+
+// Col returns the column of a slot (length Rows; do not mutate unless
+// you own the batch).
+func (b *Batch) Col(slot int) []rdf.ID { return b.cols[slot][:b.n] }
+
+// Get returns the value at (slot, row).
+func (b *Batch) Get(slot, row int) rdf.ID { return b.cols[slot][row] }
+
+// Set overwrites the value at (slot, row).
+func (b *Batch) Set(slot, row int, v rdf.ID) { b.cols[slot][row] = v }
+
+// Reset empties the batch, keeping column capacity.
+func (b *Batch) Reset() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+}
+
+// Full reports whether the batch reached its target capacity.
+func (b *Batch) Full() bool { return b.n >= BatchSize }
+
+// AppendUnbound appends one all-unbound row and returns its index.
+func (b *Batch) AppendUnbound() int {
+	for i := range b.cols {
+		b.cols[i] = append(b.cols[i], Unbound)
+	}
+	b.n++
+	return b.n - 1
+}
+
+// AppendRow copies row of src (which must share the slot count) and
+// returns the new row's index.
+func (b *Batch) AppendRow(src *Batch, row int) int {
+	for i := range b.cols {
+		b.cols[i] = append(b.cols[i], src.cols[i][row])
+	}
+	b.n++
+	return b.n - 1
+}
+
+// AppendFanout appends k copies of src's row, where k = len(vals) when
+// vals is non-nil. Columns listed in slots receive the corresponding
+// vals column instead of the replicated input value; a slot of -1
+// skips that vals column. This is the columnar inner loop of the index
+// join: one posting-list copy plus per-column replication, no per-row
+// map or closure.
+func (b *Batch) AppendFanout(src *Batch, row, k int, slots [3]int, vals [3][]rdf.ID) {
+	for i := range b.cols {
+		filled := false
+		for j, s := range slots {
+			if s == i && vals[j] != nil {
+				b.cols[i] = append(b.cols[i], vals[j][:k]...)
+				filled = true
+				break
+			}
+		}
+		if !filled {
+			v := src.cols[i][row]
+			col := b.cols[i]
+			for x := 0; x < k; x++ {
+				col = append(col, v)
+			}
+			b.cols[i] = col
+		}
+	}
+	b.n += k
+}

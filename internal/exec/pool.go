@@ -1,0 +1,72 @@
+package exec
+
+import "sparqlog/internal/rdf"
+
+// Pool maps between term text and IDs for one execution. IDs below the
+// snapshot's dictionary size are snapshot terms; computed values (BIND
+// results, VALUES constants absent from the store, subquery rows)
+// intern into an overflow table above it. Overflow IDs can never match
+// a stored triple — the snapshot's indexes simply have no row for them
+// — which reproduces the legacy evaluator's "bound to a term unknown
+// to the store" semantics for free.
+//
+// A Pool is single-goroutine state (one per query execution).
+type Pool struct {
+	sn       *rdf.Snapshot
+	base     rdf.ID
+	extra    []string
+	extraIdx map[string]rdf.ID
+
+	// textCalls counts Text materializations — the dictionary-lookup
+	// budget the path regression test pins: operators move IDs, only
+	// the edges (projection, expressions) pay for strings.
+	textCalls int64
+}
+
+// NewPool returns a pool over the snapshot's dictionary.
+func NewPool(sn *rdf.Snapshot) *Pool {
+	return &Pool{sn: sn, base: rdf.ID(sn.NumTerms())}
+}
+
+// Intern returns the ID of text, preferring the snapshot dictionary
+// and interning into the overflow otherwise. The empty string interns
+// to Unbound: the legacy evaluator's Unbound marker is "", so an
+// empty-valued binding and an absent one are indistinguishable at the
+// edges, and keeping them identical inside preserves result equality.
+func (p *Pool) Intern(text string) rdf.ID {
+	if text == "" {
+		return Unbound
+	}
+	if id, ok := p.sn.Lookup(text); ok {
+		return id
+	}
+	if p.extraIdx == nil {
+		p.extraIdx = map[string]rdf.ID{}
+	}
+	if id, ok := p.extraIdx[text]; ok {
+		return id
+	}
+	id := p.base + rdf.ID(len(p.extra))
+	p.extra = append(p.extra, text)
+	p.extraIdx[text] = id
+	return id
+}
+
+// Text returns the string form of an ID; Unbound renders as "".
+func (p *Pool) Text(id rdf.ID) string {
+	if id == Unbound {
+		return ""
+	}
+	p.textCalls++
+	if id >= p.base {
+		return p.extra[id-p.base]
+	}
+	return p.sn.TermOf(id)
+}
+
+// InStore reports whether the ID is a snapshot dictionary term (an ID
+// that can appear in triples).
+func (p *Pool) InStore(id rdf.ID) bool { return id < p.base }
+
+// TextCalls returns the number of Text materializations so far.
+func (p *Pool) TextCalls() int64 { return p.textCalls }

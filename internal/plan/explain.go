@@ -19,6 +19,9 @@ type Explained struct {
 	// Actual[k] is the number of rows that survived step k (bindings
 	// passed to step k+1). Nil when the execution was not instrumented.
 	Actual []int64
+	// Batches[k] is the number of columnar batches operator k emitted.
+	// Nil when the execution was not batched (ASK short-circuit search).
+	Batches []int64
 	// CacheHit reports whether the plan came out of a Cache.
 	CacheHit bool
 }
@@ -45,30 +48,60 @@ func (ex *Explained) Format(term func(rdf.ID) string, varName func(int) string) 
 		return renderRef(a.S) + " " + renderRef(a.P) + " " + renderRef(a.O)
 	}
 
+	// Slot count and per-step write sets derive from the atoms at hand,
+	// not the (possibly cache-shared) plan: only Order transfers across
+	// a shape key.
+	slots := map[int]bool{}
+	for _, a := range ex.Atoms {
+		for _, r := range [3]TermRef{a.S, a.P, a.O} {
+			if r.IsVar {
+				slots[r.Var] = true
+			}
+		}
+	}
+	binds := ex.Plan.BindsFor(ex.Atoms)
+
 	var b strings.Builder
 	if ex.Plan.Key != "" {
-		fmt.Fprintf(&b, "shape key: %s", ex.Plan.Key)
+		fmt.Fprintf(&b, "shape key: %s  [%d slots]", ex.Plan.Key, len(slots))
 		if ex.CacheHit {
 			b.WriteString("  (plan cache hit)")
 		}
 		b.WriteByte('\n')
 	}
-	rows := make([][4]string, 0, len(ex.Plan.Order))
+	header := []string{"step", "atom", "est rows", "actual rows"}
+	if ex.Batches != nil {
+		header = append(header, "batches")
+	}
+	header = append(header, "binds")
+	nc := len(header)
+	rows := make([][]string, 0, len(ex.Plan.Order))
 	for k, ai := range ex.Plan.Order {
 		actual := "-"
 		if ex.Actual != nil {
 			actual = fmt.Sprintf("%d", ex.Actual[k])
 		}
-		rows = append(rows, [4]string{
+		row := []string{
 			fmt.Sprintf("%d", k+1),
 			renderAtom(ex.Atoms[ai]),
 			formatEst(ex.Plan.Rows[k]),
 			actual,
-		})
+		}
+		if ex.Batches != nil {
+			row = append(row, fmt.Sprintf("%d", ex.Batches[k]))
+		}
+		names := make([]string, 0, len(binds[k]))
+		for _, slot := range binds[k] {
+			names = append(names, varName(slot))
+		}
+		if len(names) == 0 {
+			names = append(names, "-")
+		}
+		row = append(row, strings.Join(names, " "))
+		rows = append(rows, row)
 	}
-	header := [4]string{"step", "atom", "est rows", "actual rows"}
-	widths := [4]int{}
-	for c := 0; c < 4; c++ {
+	widths := make([]int, nc)
+	for c := 0; c < nc; c++ {
 		widths[c] = len(header[c])
 		for _, r := range rows {
 			if len(r[c]) > widths[c] {
@@ -76,13 +109,13 @@ func (ex *Explained) Format(term func(rdf.ID) string, varName func(int) string) 
 			}
 		}
 	}
-	writeRow := func(r [4]string) {
-		for c := 0; c < 4; c++ {
+	writeRow := func(r []string) {
+		for c := 0; c < nc; c++ {
 			if c > 0 {
 				b.WriteString("  ")
 			}
 			b.WriteString(r[c])
-			if c < 3 {
+			if c < nc-1 {
 				b.WriteString(strings.Repeat(" ", widths[c]-len(r[c])))
 			}
 		}

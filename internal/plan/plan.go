@@ -19,8 +19,11 @@ import (
 	"sparqlog/internal/rdf"
 )
 
-// TermRef is one position of a query atom: either a variable (index into
-// the query's variable table) or a constant store ID.
+// TermRef is one position of a query atom: either a variable (index
+// into the query's variable table — which doubles as the columnar
+// executor's slot index, so a plan over ID-resolved atoms executes
+// with no name re-resolution, cache hit or not) or a constant store
+// ID.
 type TermRef struct {
 	IsVar bool
 	Var   int
@@ -54,6 +57,27 @@ type Plan struct {
 	// Key is the shape key the plan was cached under; empty for plans
 	// built outside a cache.
 	Key string
+}
+
+// BindsFor computes the per-step slot write set of executing atoms in
+// the plan's order: Binds[k] lists the variable slots atom Order[k]
+// binds first. Derived from the caller's atoms rather than cached with
+// the plan, because shape-mates sharing a cached plan may number their
+// variables differently — only Order transfers across a shape key.
+func (p *Plan) BindsFor(atoms []Atom) [][]int {
+	bound := map[int]bool{}
+	out := make([][]int, len(p.Order))
+	for k, ai := range p.Order {
+		var step []int
+		for _, r := range [3]TermRef{atoms[ai].S, atoms[ai].P, atoms[ai].O} {
+			if r.IsVar && !bound[r.Var] {
+				bound[r.Var] = true
+				step = append(step, r.Var)
+			}
+		}
+		out[k] = step
+	}
+	return out
 }
 
 // Planner orders atoms using a snapshot's statistics.

@@ -211,3 +211,52 @@ func TestCacheHitsAndBypass(t *testing.T) {
 		t.Error("nil cache did not plan")
 	}
 }
+
+// TestPlanSlotAssignments: BindsFor derives each step's slot write set
+// from the caller's atoms and the plan's order — every variable slot
+// is bound exactly once across the steps, in execution order, even
+// with repeated variables — so explain output stays correct for
+// shape-mates that number their variables differently than the query
+// whose plan is cached.
+func TestPlanSlotAssignments(t *testing.T) {
+	sn, ids := testGraph(t)
+	atoms := []Atom{
+		{S: V(0), P: C(ids["big"]), O: V(1)},
+		{S: V(1), P: C(ids["rare"]), O: V(2)},
+		{S: V(2), P: C(ids["big"]), O: V(2)}, // repeated variable binds once
+	}
+	p := For(sn, atoms, 3)
+	binds := p.BindsFor(atoms)
+	if len(binds) != len(atoms) {
+		t.Fatalf("binds = %v", binds)
+	}
+	seen := map[int]bool{}
+	for k, step := range binds {
+		for _, slot := range step {
+			if seen[slot] {
+				t.Fatalf("slot %d bound twice (step %d, binds %v)", slot, k, binds)
+			}
+			seen[slot] = true
+		}
+	}
+	for v := 0; v < 3; v++ {
+		if !seen[v] {
+			t.Fatalf("slot %d never bound: %v", v, binds)
+		}
+	}
+
+	// A shape-mate with different variable numbering gets ITS slots
+	// back, not the cached query's.
+	mate := []Atom{
+		{S: V(5), P: C(ids["big"]), O: V(3)},
+		{S: V(3), P: C(ids["rare"]), O: V(1)},
+		{S: V(1), P: C(ids["big"]), O: V(1)},
+	}
+	for _, step := range p.BindsFor(mate) {
+		for _, slot := range step {
+			if slot != 5 && slot != 3 && slot != 1 {
+				t.Fatalf("foreign slot %d in shape-mate binds %v", slot, p.BindsFor(mate))
+			}
+		}
+	}
+}

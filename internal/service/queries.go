@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"sparqlog/internal/eval"
+	"sparqlog/internal/exec"
+	"sparqlog/internal/pathcomp"
+	"sparqlog/internal/plan"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// QueryOptions configures a SPARQL workload run.
+type QueryOptions struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Timeout is the per-query deadline; 0 means none beyond the
+	// parent context.
+	Timeout time.Duration
+	// Plans optionally shares one shape-keyed plan cache across the
+	// pool (built with plan.NewCache for the snapshot passed to
+	// RunQueries): each BGP shape is planned once, and the cached plan
+	// carries slot assignments, so repeats execute with no
+	// re-resolution. Nil plans per query.
+	Plans *plan.Cache
+	// Paths optionally shares one compiled-path cache across the pool
+	// (pathcomp.NewCache for the same snapshot): each property-path
+	// shape compiles to its automaton once.
+	Paths *pathcomp.Cache
+	// Limits are the per-query evaluation bounds (MaxRows etc.); the
+	// Plans/Paths fields above override the ones inside.
+	Limits eval.Limits
+}
+
+// QueryOutcome is one query's result summary, index-aligned with the
+// input workload.
+type QueryOutcome struct {
+	// Rows is the number of result rows (1/0 for ASK).
+	Rows int
+	// Bool is the ASK answer.
+	Bool bool
+	// Err is the evaluation error, if any (timeouts also set TimedOut).
+	Err error
+	// TimedOut marks deadline or cancellation.
+	TimedOut bool
+	Duration time.Duration
+}
+
+// QueryReport is the outcome of one SPARQL workload run.
+type QueryReport struct {
+	Outcomes []QueryOutcome
+	// Wall is the end-to-end wall-clock time.
+	Wall time.Duration
+	// Timeouts counts queries that hit the deadline or cancellation.
+	Timeouts int
+	Stats    LatencyStats
+	// PlanHits/PlanMisses and PathHits/PathMisses are this run's
+	// deltas on the shared caches (zero when the option was nil).
+	PlanHits, PlanMisses int64
+	PathHits, PathMisses int64
+}
+
+// TotalRows sums result rows across completed queries.
+func (r *QueryReport) TotalRows() int64 {
+	var n int64
+	for _, o := range r.Outcomes {
+		if o.Err == nil {
+			n += int64(o.Rows)
+		}
+	}
+	return n
+}
+
+// RunQueries executes a SPARQL workload on a worker pool sharing one
+// immutable snapshot — the full-evaluator counterpart of Run, backed
+// by the slot-based columnar executor. With Plans and Paths set, the
+// pool shares one plan cache and one compiled-path cache, so a
+// workload of recurring shapes (the log study's core finding) plans
+// and compiles each shape once and executes it millions of times.
+// Cancelling ctx stops the run; undispatched queries are marked timed
+// out.
+func RunQueries(ctx context.Context, sn *rdf.Snapshot, queries []*sparql.Query, opt QueryOptions) QueryReport {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) && len(queries) > 0 {
+		workers = len(queries)
+	}
+	lim := opt.Limits
+	lim.Plans, lim.Paths = opt.Plans, opt.Paths
+	var planHits0, planMisses0, pathHits0, pathMisses0 int64
+	if opt.Plans != nil {
+		planHits0, planMisses0 = opt.Plans.Hits(), opt.Plans.Misses()
+	}
+	if opt.Paths != nil {
+		pathHits0, pathMisses0 = opt.Paths.Hits(), opt.Paths.Misses()
+	}
+	rep := QueryReport{Outcomes: make([]QueryOutcome, len(queries))}
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Outcomes[i] = runOneQuery(ctx, sn, queries[i], lim, opt.Timeout)
+			}
+		}()
+	}
+dispatch:
+	for i := range queries {
+		if ctx.Err() != nil {
+			for j := i; j < len(queries); j++ {
+				rep.Outcomes[j] = QueryOutcome{Err: exec.ErrTimeout, TimedOut: true}
+			}
+			break dispatch
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(queries); j++ {
+				rep.Outcomes[j] = QueryOutcome{Err: exec.ErrTimeout, TimedOut: true}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+
+	durs := make([]time.Duration, 0, len(queries))
+	for _, o := range rep.Outcomes {
+		if o.TimedOut {
+			rep.Timeouts++
+		}
+		durs = append(durs, o.Duration)
+	}
+	rep.Stats = Percentiles(durs)
+	if rep.Wall > 0 {
+		rep.Stats.QPS = float64(len(queries)-rep.Timeouts) / rep.Wall.Seconds()
+	}
+	if opt.Plans != nil {
+		rep.PlanHits = opt.Plans.Hits() - planHits0
+		rep.PlanMisses = opt.Plans.Misses() - planMisses0
+	}
+	if opt.Paths != nil {
+		rep.PathHits = opt.Paths.Hits() - pathHits0
+		rep.PathMisses = opt.Paths.Misses() - pathMisses0
+	}
+	return rep
+}
+
+// runOneQuery evaluates a single query under a per-query deadline,
+// normalizing timed-out durations to the full budget (the Figure 3
+// convention Run also uses).
+func runOneQuery(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eval.Limits, timeout time.Duration) QueryOutcome {
+	qctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if qctx.Err() != nil {
+		out := QueryOutcome{Err: exec.ErrTimeout, TimedOut: true}
+		if timeout > 0 && ctx.Err() == nil {
+			// Deadline, not parent cancellation: charge the full
+			// budget, the Figure 3 convention.
+			out.Duration = timeout
+		}
+		return out
+	}
+	start := time.Now()
+	res, err := eval.QueryContext(qctx, sn, q, lim)
+	out := QueryOutcome{Duration: time.Since(start), Err: err}
+	if err != nil {
+		if errors.Is(err, exec.ErrTimeout) {
+			out.TimedOut = true
+			if timeout > 0 && ctx.Err() == nil {
+				out.Duration = timeout
+			}
+		}
+		return out
+	}
+	out.Rows = len(res.Rows)
+	out.Bool = res.Bool
+	if q.Type == sparql.AskQuery && res.Bool {
+		out.Rows = 1
+	}
+	return out
+}
