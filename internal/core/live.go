@@ -1,0 +1,129 @@
+package core
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sparqlog/internal/sparql"
+)
+
+// LiveAnalyzer is the incremental form of StreamAnalyzer: instead of
+// draining one finite stream, entries arrive one at a time over the
+// lifetime of a process — a serving endpoint feeding each request's
+// query text through the paper's analysis pipeline as it happens — and
+// Report can be asked for the statistics-so-far at any moment. Add and
+// Report are safe for arbitrary concurrency.
+//
+// The machinery is StreamAnalyzer's, re-striped for push instead of
+// pull: N worker slots each own a private partial DatasetReport (the
+// same streamWorker that powers the batch pipeline), entries are
+// spread across slots round-robin by a global counter (which doubles
+// as the entry's position in the virtual log, keeping structural
+// dedup's earliest-representative rule deterministic per arrival
+// order), and the dedup shards are shared across slots under their own
+// locks. Report quiesces the slots, merges the partials into a fresh
+// DatasetReport, and — in StructuralDedup mode — analyzes the current
+// class representatives into the copy without disturbing the live
+// state, so a report is O(state) but never blocks Add for longer than
+// a merge.
+type LiveAnalyzer struct {
+	opts   Options
+	name   string
+	seed   maphash.Seed
+	shards []dedupShard
+	slots  []liveSlot
+	ctr    atomic.Uint64
+}
+
+// liveSlot is one push-side worker: a lock plus the streamWorker whose
+// partial report it guards. Padding between slots is not worth the
+// complexity at typical slot counts.
+type liveSlot struct {
+	mu sync.Mutex
+	w  *streamWorker
+}
+
+// NewLiveAnalyzer returns an empty live analyzer. workers is the
+// number of concurrent Add slots (<= 0 means GOMAXPROCS); opts
+// configures the pipeline exactly as for AnalyzeLog.
+func NewLiveAnalyzer(name string, opts Options, workers int) *LiveAnalyzer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	la := &LiveAnalyzer{
+		opts:   opts,
+		name:   name,
+		seed:   maphash.MakeSeed(),
+		shards: make([]dedupShard, DefaultShards),
+		slots:  make([]liveSlot, workers),
+	}
+	for i := range la.shards {
+		switch {
+		case opts.KeepDuplicates:
+		case opts.StructuralDedup:
+			la.shards[i].reps = make(map[string]streamRep)
+		default:
+			la.shards[i].seen = make(map[string]entryStatus)
+		}
+	}
+	for i := range la.slots {
+		la.slots[i].w = &streamWorker{
+			opts:   opts,
+			rep:    NewCorpusReport(name),
+			shards: la.shards,
+			seed:   la.seed,
+			parser: &sparql.Parser{},
+		}
+	}
+	return la
+}
+
+// Add feeds one raw log entry (the decoded query text of one request)
+// through cleaning, dedup, parsing, and analysis. Concurrent Adds
+// spread across the slots; two Adds contend only when they land on the
+// same slot or dedup shard.
+func (la *LiveAnalyzer) Add(raw string) {
+	idx := la.ctr.Add(1) - 1
+	slot := &la.slots[idx%uint64(len(la.slots))]
+	slot.mu.Lock()
+	slot.w.process(raw, idx)
+	slot.mu.Unlock()
+}
+
+// Entries returns the number of entries added so far.
+func (la *LiveAnalyzer) Entries() uint64 { return la.ctr.Load() }
+
+// Report merges the current partial state into a fresh DatasetReport —
+// the same statistics AnalyzeLog would produce over the entries added
+// so far (for StructuralDedup, over the representatives as currently
+// elected). The live state is untouched; Add keeps accumulating.
+func (la *LiveAnalyzer) Report() *DatasetReport {
+	// Quiesce: entry processing only runs under a slot lock, so holding
+	// every slot lock stops mutation of partials and shards alike (the
+	// slot locks also order us after each worker's shard writes).
+	for i := range la.slots {
+		la.slots[i].mu.Lock()
+	}
+	defer func() {
+		for i := range la.slots {
+			la.slots[i].mu.Unlock()
+		}
+	}()
+	rep := NewCorpusReport(la.name)
+	for i := range la.slots {
+		rep.Merge(la.slots[i].w.rep)
+	}
+	if la.opts.StructuralDedup && !la.opts.KeepDuplicates {
+		// Deferred representative analysis, non-destructively per
+		// report: the shards keep their state for the next snapshot.
+		for i := range la.shards {
+			for _, r := range la.shards[i].reps {
+				rep.Unique++
+				rep.analyzeQuery(r.q, la.opts)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"sparqlog/internal/loggen"
+)
+
+// TestLiveMatchesBatch feeds a fixture log entry-by-entry through a
+// LiveAnalyzer (serially, so entry indexes match log order) and checks
+// the final Report deeply equals AnalyzeLog over the same entries, for
+// every dedup mode. Mid-stream reports must be consistent prefixes.
+func TestLiveMatchesBatch(t *testing.T) {
+	optionSets := map[string]Options{
+		"default":         {},
+		"keep-duplicates": {KeepDuplicates: true},
+		"skip-shapes":     {SkipShapes: true},
+		"structural":      {StructuralDedup: true},
+	}
+	ds := loggen.Generate(loggen.Profiles()[0], 1200, 44)
+	for label, opts := range optionSets {
+		want := AnalyzeLog(ds.Name, ds.Entries, opts)
+		la := NewLiveAnalyzer(ds.Name, opts, 4)
+		half := len(ds.Entries) / 2
+		for i, e := range ds.Entries {
+			if i == half {
+				// A mid-stream snapshot must match the batch analysis of
+				// the prefix — and must not disturb the live state.
+				mid := la.Report()
+				wantMid := AnalyzeLog(ds.Name, ds.Entries[:half], opts)
+				if !reflect.DeepEqual(wantMid, mid) {
+					t.Errorf("%s: mid-stream report differs from batch prefix", label)
+					diffReports(t, wantMid, mid)
+				}
+			}
+			la.Add(e)
+		}
+		if la.Entries() != uint64(len(ds.Entries)) {
+			t.Errorf("%s: entries = %d, want %d", label, la.Entries(), len(ds.Entries))
+		}
+		got := la.Report()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: live report differs from batch", label)
+			diffReports(t, want, got)
+		}
+		// A second report over unchanged state is identical (Report is
+		// non-destructive).
+		again := la.Report()
+		if !reflect.DeepEqual(got, again) {
+			t.Errorf("%s: repeated Report diverged", label)
+		}
+	}
+}
+
+// TestLiveConcurrentAdds hammers Add from many goroutines (run under
+// -race in CI) and checks the order-independent counters against the
+// batch pipeline. Exact-text dedup is order-independent in full.
+func TestLiveConcurrentAdds(t *testing.T) {
+	ds := loggen.Generate(loggen.Profiles()[2], 900, 7)
+	want := AnalyzeLog(ds.Name, ds.Entries, Options{})
+	la := NewLiveAnalyzer(ds.Name, Options{}, 4)
+	var wg sync.WaitGroup
+	const feeders = 8
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := f; i < len(ds.Entries); i += feeders {
+				la.Add(ds.Entries[i])
+			}
+		}(f)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Snapshot concurrently with the feeders: must not race or
+		// corrupt state (values themselves are timing-dependent).
+		for i := 0; i < 20; i++ {
+			_ = la.Report()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	got := la.Report()
+	if !reflect.DeepEqual(want, got) {
+		t.Error("concurrent live report differs from batch")
+		diffReports(t, want, got)
+	}
+}

@@ -42,6 +42,11 @@ type colExec struct {
 	// existsPlans caches the compiled subtree per EXISTS pattern node:
 	// re-evaluated per row, compiled once.
 	existsPlans map[sparql.Pattern]*existsPlan
+
+	// recovers tracks the stats of every recover operator in the plan
+	// (EXISTS subtrees included), harvested after execution into the
+	// evaluator's silent-SERVICE-recovery count.
+	recovers []*exec.OpStats
 }
 
 type existsPlan struct {
@@ -85,6 +90,13 @@ func (r rowEnv) exists(ev *evaluator, p sparql.Pattern) (bool, error) {
 func (ev *evaluator) queryColumnar(q *sparql.Query) (*Result, error) {
 	ce := &colExec{ev: ev, schema: exec.NewSchema(), pool: exec.NewPool(ev.st)}
 	ev.colPool = ce.pool
+	// Harvest runtime recoveries after execution, whichever return path
+	// is taken (subquery executions accumulate into the same evaluator).
+	defer func() {
+		for _, st := range ce.recovers {
+			ev.recovered += int(st.Recovered)
+		}
+	}()
 	ctx := ev.ctx
 	if ctx == nil {
 		return nil, fmt.Errorf("eval: nil context")
@@ -293,10 +305,14 @@ func (ce *colExec) compile(p sparql.Pattern, in exec.Operator, bound map[string]
 		inner, err := ce.compile(n.Inner, seed, copyBound(bound))
 		if err != nil {
 			// SILENT swallows the failure; the input passes through,
-			// as the legacy evaluator's error fallback did.
+			// as the legacy evaluator's error fallback did. Counted as
+			// a recovery: compile-time failure is no-op federation too.
+			ev.recovered++
 			return in, nil
 		}
-		return exec.NewRecover(in, inner, seed), nil
+		op := exec.NewRecover(in, inner, seed)
+		ce.recovers = append(ce.recovers, op.Stats())
+		return op, nil
 	case *sparql.Filter:
 		return ce.compileFilter(n.Constraint, in), nil
 	case *sparql.Bind:

@@ -49,6 +49,11 @@ type Result struct {
 	Rows [][]string
 	// Bool is the ASK answer.
 	Bool bool
+	// Recovered counts silent SERVICE recoveries during evaluation:
+	// SERVICE SILENT bodies whose failure was swallowed and replaced by
+	// the unjoined input. Queries without SERVICE SILENT report zero; a
+	// nonzero count means part of the answer came from no-op federation.
+	Recovered int
 }
 
 // Limits bounds evaluation.
@@ -103,7 +108,11 @@ func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Li
 		lim.MaxRows = DefaultMaxRows
 	}
 	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim, ctx: ctx}
-	return ev.query(q)
+	res, err := ev.query(q)
+	if err == nil {
+		res.Recovered = ev.recovered
+	}
+	return res, err
 }
 
 type binding map[string]string
@@ -129,6 +138,9 @@ type evaluator struct {
 	// read its Text-call counter to pin the lazy-materialization
 	// contract (operators move IDs, only the edges touch strings).
 	colPool *exec.Pool
+	// recovered accumulates silent SERVICE recoveries across the whole
+	// evaluation, subqueries included — surfaced as Result.Recovered.
+	recovered int
 }
 
 // pathCache returns the compiled-path cache: the caller-shared one from
@@ -358,6 +370,7 @@ func (ev *evaluator) pattern(p sparql.Pattern, in []binding) ([]binding, error) 
 		// library); SILENT semantics are preserved on failure.
 		out, err := ev.pattern(n.Inner, in)
 		if err != nil && n.Silent {
+			ev.recovered++
 			return in, nil
 		}
 		return out, err

@@ -58,7 +58,24 @@ func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
 			"      paths above were planned and executed; full evaluation may return different results\n",
 			strings.Join(extras, ", "))
 	}
+	if hasSilentService(q) {
+		text += "note: SERVICE SILENT present — evaluation falls back to the unjoined input when\n" +
+			"      the service body fails; Result.Recovered counts such silent recoveries\n"
+	}
 	return text, nil
+}
+
+// hasSilentService reports whether any SERVICE SILENT clause appears in
+// the WHERE tree.
+func hasSilentService(q *sparql.Query) bool {
+	found := false
+	sparql.Walk(q.Where, func(p sparql.Pattern) bool {
+		if sg, ok := p.(*sparql.ServiceGraph); ok && sg.Silent {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // explainPath compiles one path pattern and executes it according to

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// recoverStore has enough triples that a cross product inside a
+// SERVICE body overflows a small MaxRows while the outer join fits.
+func recoverStore() *rdf.Snapshot {
+	st := rdf.NewStore()
+	st.Add("a", "p", "b")
+	st.Add("b", "p", "c")
+	st.Add("c", "p", "d")
+	st.Add("d", "p", "e")
+	return st.Freeze()
+}
+
+func TestSilentServiceRecoveryCounted(t *testing.T) {
+	sn := recoverStore()
+	// The SERVICE body's cross product is 4x4 = 16 rows > MaxRows 10;
+	// the outer pattern is 4 rows and survives the budget.
+	q, err := sparql.Parse(`SELECT ?x WHERE {
+		?x <p> ?y .
+		SERVICE SILENT <http://remote/> { ?a <p> ?b . ?c <p> ?d . }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, legacy := range []bool{false, true} {
+		res, err := QueryWithLimits(sn, q, Limits{MaxRows: 10, Legacy: legacy})
+		if err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		if len(res.Rows) != 4 {
+			t.Errorf("legacy=%v: rows = %d, want 4 (unjoined input)", legacy, len(res.Rows))
+		}
+		if res.Recovered != 1 {
+			t.Errorf("legacy=%v: Recovered = %d, want 1", legacy, res.Recovered)
+		}
+	}
+
+	// A SERVICE body that succeeds must not count a recovery.
+	q2, err := sparql.Parse(`SELECT ?x WHERE {
+		?x <p> ?y .
+		SERVICE SILENT <http://remote/> { ?x <p> ?y }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Query(sn, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered != 0 {
+		t.Errorf("successful SERVICE: Recovered = %d, want 0", res.Recovered)
+	}
+}
+
+func TestExplainNotesSilentService(t *testing.T) {
+	sn := recoverStore()
+	q, err := sparql.Parse(`SELECT ?x WHERE {
+		?x <p> ?y .
+		SERVICE SILENT <http://remote/> { ?x <p> ?z }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Explain(sn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "SERVICE SILENT present") {
+		t.Errorf("explain lacks SERVICE SILENT note:\n%s", text)
+	}
+}
+
+func TestKindOfTerm(t *testing.T) {
+	cases := []struct {
+		text string
+		want TermKind
+	}{
+		{"http://example.org/x", KindIRI},
+		{"urn:isbn:123", KindIRI},
+		{"mailto:a@b.c", KindIRI},
+		{"_:b0", KindBlank},
+		{"plain text", KindLiteral},
+		{"42", KindLiteral},
+		{"has:space in it", KindLiteral},
+		{"9bad:scheme", KindLiteral},
+		{":nocolonprefix", KindLiteral},
+		{"scheme:", KindLiteral},
+		{"", KindLiteral},
+		{`said "hi"`, KindLiteral},
+	}
+	for _, tc := range cases {
+		if got := KindOfTerm(tc.text); got != tc.want {
+			t.Errorf("KindOfTerm(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package eval
+
+import "strings"
+
+// TermKind classifies a result-cell term for serialization. The store's
+// dictionary keeps terms as undecorated text (IRIs without angle
+// brackets, literals without quotes), so result serializers — the
+// SPARQL results JSON/XML writers in internal/server — need a
+// classification to emit `"type": "uri"` vs `"type": "literal"` cells.
+type TermKind int
+
+const (
+	// KindLiteral is the default: any term that is not clearly an IRI
+	// or a blank node serializes as a plain literal.
+	KindLiteral TermKind = iota
+	// KindIRI marks a term that parses as an absolute IRI.
+	KindIRI
+	// KindBlank marks a blank-node label ("_:"-prefixed).
+	KindBlank
+)
+
+// KindOfTerm classifies a result cell's text. The heuristic mirrors
+// how terms enter the dictionary: blank nodes keep their "_:" prefix;
+// IRIs arrive from <...> syntax or prefixed-name expansion and are
+// absolute (RFC 3986 scheme ":" hier-part) without whitespace, quotes,
+// or angle brackets; everything else was a literal's lexical form.
+func KindOfTerm(text string) TermKind {
+	if strings.HasPrefix(text, "_:") {
+		return KindBlank
+	}
+	if isAbsoluteIRI(text) {
+		return KindIRI
+	}
+	return KindLiteral
+}
+
+// isAbsoluteIRI reports whether text looks like scheme:rest with a
+// valid scheme (ALPHA *(ALPHA / DIGIT / "+" / "-" / ".")) and no
+// characters that cannot appear in an IRI.
+func isAbsoluteIRI(text string) bool {
+	colon := strings.IndexByte(text, ':')
+	if colon <= 0 {
+		return false
+	}
+	for i := 0; i < colon; i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	if colon == len(text)-1 {
+		return false
+	}
+	for i := colon + 1; i < len(text); i++ {
+		switch c := text[i]; c {
+		case ' ', '\t', '\n', '\r', '"', '<', '>', '{', '}', '|', '\\', '^', '`':
+			return false
+		default:
+			if c < 0x20 {
+				return false
+			}
+		}
+	}
+	return true
+}

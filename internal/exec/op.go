@@ -41,6 +41,13 @@ func (c *Ctx) Check(mask int) error {
 	if c.steps&mask != 0 {
 		return nil
 	}
+	return c.Poll()
+}
+
+// Poll checks the deadline and cancellation immediately, with no step
+// batching — the probe handed to subsystems (pathcomp) that batch
+// their own steps.
+func (c *Ctx) Poll() error {
 	if c.hasDL && time.Now().After(c.deadline) {
 		return ErrTimeout
 	}
@@ -54,6 +61,10 @@ func (c *Ctx) Check(mask int) error {
 type OpStats struct {
 	Batches int64
 	Rows    int64
+	// Recovered counts silent SERVICE recoveries: inner evaluations
+	// that failed and fell back to the unjoined input (SERVICE SILENT
+	// semantics). Zero everywhere except recover operators.
+	Recovered int64
 }
 
 // Operator is a pull-based batch producer. Next returns the next
@@ -518,9 +529,12 @@ func (r *recoverOp) Next(c *Ctx) (*Batch, error) {
 			return nil, derr
 		case derr == nil:
 			r.fallback = drained
+		default:
+			// Any other error: the materialized input stays as the
+			// fallback — SILENT semantics — but the swallowed failure is
+			// counted so no-op federation stays observable.
+			r.stats.Recovered++
 		}
-		// On any other error the materialized input stays as the
-		// fallback — SILENT semantics.
 		r.started = true
 	}
 	for r.fpos < len(r.fallback) {

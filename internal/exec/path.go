@@ -106,18 +106,31 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 	sid, sBound, sSlot := endState(p.s, in, row)
 	oid, oBound, oSlot := endState(p.o, in, row)
 	noslot := [3]int{-1, -1, -1}
+	// Thread the execution deadline into the compiled-path engine: its
+	// closure and SCC sweeps batch their own probing (~1k steps), so a
+	// cancelled request aborts mid-search instead of after it.
+	check := pathcomp.Check(c.Poll)
 	switch {
 	case sBound && oBound:
 		// A constant or binding outside the store (overflow or absent
 		// term) can never satisfy a path.
-		if p.inStore(sid) && p.inStore(oid) && p.pa.Holds(sid, oid) {
-			p.out.AppendRow(in, row)
+		if p.inStore(sid) && p.inStore(oid) {
+			holds, err := p.pa.HoldsCtx(check, sid, oid)
+			if err != nil {
+				return err
+			}
+			if holds {
+				p.out.AppendRow(in, row)
+			}
 		}
 	case sBound:
 		if !p.inStore(sid) {
 			return nil
 		}
-		nodes := p.pa.From(sid)
+		nodes, err := p.pa.FromCtx(check, sid)
+		if err != nil {
+			return err
+		}
 		if len(nodes) == 0 {
 			return nil
 		}
@@ -128,7 +141,10 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 		if !p.inStore(oid) {
 			return nil
 		}
-		nodes := p.pa.To(oid)
+		nodes, err := p.pa.ToCtx(check, oid)
+		if err != nil {
+			return err
+		}
 		if len(nodes) == 0 {
 			return nil
 		}
@@ -138,7 +154,11 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 	case sSlot == oSlot:
 		// Same variable on both ends: only loop nodes, computed once.
 		if !p.loopsDone {
-			p.loops, p.loopsDone = p.pa.Loops(), true
+			loops, err := p.pa.LoopsCtx(check)
+			if err != nil {
+				return err
+			}
+			p.loops, p.loopsDone = loops, true
 		}
 		if len(p.loops) == 0 {
 			return nil
@@ -154,7 +174,10 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 		if c.MaxRows > 0 {
 			limit = c.MaxRows + 1 - p.rowsCum - p.out.Rows()
 		}
-		pairs := p.pa.Pairs(limit)
+		pairs, err := p.pa.PairsCtx(check, limit)
+		if err != nil {
+			return err
+		}
 		for _, pair := range pairs {
 			r := p.out.AppendRow(in, row)
 			p.out.Set(sSlot, r, pair[0])

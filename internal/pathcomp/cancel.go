@@ -1,0 +1,35 @@
+package pathcomp
+
+// Check is a cancellation probe threaded into long-running path
+// evaluations. The evaluator calls it periodically (every tickMask+1
+// expansion steps) from its inner loops — posting-list closures, the
+// product-graph BFS, SCC condensation, multi-source sweeps — so a
+// cancelled serving request frees its worker within a bounded number of
+// steps instead of running the search to completion. A nil Check is
+// never called; the plain (non-Ctx) entry points pass nil, so library
+// callers that do not serve traffic pay nothing.
+type Check func() error
+
+// tickMask batches probe invocations: the probe itself may poll
+// time.Now or a context, so it runs once per tickMask+1 steps. Must be
+// a power of two minus one.
+const tickMask = 1023
+
+// ticker counts evaluation steps and invokes the probe on schedule.
+// The zero value with a nil check is a no-op ticker.
+type ticker struct {
+	check Check
+	n     int
+}
+
+// tick counts one step, probing every tickMask+1 steps.
+func (t *ticker) tick() error {
+	if t.check == nil {
+		return nil
+	}
+	t.n++
+	if t.n&tickMask != 0 {
+		return nil
+	}
+	return t.check()
+}

@@ -1,0 +1,108 @@
+package pathcomp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sparqlog/internal/rdf"
+)
+
+var errStop = errors.New("stop requested")
+
+// bigChainStore builds a long p-chain with a back edge so closure
+// evaluations scan well over tickMask+1 edges.
+func bigChainStore(n int) *rdf.Snapshot {
+	st := rdf.NewStore()
+	for i := 0; i < n; i++ {
+		st.Add(fmt.Sprintf("n%d", i), "p", fmt.Sprintf("n%d", i+1))
+	}
+	st.Add(fmt.Sprintf("n%d", n), "p", "n0")
+	return st.Freeze()
+}
+
+// countingCheck fails after the probe has been polled failAfter times,
+// recording how many polls it saw.
+type countingCheck struct {
+	polls     int
+	failAfter int
+}
+
+func (c *countingCheck) check() error {
+	c.polls++
+	if c.polls >= c.failAfter {
+		return errStop
+	}
+	return nil
+}
+
+func TestCancelledEvaluationsReturnPromptly(t *testing.T) {
+	const n = 8192 // edges scanned per closure pass >> tickMask+1
+	sn := bigChainStore(n)
+	start, _ := sn.Lookup("n0")
+	end, _ := sn.Lookup(fmt.Sprintf("n%d", n))
+
+	closure := Compile(sn, parsePath(t, "<p>+"), resolverOf(sn))
+	general := Compile(sn, parsePath(t, "(<p>/<p>)+"), resolverOf(sn))
+
+	runs := []struct {
+		name string
+		eval func(check Check) error
+	}{
+		{"closure From", func(c Check) error { _, err := closure.FromCtx(c, start); return err }},
+		{"closure To", func(c Check) error { _, err := closure.ToCtx(c, end); return err }},
+		{"closure Holds", func(c Check) error { _, err := closure.HoldsCtx(c, start, end); return err }},
+		{"closure Loops", func(c Check) error { _, err := closure.LoopsCtx(c); return err }},
+		{"closure Pairs", func(c Check) error { _, err := closure.PairsCtx(c, 0); return err }},
+		{"general From", func(c Check) error { _, err := general.FromCtx(c, start); return err }},
+		{"general Holds", func(c Check) error { _, err := general.HoldsCtx(c, start, end); return err }},
+		{"general Pairs", func(c Check) error { _, err := general.PairsCtx(c, 0); return err }},
+	}
+	for _, tc := range runs {
+		t.Run(tc.name, func(t *testing.T) {
+			cc := &countingCheck{failAfter: 1}
+			if err := tc.eval(cc.check); !errors.Is(err, errStop) {
+				t.Fatalf("want errStop, got %v", err)
+			}
+			// The probe fired on its very first poll, i.e. after at most
+			// tickMask+1 evaluation steps: the abort happened within one
+			// probe interval, not after the search ran to completion.
+			if cc.polls != 1 {
+				t.Fatalf("evaluation kept running after a failed probe: %d polls", cc.polls)
+			}
+		})
+	}
+}
+
+// TestCtxVariantsMatchPlainEval pins that a never-failing probe leaves
+// results identical to the probe-free entry points, and that pooled
+// scratch state stays clean after an aborted run (a subsequent plain
+// evaluation must still be correct).
+func TestCtxVariantsMatchPlainEval(t *testing.T) {
+	sn := chainCycleStore()
+	a, _ := sn.Lookup("a")
+	ok := func() error { return nil }
+	for _, expr := range []string{"<p>+", "<p>*", "(<p>|<r>)*", "(<p>/<p>)+", "!<p>"} {
+		cp := Compile(sn, parsePath(t, expr), resolverOf(sn))
+
+		// Abort a run first so the pooled scratch has seen an early return.
+		cc := &countingCheck{failAfter: 1}
+		_, _ = cp.FromCtx(cc.check, a)
+
+		got, err := cp.FromCtx(ok, a)
+		if err != nil {
+			t.Fatalf("%s: FromCtx with passing probe: %v", expr, err)
+		}
+		want := cp.From(a)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: FromCtx = %v, From = %v", expr, got, want)
+		}
+		gotPairs, err := cp.PairsCtx(ok, 0)
+		if err != nil {
+			t.Fatalf("%s: PairsCtx with passing probe: %v", expr, err)
+		}
+		if fmt.Sprint(gotPairs) != fmt.Sprint(cp.Pairs(0)) {
+			t.Errorf("%s: PairsCtx disagrees with Pairs", expr)
+		}
+	}
+}

@@ -110,10 +110,12 @@ func (r *runner) visit(q int32, n rdf.ID, target rdf.ID, hasTarget bool) bool {
 
 // run expands the product graph breadth-first from start. With a target
 // it stops as soon as the target is reached in an accepting state and
-// reports true (goal-directed early termination).
-func (r *runner) run(start rdf.ID, target rdf.ID, hasTarget bool) bool {
+// reports true (goal-directed early termination). chk is probed once
+// per scanned edge, so cancellation lands within a bounded number of
+// expansion steps even on skewed nodes.
+func (r *runner) run(chk *ticker, start rdf.ID, target rdf.ID, hasTarget bool) (bool, error) {
 	if r.visit(r.a.start, start, target, hasTarget) {
-		return true
+		return true, nil
 	}
 	sn := r.pa.sn
 	for i := 0; i < len(r.queue); i++ {
@@ -122,38 +124,50 @@ func (r *runner) run(start rdf.ID, target rdf.ID, hasTarget bool) bool {
 			switch e.kind {
 			case opFwd:
 				for _, m := range sn.Objects(it.n, e.pid) {
+					if err := chk.tick(); err != nil {
+						return false, err
+					}
 					if r.visit(e.to, m, target, hasTarget) {
-						return true
+						return true, nil
 					}
 				}
 			case opInv:
 				for _, m := range sn.Subjects(e.pid, it.n) {
+					if err := chk.tick(); err != nil {
+						return false, err
+					}
 					if r.visit(e.to, m, target, hasTarget) {
-						return true
+						return true, nil
 					}
 				}
 			case opNegFwd:
 				preds, objs := sn.SubjectEdges(it.n)
 				for k := range preds {
+					if err := chk.tick(); err != nil {
+						return false, err
+					}
 					if !idIn(e.excl, preds[k]) {
 						if r.visit(e.to, objs[k], target, hasTarget) {
-							return true
+							return true, nil
 						}
 					}
 				}
 			case opNegInv:
 				subs, preds := sn.ObjectEdges(it.n)
 				for k := range subs {
+					if err := chk.tick(); err != nil {
+						return false, err
+					}
 					if !idIn(e.excl, preds[k]) {
 						if r.visit(e.to, subs[k], target, hasTarget) {
-							return true
+							return true, nil
 						}
 					}
 				}
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // idIn reports membership in a small sorted exclusion set.
@@ -182,7 +196,7 @@ type closureScratch struct {
 // evaluates the reversed path (for To); with a target it terminates as
 // soon as the target is reached. The scratch's out holds the reached
 // nodes in visit order on return.
-func (pa *Path) closureRun(sc *closureScratch, start rdf.ID, flip bool, target rdf.ID, hasTarget bool) bool {
+func (pa *Path) closureRun(chk *ticker, sc *closureScratch, start rdf.ID, flip bool, target rdf.ID, hasTarget bool) (bool, error) {
 	sn := pa.sn
 	sc.stack = append(sc.stack[:0], start)
 	sc.out = sc.out[:0]
@@ -190,7 +204,7 @@ func (pa *Path) closureRun(sc *closureScratch, start rdf.ID, flip bool, target r
 		if sc.visited.Set(start) {
 			sc.out = append(sc.out, start)
 			if hasTarget && start == target {
-				return true
+				return true, nil
 			}
 		}
 	}
@@ -205,17 +219,20 @@ func (pa *Path) closureRun(sc *closureScratch, start rdf.ID, flip bool, target r
 				targets = sn.Objects(n, at.pid)
 			}
 			for _, m := range targets {
+				if err := chk.tick(); err != nil {
+					return false, err
+				}
 				if sc.visited.Set(m) {
 					sc.out = append(sc.out, m)
 					sc.stack = append(sc.stack, m)
 					if hasTarget && m == target {
-						return true
+						return true, nil
 					}
 				}
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // clear resets the scratch by replaying the last run's results.
@@ -229,31 +246,53 @@ func (sc *closureScratch) clear() {
 // From returns the nodes reachable from start via the path, as a sorted
 // ID slice.
 func (pa *Path) From(start rdf.ID) []rdf.ID {
-	return pa.endpointEval(start, false)
+	out, _ := pa.FromCtx(nil, start)
+	return out
+}
+
+// FromCtx is From with a cancellation probe: check (may be nil) is
+// polled periodically from the search's inner loops, and its error
+// aborts the evaluation (the partial result is discarded).
+func (pa *Path) FromCtx(check Check, start rdf.ID) ([]rdf.ID, error) {
+	return pa.endpointEval(check, start, false)
 }
 
 // To returns the nodes from which the path reaches end (the reverse
 // image), as a sorted ID slice. Object-bound patterns evaluate this way
 // instead of enumerating all pairs and filtering.
 func (pa *Path) To(end rdf.ID) []rdf.ID {
-	return pa.endpointEval(end, true)
+	out, _ := pa.ToCtx(nil, end)
+	return out
 }
 
-func (pa *Path) endpointEval(start rdf.ID, reverse bool) []rdf.ID {
+// ToCtx is To with a cancellation probe (see FromCtx).
+func (pa *Path) ToCtx(check Check, end rdf.ID) ([]rdf.ID, error) {
+	return pa.endpointEval(check, end, true)
+}
+
+func (pa *Path) endpointEval(check Check, start rdf.ID, reverse bool) ([]rdf.ID, error) {
+	chk := &ticker{check: check}
 	var out []rdf.ID
 	if pa.closure {
 		sc := pa.getScratch()
-		pa.closureRun(sc, start, reverse, 0, false)
+		_, err := pa.closureRun(chk, sc, start, reverse, 0, false)
+		if err != nil {
+			pa.putScratch(sc)
+			return nil, err
+		}
 		out = append(out, sc.out...)
 		pa.putScratch(sc)
 	} else {
 		r := pa.getRunner(reverse)
-		r.run(start, 0, false)
+		if _, err := r.run(chk, start, 0, false); err != nil {
+			pa.putRunner(reverse, r)
+			return nil, err
+		}
 		out = append(out, r.out...)
 		pa.putRunner(reverse, r)
 	}
 	sortIDs(out)
-	return out
+	return out, nil
 }
 
 // Holds reports whether the path connects s to o. The search runs from
@@ -261,6 +300,13 @@ func (pa *Path) endpointEval(start rdf.ID, reverse bool) []rdf.ID {
 // s or backward from o over the reversed automaton — and stops the
 // moment the target is reached.
 func (pa *Path) Holds(s, o rdf.ID) bool {
+	found, _ := pa.HoldsCtx(nil, s, o)
+	return found
+}
+
+// HoldsCtx is Holds with a cancellation probe (see FromCtx).
+func (pa *Path) HoldsCtx(check Check, s, o rdf.ID) (bool, error) {
+	chk := &ticker{check: check}
 	reverse := pa.dirCost(o, true) < pa.dirCost(s, false)
 	start, target := s, o
 	if reverse {
@@ -268,14 +314,14 @@ func (pa *Path) Holds(s, o rdf.ID) bool {
 	}
 	if pa.closure {
 		sc := pa.getScratch()
-		found := pa.closureRun(sc, start, reverse, target, true)
+		found, err := pa.closureRun(chk, sc, start, reverse, target, true)
 		pa.putScratch(sc)
-		return found
+		return found, err
 	}
 	r := pa.getRunner(reverse)
-	found := r.run(start, target, true)
+	found, err := r.run(chk, start, target, true)
 	pa.putRunner(reverse, r)
-	return found
+	return found, err
 }
 
 // Direction reports the end Holds would search from for the given
@@ -349,12 +395,15 @@ type adjacency struct {
 }
 
 // closureAdjacency merges the closure atoms into one forward adjacency.
-func (pa *Path) closureAdjacency() *adjacency {
+func (pa *Path) closureAdjacency(chk *ticker) (*adjacency, error) {
 	sn := pa.sn
 	nTerms := sn.NumTerms()
 	ad := &adjacency{off: make([]uint32, nTerms+1)}
 	for _, at := range pa.atoms {
 		for _, t := range sn.ScanPredicate(at.pid) {
+			if err := chk.tick(); err != nil {
+				return nil, err
+			}
 			src := t.S
 			if at.inv {
 				src = t.O
@@ -369,6 +418,9 @@ func (pa *Path) closureAdjacency() *adjacency {
 	fill := append([]uint32(nil), ad.off...)
 	for _, at := range pa.atoms {
 		for _, t := range sn.ScanPredicate(at.pid) {
+			if err := chk.tick(); err != nil {
+				return nil, err
+			}
 			src, dst := t.S, t.O
 			if at.inv {
 				src, dst = dst, src
@@ -377,7 +429,7 @@ func (pa *Path) closureAdjacency() *adjacency {
 			fill[src]++
 		}
 	}
-	return ad
+	return ad, nil
 }
 
 // closureSweep runs the fast-path closure from start over the
@@ -385,7 +437,7 @@ func (pa *Path) closureAdjacency() *adjacency {
 // return; the returned word range [lo, hi] bounds where they live, so
 // the caller can extract (already sorted) and clear in one pass over
 // only the touched words.
-func (pa *Path) closureSweep(ad *adjacency, sc *closureScratch, start rdf.ID) (lo, hi int) {
+func (pa *Path) closureSweep(chk *ticker, ad *adjacency, sc *closureScratch, start rdf.ID) (lo, hi int, err error) {
 	lo, hi = len(sc.visited), -1
 	mark := func(m rdf.ID) bool {
 		if !sc.visited.Set(m) {
@@ -407,12 +459,15 @@ func (pa *Path) closureSweep(ad *adjacency, sc *closureScratch, start rdf.ID) (l
 		n := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
 		for _, m := range ad.dst[ad.off[n]:ad.off[n+1]] {
+			if err := chk.tick(); err != nil {
+				return lo, hi, err
+			}
 			if mark(m) {
 				sc.stack = append(sc.stack, m)
 			}
 		}
 	}
-	return lo, hi
+	return lo, hi, nil
 }
 
 // tarjanSCC computes the strongly connected components of the
@@ -421,7 +476,7 @@ func (pa *Path) closureSweep(ad *adjacency, sc *closureScratch, start rdf.ID) (l
 // topological order: every component a node can step into has a
 // smaller ID than its own, so a single pass over IDs 0..C-1 sees
 // successors before predecessors.
-func tarjanSCC(ad *adjacency, n int) (comp []int32, members [][]rdf.ID) {
+func tarjanSCC(chk *ticker, ad *adjacency, n int) (comp []int32, members [][]rdf.ID, err error) {
 	comp = make([]int32, n)
 	for i := range comp {
 		comp[i] = -1
@@ -446,6 +501,9 @@ func tarjanSCC(ad *adjacency, n int) (comp []int32, members [][]rdf.ID) {
 		onStack[root] = true
 		cs = append(cs[:0], frame{rdf.ID(root), ad.off[root]})
 		for len(cs) > 0 {
+			if err := chk.tick(); err != nil {
+				return nil, nil, err
+			}
 			f := &cs[len(cs)-1]
 			if f.ei < ad.off[f.v+1] {
 				w := ad.dst[f.ei]
@@ -485,7 +543,7 @@ func tarjanSCC(ad *adjacency, n int) (comp []int32, members [][]rdf.ID) {
 			}
 		}
 	}
-	return comp, members
+	return comp, members, nil
 }
 
 // closurePairsAll enumerates every closure pair via SCC condensation:
@@ -494,11 +552,17 @@ func tarjanSCC(ad *adjacency, n int) (comp []int32, members [][]rdf.ID) {
 // first — guaranteed by Tarjan's reverse-topological numbering) and
 // every member source emits it verbatim. Memory is bounded by the
 // output: each stored list is emitted at least once per member.
-func (pa *Path) closurePairsAll() [][2]rdf.ID {
+func (pa *Path) closurePairsAll(chk *ticker) ([][2]rdf.ID, error) {
 	sn := pa.sn
 	nTerms := sn.NumTerms()
-	ad := pa.closureAdjacency()
-	comp, members := tarjanSCC(ad, nTerms)
+	ad, err := pa.closureAdjacency(chk)
+	if err != nil {
+		return nil, err
+	}
+	comp, members, err := tarjanSCC(chk, ad, nTerms)
+	if err != nil {
+		return nil, err
+	}
 	closed := make([][]rdf.ID, len(members))
 	scratch := rdf.NewBitset(nTerms)
 	for c := 0; c < len(members); c++ {
@@ -513,8 +577,14 @@ func (pa *Path) closurePairsAll() [][2]rdf.ID {
 		}
 		for _, m := range members[c] {
 			for _, w := range ad.dst[ad.off[m]:ad.off[m+1]] {
+				if err := chk.tick(); err != nil {
+					return nil, err
+				}
 				if wc := comp[w]; int(wc) != c {
 					for _, x := range closed[wc] {
+						if err := chk.tick(); err != nil {
+							return nil, err
+						}
 						add(x)
 					}
 				}
@@ -559,10 +629,13 @@ func (pa *Path) closurePairsAll() [][2]rdf.ID {
 			reach = acc
 		}
 		for _, o := range reach {
+			if err := chk.tick(); err != nil {
+				return nil, err
+			}
 			out = append(out, [2]rdf.ID{s, o})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Loops returns the sorted nodes the path connects to themselves — the
@@ -572,6 +645,14 @@ func (pa *Path) closurePairsAll() [][2]rdf.ID {
 // goal-directed search per candidate over shared scratch. Either way
 // the cost is one pass, not one allocation per node.
 func (pa *Path) Loops() []rdf.ID {
+	out, _ := pa.LoopsCtx(nil)
+	return out
+}
+
+// LoopsCtx is Loops with a cancellation probe: check (may be nil) is
+// polled every ~1k expansion steps, and its error aborts the sweep.
+func (pa *Path) LoopsCtx(check Check) ([]rdf.ID, error) {
+	chk := &ticker{check: check}
 	sn := pa.sn
 	nTerms := sn.NumTerms()
 	var out []rdf.ID
@@ -580,10 +661,20 @@ func (pa *Path) Loops() []rdf.ID {
 		var members [][]rdf.ID
 		var ad *adjacency
 		if !pa.reflexive {
-			ad = pa.closureAdjacency()
-			comp, members = tarjanSCC(ad, nTerms)
+			var err error
+			ad, err = pa.closureAdjacency(chk)
+			if err != nil {
+				return nil, err
+			}
+			comp, members, err = tarjanSCC(chk, ad, nTerms)
+			if err != nil {
+				return nil, err
+			}
 		}
 		for s := rdf.ID(0); int(s) < nTerms; s++ {
+			if err := chk.tick(); err != nil {
+				return nil, err
+			}
 			if sn.SubjectDegree(s) == 0 && sn.ObjectDegree(s) == 0 {
 				continue
 			}
@@ -602,7 +693,7 @@ func (pa *Path) Loops() []rdf.ID {
 				}
 			}
 		}
-		return out
+		return out, nil
 	}
 	r := newRunner(pa, pa.fwd)
 	for s := rdf.ID(0); int(s) < nTerms; s++ {
@@ -610,11 +701,15 @@ func (pa *Path) Loops() []rdf.ID {
 			continue
 		}
 		r.reset()
-		if r.run(s, s, true) {
+		found, err := r.run(chk, s, s, true)
+		if err != nil {
+			return nil, err
+		}
+		if found {
 			out = append(out, s)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Pairs enumerates the (subject, object) pairs connected by the path,
@@ -627,9 +722,17 @@ func (pa *Path) Loops() []rdf.ID {
 // shared by all members. Pairs are ordered by subject ID, then object
 // ID.
 func (pa *Path) Pairs(limit int) [][2]rdf.ID {
+	out, _ := pa.PairsCtx(nil, limit)
+	return out
+}
+
+// PairsCtx is Pairs with a cancellation probe: check (may be nil) is
+// polled every ~1k expansion steps, and its error aborts the sweep.
+func (pa *Path) PairsCtx(check Check, limit int) ([][2]rdf.ID, error) {
+	chk := &ticker{check: check}
 	sn := pa.sn
 	if pa.closure && limit <= 0 {
-		return pa.closurePairsAll()
+		return pa.closurePairsAll(chk)
 	}
 	var out [][2]rdf.ID
 	var sc *closureScratch
@@ -637,7 +740,11 @@ func (pa *Path) Pairs(limit int) [][2]rdf.ID {
 	var r *runner
 	if pa.closure {
 		sc = &closureScratch{visited: sn.NewBitset()}
-		ad = pa.closureAdjacency()
+		var err error
+		ad, err = pa.closureAdjacency(chk)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		r = newRunner(pa, pa.fwd)
 	}
@@ -650,7 +757,10 @@ func (pa *Path) Pairs(limit int) [][2]rdf.ID {
 		if pa.closure {
 			// Extract pairs straight off the visited bitset — ascending
 			// by construction — clearing each word as it is consumed.
-			lo, hi := pa.closureSweep(ad, sc, s)
+			lo, hi, err := pa.closureSweep(chk, ad, sc, s)
+			if err != nil {
+				return nil, err
+			}
 			for w := lo; w <= hi; w++ {
 				word := sc.visited[w]
 				sc.visited[w] = 0
@@ -663,22 +773,24 @@ func (pa *Path) Pairs(limit int) [][2]rdf.ID {
 						for ; w <= hi; w++ {
 							sc.visited[w] = 0
 						}
-						return out
+						return out, nil
 					}
 				}
 			}
 			continue
 		}
 		r.reset()
-		r.run(s, 0, false)
+		if _, err := r.run(chk, s, 0, false); err != nil {
+			return nil, err
+		}
 		sorted = append(sorted[:0], r.out...)
 		sortIDs(sorted)
 		for _, o := range sorted {
 			out = append(out, [2]rdf.ID{s, o})
 			if limit > 0 && len(out) >= limit {
-				return out
+				return out, nil
 			}
 		}
 	}
-	return out
+	return out, nil
 }

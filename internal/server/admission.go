@@ -1,0 +1,77 @@
+// Package server implements a SPARQL 1.1 Protocol endpoint over the
+// service layer's single-query executor: HTTP handlers for GET/POST
+// query requests with content-negotiated result serialization,
+// admission control in front of a bounded worker capacity, per-request
+// deadlines threaded into evaluation, and — the paper's loop closed —
+// every served request fed through core's analysis pipeline so the
+// endpoint reports live Table-1/Table-5-style statistics of its own
+// workload next to Prometheus-style serving metrics.
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when the server is at
+// capacity and the wait queue is full: the request is rejected without
+// queueing (503 with Retry-After).
+var ErrOverloaded = errors.New("server: overloaded")
+
+// Gate is the admission controller: at most maxInFlight requests
+// evaluate concurrently, at most queueDepth more wait for a slot, and
+// everything beyond that is rejected immediately. Two channel
+// semaphores implement it: tickets bounds the total admitted
+// population (in-flight + queued) without blocking, slots bounds
+// actual execution with blocking.
+type Gate struct {
+	tickets chan struct{}
+	slots   chan struct{}
+}
+
+// NewGate returns a gate admitting maxInFlight concurrent executions
+// with a wait queue of queueDepth (values < 1 and < 0 are normalized
+// to 1 and 0).
+func NewGate(maxInFlight, queueDepth int) *Gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Gate{
+		tickets: make(chan struct{}, maxInFlight+queueDepth),
+		slots:   make(chan struct{}, maxInFlight),
+	}
+}
+
+// Acquire admits the request or fails: ErrOverloaded when in-flight
+// plus queued requests already fill the gate, or the context's error
+// when the client goes away while queued. On nil error the caller owns
+// a slot and must Release it.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.tickets <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-g.tickets
+		return ctx.Err()
+	}
+}
+
+// Release frees the slot and ticket acquired by a successful Acquire.
+func (g *Gate) Release() {
+	<-g.slots
+	<-g.tickets
+}
+
+// InFlight returns the number of requests currently executing.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Waiting returns the number of admitted requests waiting for a slot.
+func (g *Gate) Waiting() int { return len(g.tickets) - len(g.slots) }

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders Prometheus-style text metrics of the serving
+// path: query counters, latency quantiles over the recent window,
+// cache hit counters, admission state, and the self-analysis corpus
+// counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.live.Snapshot()
+	rep := s.an.Report()
+
+	var sb strings.Builder
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	counter("sparqld_queries_served_total", "Completed query evaluations (successes, errors and timeouts).", snap.Served)
+	counter("sparqld_query_errors_total", "Evaluations that failed with a non-timeout error.", snap.Errors)
+	counter("sparqld_query_timeouts_total", "Evaluations cut by the per-request deadline or client disconnect.", snap.Timeouts)
+	counter("sparqld_queries_rejected_total", "Requests rejected by admission control (503).", snap.Rejected)
+	counter("sparqld_service_recoveries_total", "Silent SERVICE recoveries inside served answers.", snap.Recoveries)
+	gauge("sparqld_qps", "Lifetime completed queries per second.", fmt.Sprintf("%.4f", snap.QPS))
+
+	fmt.Fprintf(&sb, "# HELP sparqld_latency_seconds Query latency quantiles over the recent window.\n")
+	fmt.Fprintf(&sb, "# TYPE sparqld_latency_seconds summary\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{
+		{"0.5", snap.Stats.P50.Seconds()},
+		{"0.95", snap.Stats.P95.Seconds()},
+		{"0.99", snap.Stats.P99.Seconds()},
+	} {
+		fmt.Fprintf(&sb, "sparqld_latency_seconds{quantile=%q} %.6f\n", q.label, q.v)
+	}
+
+	counter("sparqld_plan_cache_hits_total", "Shared plan cache hits.", s.plans.Hits())
+	counter("sparqld_plan_cache_misses_total", "Shared plan cache misses.", s.plans.Misses())
+	counter("sparqld_path_cache_hits_total", "Shared compiled-path cache hits.", s.paths.Hits())
+	counter("sparqld_path_cache_misses_total", "Shared compiled-path cache misses.", s.paths.Misses())
+	gauge("sparqld_inflight_queries", "Queries currently evaluating.", s.gate.InFlight())
+	gauge("sparqld_queued_queries", "Admitted queries waiting for an evaluation slot.", s.gate.Waiting())
+
+	counter("sparqld_log_entries_total", "Entries fed to the self-analysis stream.", s.an.Entries())
+	counter("sparqld_log_valid_total", "Self-analysis: parseable queries (Table 1 Valid).", rep.Valid)
+	counter("sparqld_log_unique_total", "Self-analysis: unique queries (Table 1 Unique).", rep.Unique)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(sb.String()))
+}

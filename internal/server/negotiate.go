@@ -1,0 +1,104 @@
+package server
+
+import "strings"
+
+// SPARQL 1.1 Query Results media types the endpoint can produce.
+const (
+	ctJSON = "application/sparql-results+json"
+	ctXML  = "application/sparql-results+xml"
+	ctCSV  = "text/csv"
+	ctTSV  = "text/tab-separated-values"
+)
+
+// negotiate picks the result media type for an Accept header value,
+// ok=false when the client accepts none of the supported types (406).
+// An absent or wildcard Accept falls back to the JSON results format,
+// the primary serialization of the protocol spec.
+func negotiate(accept string) (string, bool) {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return ctJSON, true
+	}
+	type choice struct {
+		ct string
+		q  float64
+		// ord keeps header order as the tiebreak among equal q values.
+		ord int
+	}
+	var best *choice
+	consider := func(c choice) {
+		if best == nil || c.q > best.q || (c.q == best.q && c.ord < best.ord) {
+			best = &c
+		}
+	}
+	for ord, part := range strings.Split(accept, ",") {
+		mt, q := parseAcceptPart(part)
+		if q <= 0 {
+			continue
+		}
+		switch mt {
+		case ctJSON, "application/json":
+			consider(choice{ctJSON, q, ord})
+		case ctXML, "application/xml", "text/xml":
+			consider(choice{ctXML, q, ord})
+		case ctCSV:
+			consider(choice{ctCSV, q, ord})
+		case ctTSV:
+			consider(choice{ctTSV, q, ord})
+		case "*/*":
+			consider(choice{ctJSON, q - 0.0001, ord})
+		case "application/*":
+			consider(choice{ctJSON, q - 0.0001, ord})
+		case "text/*":
+			consider(choice{ctCSV, q - 0.0001, ord})
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.ct, true
+}
+
+// parseAcceptPart splits one Accept list element into its media type
+// and q value (default 1).
+func parseAcceptPart(part string) (string, float64) {
+	fields := strings.Split(part, ";")
+	mt := strings.ToLower(strings.TrimSpace(fields[0]))
+	q := 1.0
+	for _, p := range fields[1:] {
+		p = strings.TrimSpace(p)
+		if v, ok := strings.CutPrefix(p, "q="); ok {
+			q = parseQ(v)
+		}
+	}
+	return mt, q
+}
+
+// parseQ parses a q value leniently; malformed values read as 0 so the
+// element is ignored rather than failing the whole header.
+func parseQ(s string) float64 {
+	var v float64
+	var seen, frac bool
+	scale := 0.1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			seen = true
+			if frac {
+				v += float64(c-'0') * scale
+				scale /= 10
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		case c == '.' && !frac:
+			frac = true
+		default:
+			return 0
+		}
+	}
+	if !seen || v > 1 {
+		return 0
+	}
+	return v
+}

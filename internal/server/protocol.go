@@ -1,0 +1,71 @@
+package server
+
+import (
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+)
+
+// httpError is a protocol-level rejection: status plus a text/plain
+// body line.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// readQuery extracts the SPARQL query string from a request per the
+// SPARQL 1.1 Protocol: GET with a query parameter, POST with
+// URL-encoded parameters, or POST with an application/sparql-query
+// body. maxBytes bounds the accepted query size (413 beyond it).
+func readQuery(r *http.Request, maxBytes int64) (string, *httpError) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", &httpError{http.StatusBadRequest, "missing required parameter: query"}
+		}
+		if int64(len(q)) > maxBytes {
+			return "", &httpError{http.StatusRequestEntityTooLarge, "query too large"}
+		}
+		return q, nil
+	case http.MethodPost:
+		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if err != nil && r.Header.Get("Content-Type") != "" {
+			return "", &httpError{http.StatusUnsupportedMediaType, "malformed Content-Type"}
+		}
+		switch ct {
+		case "application/x-www-form-urlencoded", "":
+			r.Body = http.MaxBytesReader(nil, r.Body, maxBytes)
+			if err := r.ParseForm(); err != nil {
+				if strings.Contains(err.Error(), "request body too large") {
+					return "", &httpError{http.StatusRequestEntityTooLarge, "query too large"}
+				}
+				return "", &httpError{http.StatusBadRequest, "malformed form body"}
+			}
+			q := r.PostForm.Get("query")
+			if q == "" {
+				return "", &httpError{http.StatusBadRequest, "missing required parameter: query"}
+			}
+			return q, nil
+		case "application/sparql-query":
+			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBytes))
+			if err != nil {
+				if strings.Contains(err.Error(), "request body too large") {
+					return "", &httpError{http.StatusRequestEntityTooLarge, "query too large"}
+				}
+				return "", &httpError{http.StatusBadRequest, "unreadable request body"}
+			}
+			q := strings.TrimSpace(string(body))
+			if q == "" {
+				return "", &httpError{http.StatusBadRequest, "empty query body"}
+			}
+			return q, nil
+		default:
+			return "", &httpError{http.StatusUnsupportedMediaType,
+				"unsupported Content-Type: use application/x-www-form-urlencoded or application/sparql-query"}
+		}
+	default:
+		return "", &httpError{http.StatusMethodNotAllowed, "use GET or POST"}
+	}
+}

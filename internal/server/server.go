@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"sparqlog/internal/core"
+	"sparqlog/internal/eval"
+	"sparqlog/internal/pathcomp"
+	"sparqlog/internal/plan"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/service"
+	"sparqlog/internal/sparql"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Snapshot is the served dataset (required).
+	Snapshot *rdf.Snapshot
+	// Timeout is the per-request evaluation deadline; 0 means only
+	// client disconnection bounds a query.
+	Timeout time.Duration
+	// MaxInFlight bounds concurrent evaluations (<= 0: 2×GOMAXPROCS as
+	// chosen by the caller; the server itself normalizes to 1).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an evaluation slot;
+	// beyond it requests are rejected with 503.
+	QueueDepth int
+	// MaxQueryBytes bounds the accepted query text size; <= 0 means
+	// DefaultMaxQueryBytes.
+	MaxQueryBytes int64
+	// Limits bounds each evaluation (MaxRows etc.).
+	Limits eval.Limits
+	// Analyzer configures the self-analysis pipeline (dedup mode etc.).
+	Analyzer core.Options
+	// LogWriter, when set, receives one Apache-style endpoint log line
+	// per served query request — the paper's input format, so the
+	// server's own log can be fed back through cmd/sparqlog.
+	LogWriter io.Writer
+	// CorpusName labels the self-analysis report; default "sparqld".
+	CorpusName string
+}
+
+// DefaultMaxQueryBytes bounds query text size when Config leaves it 0.
+const DefaultMaxQueryBytes = 1 << 20
+
+// Server is the SPARQL 1.1 Protocol endpoint: an Executor over one
+// snapshot with shared plan/path caches, admission control, live
+// serving statistics, and incremental self-analysis of the query
+// workload. Create with New, expose via Handler.
+type Server struct {
+	ex    *service.Executor
+	plans *plan.Cache
+	paths *pathcomp.Cache
+	gate  *Gate
+	live  *service.Live
+	an    *core.LiveAnalyzer
+
+	maxQueryBytes int64
+	timeout       time.Duration
+
+	logMu sync.Mutex
+	logW  io.Writer
+}
+
+// New returns a server over cfg.Snapshot.
+func New(cfg Config) *Server {
+	plans := plan.NewCache(cfg.Snapshot)
+	paths := pathcomp.NewCache(cfg.Snapshot)
+	name := cfg.CorpusName
+	if name == "" {
+		name = "sparqld"
+	}
+	maxQ := cfg.MaxQueryBytes
+	if maxQ <= 0 {
+		maxQ = DefaultMaxQueryBytes
+	}
+	return &Server{
+		ex: service.NewExecutor(cfg.Snapshot, service.ExecutorOptions{
+			Timeout: cfg.Timeout,
+			Plans:   plans,
+			Paths:   paths,
+			Limits:  cfg.Limits,
+		}),
+		plans:         plans,
+		paths:         paths,
+		gate:          NewGate(cfg.MaxInFlight, cfg.QueueDepth),
+		live:          service.NewLive(0),
+		an:            core.NewLiveAnalyzer(name, cfg.Analyzer, 0),
+		maxQueryBytes: maxQ,
+		timeout:       cfg.Timeout,
+		logW:          cfg.LogWriter,
+	}
+}
+
+// Handler returns the endpoint's HTTP handler:
+//
+//	/query    SPARQL 1.1 Protocol query operation (GET and POST)
+//	/stats    live self-analysis statistics (paper-style tables)
+//	/metrics  Prometheus-style text serving metrics
+//	/healthz  liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/sparql", s.handleQuery) // conventional alias
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Analyzer exposes the live self-analysis feed (tests and embedders).
+func (s *Server) Analyzer() *core.LiveAnalyzer { return s.an }
+
+// Live exposes the serving-statistics collector.
+func (s *Server) Live() *service.Live { return s.live }
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	raw, herr := readQuery(r, s.maxQueryBytes)
+	if herr != nil {
+		plainError(w, herr.status, herr.msg)
+		return
+	}
+	// Negotiate before spending execution capacity: a request nobody
+	// can read the answer of is rejected up front (406).
+	ct, ok := negotiate(r.Header.Get("Accept"))
+	if !ok {
+		plainError(w, http.StatusNotAcceptable,
+			"no acceptable result format; supported: "+ctJSON+", "+ctXML+", "+ctCSV+", "+ctTSV)
+		return
+	}
+
+	// Every request with query text enters the endpoint log and the
+	// self-analysis stream — before validation, because the paper's
+	// Table 1 distinguishes Total (all logged queries) from Valid
+	// (parseable ones), and the analyzer draws that line itself.
+	s.logRequest(r, raw)
+	s.an.Add(raw)
+
+	q, err := sparql.Parse(raw)
+	if err != nil {
+		plainError(w, http.StatusBadRequest, "malformed query: "+err.Error())
+		return
+	}
+
+	if err := s.gate.Acquire(r.Context()); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.live.Reject()
+			w.Header().Set("Retry-After", "1")
+			plainError(w, http.StatusServiceUnavailable, "server overloaded, retry later")
+		} else {
+			// Client went away while queued.
+			s.live.Reject()
+			plainError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		}
+		return
+	}
+	res, out := s.ex.Execute(r.Context(), q)
+	s.gate.Release()
+	s.live.Observe(out)
+
+	if out.Err != nil {
+		if out.TimedOut {
+			plainError(w, http.StatusServiceUnavailable, "query timed out")
+			return
+		}
+		plainError(w, http.StatusInternalServerError, "evaluation failed: "+out.Err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", ct+"; charset=utf-8")
+	if out.Recovered > 0 {
+		// Silent SERVICE recovery happened inside this answer; surface
+		// it to the client without failing the response.
+		w.Header().Set("X-Sparqld-Recovered", fmt.Sprint(out.Recovered))
+	}
+	_ = writeResult(w, ct, res, q.Type == sparql.AskQuery)
+}
+
+// logRequest appends one Apache-style log line for the request. The
+// shape matches core.FormatApache's query= extraction, so the file the
+// server writes is directly analyzable by the cmd/sparqlog pipeline.
+func (s *Server) logRequest(r *http.Request, raw string) {
+	if s.logW == nil {
+		return
+	}
+	line := fmt.Sprintf("%s - - [%s] \"GET /query?query=%s HTTP/1.1\" 200 -\n",
+		remoteHost(r), time.Now().Format("02/Jan/2006:15:04:05 -0700"), url.QueryEscape(raw))
+	s.logMu.Lock()
+	_, _ = io.WriteString(s.logW, line)
+	s.logMu.Unlock()
+}
+
+func remoteHost(r *http.Request) string {
+	if r.RemoteAddr == "" {
+		return "-"
+	}
+	return r.RemoteAddr
+}
+
+func plainError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, msg)
+}
+
+// Shutdown-friendly helper: ListenAndServe wires the handler into an
+// http.Server the caller owns, so cmd/sparqld can drive graceful
+// shutdown.
+func (s *Server) NewHTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+// Serve runs the HTTP server until ctx is cancelled, then drains with
+// a grace period.
+func (s *Server) Serve(ctx context.Context, hs *http.Server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"sparqlog/internal/core"
+	"sparqlog/internal/paths"
+)
+
+// handleStats renders the live self-analysis: serving statistics
+// first, then the paper-style tables (Table 1 sizes, Table 2
+// keywords, Table 4 shapes, Table 5 property paths) computed by
+// core's pipeline over every query this server has served.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rep := s.an.Report()
+	snap := s.live.Snapshot()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sparqld live statistics (corpus %q)\n\n", rep.Name)
+
+	fmt.Fprintf(&sb, "Serving\n")
+	fmt.Fprintf(&sb, "  uptime            %s\n", snap.Uptime.Round(time.Second))
+	fmt.Fprintf(&sb, "  served            %d (errors %d, timeouts %d, rejected %d)\n",
+		snap.Served, snap.Errors, snap.Timeouts, snap.Rejected)
+	fmt.Fprintf(&sb, "  qps               %.2f\n", snap.QPS)
+	fmt.Fprintf(&sb, "  latency           p50 %s  p95 %s  p99 %s  max %s (window %d)\n",
+		snap.Stats.P50, snap.Stats.P95, snap.Stats.P99, snap.Stats.Max, snap.Window)
+	fmt.Fprintf(&sb, "  silent SERVICE recoveries %d\n", snap.Recoveries)
+	fmt.Fprintf(&sb, "  plan cache        %d hits / %d misses\n", s.plans.Hits(), s.plans.Misses())
+	fmt.Fprintf(&sb, "  path cache        %d hits / %d misses\n", s.paths.Hits(), s.paths.Misses())
+	fmt.Fprintf(&sb, "  in flight         %d (+%d queued)\n\n", s.gate.InFlight(), s.gate.Waiting())
+
+	writeWorkloadTables(&sb, rep)
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// writeWorkloadTables renders the paper-style statistics of one
+// DatasetReport — the single-corpus counterpart of the repro package's
+// multi-corpus tables.
+func writeWorkloadTables(sb *strings.Builder, rep *core.DatasetReport) {
+	fmt.Fprintf(sb, "Workload sizes (Table 1 columns)\n")
+	fmt.Fprintf(sb, "  %-14s %12s %12s %12s %12s\n", "Source", "Total #Q", "Valid #Q", "Unique #Q", "Noise")
+	fmt.Fprintf(sb, "  %-14s %12d %12d %12d %12d\n\n",
+		rep.Name, rep.Total, rep.Valid, rep.Unique, rep.NoiseRemoved)
+
+	if len(rep.Keywords) > 0 {
+		fmt.Fprintf(sb, "Keywords (Table 2 columns, of %d unique)\n", rep.Unique)
+		type kv struct {
+			k string
+			n int
+		}
+		var kws []kv
+		for k, n := range rep.Keywords {
+			kws = append(kws, kv{k, n})
+		}
+		sort.Slice(kws, func(i, j int) bool {
+			if kws[i].n != kws[j].n {
+				return kws[i].n > kws[j].n
+			}
+			return kws[i].k < kws[j].k
+		})
+		for _, e := range kws {
+			fmt.Fprintf(sb, "  %-12s %10d %8s\n", e.k, e.n, pct(e.n, rep.Unique))
+		}
+		sb.WriteByte('\n')
+	}
+
+	if rep.SelectAsk > 0 {
+		fmt.Fprintf(sb, "Fragments (Section 5.2, of %d Select/Ask)\n", rep.SelectAsk)
+		fmt.Fprintf(sb, "  CQ %d  CPF %d  CQF %d  CQOF %d  well-designed %d\n\n",
+			rep.CQ, rep.CPF, rep.CQF, rep.CQOF, rep.WellDesigned)
+	}
+	if rep.ShapeCQ.Total > 0 {
+		sc := rep.ShapeCQ
+		fmt.Fprintf(sb, "CQ shapes (Table 4 columns, of %d)\n", sc.Total)
+		fmt.Fprintf(sb, "  single-edge %s  chain %s  star %s  tree %s  forest %s  cycle %s  flower %s\n\n",
+			pct(sc.SingleEdge, sc.Total), pct(sc.Chain, sc.Total), pct(sc.Star, sc.Total),
+			pct(sc.Tree, sc.Total), pct(sc.Forest, sc.Total), pct(sc.Cycle, sc.Total),
+			pct(sc.Flower, sc.Total))
+	}
+	writeTable5(sb, rep.Paths)
+}
+
+// writeTable5 renders the property-path classification.
+func writeTable5(sb *strings.Builder, t5 *paths.Table5) {
+	if t5 == nil || t5.Total == 0 {
+		fmt.Fprintf(sb, "Property paths (Table 5): none observed\n")
+		return
+	}
+	fmt.Fprintf(sb, "Property paths (Table 5 rows, of %d classified)\n", t5.Total)
+	type row struct {
+		t paths.ExprType
+		n int
+	}
+	var rows []row
+	for t, n := range t5.Counts {
+		rows = append(rows, row{t, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].t < rows[j].t
+	})
+	for _, e := range rows {
+		krange := ""
+		if lo, ok := t5.MinK[e.t]; ok {
+			hi := t5.MaxK[e.t]
+			if hi > lo {
+				krange = fmt.Sprintf("  k=%d..%d", lo, hi)
+			} else if lo > 0 {
+				krange = fmt.Sprintf("  k=%d", lo)
+			}
+		}
+		fmt.Fprintf(sb, "  %-24s %8d %8s%s\n", e.t, e.n, pct(e.n, t5.Total), krange)
+	}
+	if t5.NonCtract > 0 || t5.TrivialNeg > 0 || t5.TrivialInv > 0 {
+		fmt.Fprintf(sb, "  (outside Ctract %d; trivial !a %d, ^a %d)\n",
+			t5.NonCtract, t5.TrivialNeg, t5.TrivialInv)
+	}
+}
+
+// pct renders part/whole as a percentage, repro-style.
+func pct(part, whole int) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(part)/float64(whole))
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Live aggregates per-query outcomes of a running server into the
+// latency statistics the batch reports compute after the fact: lifetime
+// counters plus percentiles over a sliding window of the most recent
+// executed durations. Safe for concurrent use; Observe is cheap (one
+// mutex, no allocation past the initial window).
+type Live struct {
+	mu sync.Mutex
+	// window is a ring of the most recent executed-query durations;
+	// undispatched/rejected work never enters it, so percentiles keep
+	// describing what actually ran (the RunQueries sampling rule).
+	window []time.Duration
+	size   int
+	next   int
+	filled bool
+
+	start      time.Time
+	served     int64 // completed evaluations, successful or not
+	errored    int64 // evaluations that returned a non-timeout error
+	timeouts   int64 // evaluations cut by deadline or cancellation
+	rejected   int64 // admission rejections (never evaluated)
+	recoveries int64 // silent SERVICE recoveries inside served queries
+}
+
+// DefaultLiveWindow is the percentile window when NewLive gets size 0.
+const DefaultLiveWindow = 4096
+
+// NewLive returns a collector with the given percentile window size.
+func NewLive(size int) *Live {
+	if size <= 0 {
+		size = DefaultLiveWindow
+	}
+	return &Live{window: make([]time.Duration, size), size: size, start: time.Now()}
+}
+
+// Observe records one executed query's outcome.
+func (l *Live) Observe(o QueryOutcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.served++
+	if o.TimedOut {
+		l.timeouts++
+	} else if o.Err != nil {
+		l.errored++
+	}
+	l.recoveries += int64(o.Recovered)
+	if o.TimedOut && o.Duration == 0 {
+		// Never dispatched: no latency sample (the percentile fix
+		// RunQueries applies).
+		return
+	}
+	l.window[l.next] = o.Duration
+	l.next++
+	if l.next == l.size {
+		l.next, l.filled = 0, true
+	}
+}
+
+// Reject records one admission rejection (503, never evaluated).
+func (l *Live) Reject() {
+	l.mu.Lock()
+	l.rejected++
+	l.mu.Unlock()
+}
+
+// LiveSnapshot is a point-in-time view of the collector.
+type LiveSnapshot struct {
+	// Served counts completed evaluations (successes, errors and
+	// timeouts); Rejected counts admission rejections on top.
+	Served     int64
+	Errors     int64
+	Timeouts   int64
+	Rejected   int64
+	Recoveries int64
+	// Uptime is the time since the collector was created.
+	Uptime time.Duration
+	// QPS is lifetime completed queries per second of uptime.
+	QPS float64
+	// Stats holds percentiles over the recent-duration window (QPS
+	// inside it mirrors the lifetime figure). Zero when nothing has
+	// executed yet.
+	Stats LatencyStats
+	// Window is the number of samples the percentiles cover.
+	Window int
+}
+
+// Snapshot computes the current statistics.
+func (l *Live) Snapshot() LiveSnapshot {
+	l.mu.Lock()
+	n := l.next
+	if l.filled {
+		n = l.size
+	}
+	durs := append([]time.Duration(nil), l.window[:n]...)
+	s := LiveSnapshot{
+		Served:     l.served,
+		Errors:     l.errored,
+		Timeouts:   l.timeouts,
+		Rejected:   l.rejected,
+		Recoveries: l.recoveries,
+		Uptime:     time.Since(l.start),
+	}
+	l.mu.Unlock()
+
+	s.Window = len(durs)
+	s.Stats = Percentiles(durs)
+	if s.Uptime > 0 {
+		s.QPS = float64(s.Served) / s.Uptime.Seconds()
+		s.Stats.QPS = s.QPS
+	}
+	return s
+}

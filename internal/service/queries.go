@@ -49,6 +49,10 @@ type QueryOutcome struct {
 	// TimedOut marks deadline or cancellation.
 	TimedOut bool
 	Duration time.Duration
+	// Recovered counts silent SERVICE recoveries inside the query (see
+	// eval.Result.Recovered): nonzero means part of the answer came
+	// from no-op federation rather than an evaluated SERVICE body.
+	Recovered int
 }
 
 // QueryReport is the outcome of one SPARQL workload run.
@@ -140,6 +144,14 @@ dispatch:
 		if o.TimedOut {
 			rep.Timeouts++
 		}
+		if o.TimedOut && o.Duration == 0 {
+			// Undispatched or pre-start cancellation: the query never
+			// ran, so a zero-duration sample would drag the percentiles
+			// toward zero exactly when the pool is overloaded. Queries
+			// that hit their own deadline carry the full budget
+			// (Figure 3) and stay in the sample.
+			continue
+		}
 		durs = append(durs, o.Duration)
 	}
 	rep.Stats = Percentiles(durs)
@@ -161,6 +173,14 @@ dispatch:
 // normalizing timed-out durations to the full budget (the Figure 3
 // convention Run also uses).
 func runOneQuery(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eval.Limits, timeout time.Duration) QueryOutcome {
+	_, out := executeOne(ctx, sn, q, lim, timeout)
+	return out
+}
+
+// executeOne is runOneQuery keeping the full result: the single-query
+// entry the serving layer (Executor.Execute) uses to serialize rows,
+// with the same deadline and duration conventions as the batch pool.
+func executeOne(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eval.Limits, timeout time.Duration) (*eval.Result, QueryOutcome) {
 	qctx := ctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -174,7 +194,7 @@ func runOneQuery(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eva
 			// budget, the Figure 3 convention.
 			out.Duration = timeout
 		}
-		return out
+		return nil, out
 	}
 	start := time.Now()
 	res, err := eval.QueryContext(qctx, sn, q, lim)
@@ -186,12 +206,13 @@ func runOneQuery(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eva
 				out.Duration = timeout
 			}
 		}
-		return out
+		return nil, out
 	}
 	out.Rows = len(res.Rows)
 	out.Bool = res.Bool
+	out.Recovered = res.Recovered
 	if q.Type == sparql.AskQuery && res.Bool {
 		out.Rows = 1
 	}
-	return out
+	return res, out
 }

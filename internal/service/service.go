@@ -136,6 +136,14 @@ dispatch:
 		if res.TimedOut {
 			rep.Timeouts++
 		}
+		if res.TimedOut && res.Duration == 0 {
+			// Undispatched or pre-start cancellation: the query never
+			// ran, so a zero-duration sample would drag the percentiles
+			// toward zero exactly when the pool is overloaded. Queries
+			// that hit their own deadline carry the full budget
+			// (Figure 3) and stay in the sample.
+			continue
+		}
 		durs = append(durs, res.Duration)
 	}
 	rep.Stats = Percentiles(durs)
