@@ -61,6 +61,14 @@ func ClassifyFragments(q *sparql.Query) Fragments {
 	return f
 }
 
+// WellDesigned reports whether an AOF pattern is well-designed
+// (Definition 5.3), checked on the binary And/Opt fold of the pattern.
+// The verdict is only meaningful for AOF patterns (triples, And, Opt,
+// Filter); callers should gate on ClassifyFragments(...).AOF first.
+func WellDesigned(p sparql.Pattern) bool {
+	return wellDesigned(foldBinary(p))
+}
+
 // bodyFeatures summarizes the feature scan used by the fragment tests.
 type bodyFeatures struct {
 	opt              bool

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"sparqlog/internal/analysis"
+	"sparqlog/internal/lint"
 	"sparqlog/internal/paths"
 	"sparqlog/internal/shapes"
 	"sparqlog/internal/sparql"
@@ -147,6 +148,14 @@ type DatasetReport struct {
 
 	// Property paths (Section 7 / Table 5).
 	Paths *paths.Table5
+
+	// Static-analysis results (Options.Lint): diagnostic occurrences
+	// and queries-with-at-least-one per lint code, plus the number of
+	// queries whose WHERE clause is provably empty. Nil maps when the
+	// linter is off.
+	Lint        map[string]int
+	LintQueries map[string]int
+	LintEmpty   int
 }
 
 // Options configures the pipeline.
@@ -162,6 +171,10 @@ type Options struct {
 	// SkipShapes disables the (comparatively expensive) shape and width
 	// analyses; Table 1-3 statistics are still computed.
 	SkipShapes bool
+	// Lint runs the internal/lint pass suite over every analyzed query
+	// and aggregates per-code counts into DatasetReport.Lint. Off by
+	// default: the corpus benchmarks gate on the paper pipeline alone.
+	Lint bool
 }
 
 // looksLikeQuery is the cleaning test of Section 2: entries with no
@@ -237,6 +250,9 @@ func AnalyzeQueries(name string, qs []*sparql.Query, opts Options) *DatasetRepor
 func (rep *DatasetReport) analyzeQuery(q *sparql.Query, opts Options) {
 	if !q.HasBody() {
 		rep.Bodyless++
+	}
+	if opts.Lint {
+		rep.lintQuery(q)
 	}
 	k := analysis.QueryKeywords(q)
 	rep.addKeywords(k)
@@ -348,6 +364,28 @@ func (rep *DatasetReport) analyzeQuery(q *sparql.Query, opts Options) {
 	}
 }
 
+// lintQuery runs the static-analysis pass suite on one query and folds
+// the findings into the per-code aggregates. Runs for every analyzed
+// query, not just the Select/Ask subset the paper statistics scope to.
+func (rep *DatasetReport) lintQuery(q *sparql.Query) {
+	r := lint.Run(q)
+	if len(r.Diagnostics) > 0 {
+		if rep.Lint == nil {
+			rep.Lint = make(map[string]int)
+			rep.LintQueries = make(map[string]int)
+		}
+		for _, d := range r.Diagnostics {
+			rep.Lint[d.Code]++
+		}
+		for _, code := range r.Codes() {
+			rep.LintQueries[code]++
+		}
+	}
+	if r.Empty {
+		rep.LintEmpty++
+	}
+}
+
 func bucket(tc int) int {
 	if tc >= SizeHistBuckets-1 {
 		return SizeHistBuckets - 1
@@ -450,6 +488,19 @@ func (rep *DatasetReport) Merge(o *DatasetReport) {
 		rep.MaxDecompNodes = o.MaxDecompNodes
 	}
 	rep.Paths.Merge(o.Paths)
+	if len(o.Lint) > 0 {
+		if rep.Lint == nil {
+			rep.Lint = make(map[string]int)
+			rep.LintQueries = make(map[string]int)
+		}
+		for k, v := range o.Lint {
+			rep.Lint[k] += v
+		}
+		for k, v := range o.LintQueries {
+			rep.LintQueries[k] += v
+		}
+	}
+	rep.LintEmpty += o.LintEmpty
 }
 
 // NewCorpusReport returns an empty report suitable as a Merge target.

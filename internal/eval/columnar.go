@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sparqlog/internal/exec"
+	"sparqlog/internal/lint"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
@@ -103,12 +104,24 @@ func (ev *evaluator) queryColumnar(q *sparql.Query) (*Result, error) {
 	}
 	ce.ec = exec.NewCtx(ctx)
 	ce.ec.MaxRows = ev.lim.MaxRows
+	// Harvest the probe meter whichever return path is taken; subquery
+	// executions build their own colExec and accumulate the same way.
+	defer func() { ev.probes += ce.ec.Probes }()
 	ce.collectVars(q)
 	width := ce.schema.Len()
 	var root exec.Operator = exec.NewUnit(width)
 	var err error
 	bound := map[string]bool{}
-	if q.Where != nil {
+	switch {
+	case q.Where == nil:
+		// No WHERE: the unit row flows straight to the modifiers.
+	case !ev.lim.NoStatic && lint.EmptyUnder(q, ev.prefixes):
+		// The linter proved the WHERE clause can never produce a row
+		// (unsatisfiable filter, empty VALUES, LIMIT 0 subquery, …):
+		// short-circuit to an empty source without compiling the tree
+		// or touching a single snapshot index (Result.Probes stays 0).
+		root = exec.NewSeed(width)
+	default:
 		root, err = ce.compile(q.Where, root, bound)
 		if err != nil {
 			return nil, err

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"sparqlog/internal/exec"
+	"sparqlog/internal/lint"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
@@ -54,6 +55,12 @@ type Result struct {
 	// the unjoined input. Queries without SERVICE SILENT report zero; a
 	// nonzero count means part of the answer came from no-op federation.
 	Recovered int
+	// Probes counts snapshot index accesses made by the columnar
+	// executor during evaluation (joins and compiled-path lookups,
+	// subqueries included). A statically short-circuited query — one the
+	// linter proved empty before compilation — finishes with zero. The
+	// legacy path does not meter itself and always reports zero.
+	Probes int64
 }
 
 // Limits bounds evaluation.
@@ -82,6 +89,18 @@ type Limits struct {
 	// variables). Only unseeded runs consult it; a BGP whose variables
 	// were pre-bound by earlier operators plans directly.
 	Plans *plan.Cache
+	// NoStatic disables the static-emptiness short circuit: by default
+	// a WHERE clause the linter proves empty (internal/lint.EmptyUnder)
+	// compiles to an empty source instead of touching the store. Kept
+	// for ablation benchmarks and the probe-count tests.
+	NoStatic bool
+	// CollapseEqualities opts into the SQL007 optimizer rewrite: group
+	// filters of the form FILTER(?x = ?y) whose dropped variable lives
+	// entirely in the group's own triples are substituted away before
+	// planning, turning a filtered enumeration into an indexed join.
+	// Opt-in because "=" is value equality while substitution enforces
+	// term equality (see internal/lint/rewrite.go for the caveat).
+	CollapseEqualities bool
 }
 
 // DefaultMaxRows bounds intermediate results.
@@ -107,10 +126,16 @@ func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Li
 	if lim.MaxRows <= 0 {
 		lim.MaxRows = DefaultMaxRows
 	}
+	if lim.CollapseEqualities {
+		if rq, ok := lint.CollapseEqualities(q); ok {
+			q = rq
+		}
+	}
 	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim, ctx: ctx}
 	res, err := ev.query(q)
 	if err == nil {
 		res.Recovered = ev.recovered
+		res.Probes = ev.probes
 	}
 	return res, err
 }
@@ -141,6 +166,10 @@ type evaluator struct {
 	// recovered accumulates silent SERVICE recoveries across the whole
 	// evaluation, subqueries included — surfaced as Result.Recovered.
 	recovered int
+	// probes accumulates snapshot index accesses across every columnar
+	// execution of this evaluation (subqueries make their own colExec
+	// and harvest into here) — surfaced as Result.Probes.
+	probes int64
 }
 
 // pathCache returns the compiled-path cache: the caller-shared one from
@@ -307,10 +336,14 @@ func (ev *evaluator) finishDescribe(q *sparql.Query, rows []env) (*Result, error
 		}
 	}
 	res := &Result{Vars: []string{"s", "p", "o"}}
-	for _, t := range ev.st.Triples() {
-		s, p, o := ev.st.TermOf(t.S), ev.st.TermOf(t.P), ev.st.TermOf(t.O)
-		if targets[s] || targets[o] {
-			res.Rows = append(res.Rows, []string{s, p, o})
+	// No targets (e.g. a statically-empty WHERE bound no describe
+	// variables) can match nothing — skip the full store scan.
+	if len(targets) > 0 {
+		for _, t := range ev.st.Triples() {
+			s, p, o := ev.st.TermOf(t.S), ev.st.TermOf(t.P), ev.st.TermOf(t.O)
+			if targets[s] || targets[o] {
+				res.Rows = append(res.Rows, []string{s, p, o})
+			}
 		}
 	}
 	applySlice(q, res)

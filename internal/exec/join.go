@@ -104,6 +104,7 @@ func (j *joinOp) processRow(c *Ctx, in *Batch, row int) error {
 	o, ob := resolve(a.O, in, row)
 	sn := j.sn
 	noslot := [3]int{-1, -1, -1}
+	c.Probes++ // every branch below is exactly one index access
 	switch {
 	case sb && pb && ob:
 		// Repeated-variable agreement is automatic: equal slots

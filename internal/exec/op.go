@@ -25,6 +25,10 @@ type Ctx struct {
 	// operator opts in (the legacy evaluator's intermediate-result
 	// bound); 0 means unlimited.
 	MaxRows int
+	// Probes counts snapshot index accesses made by the operators of
+	// this execution — the "did evaluation touch the store" meter.
+	// Statically short-circuited queries finish with Probes == 0.
+	Probes int64
 }
 
 // NewCtx returns an execution context honoring ctx's deadline and
@@ -174,6 +178,7 @@ func (s *Seed) Next(c *Ctx) (*Batch, error) {
 		s.out.AppendRow(s.src, s.srcRow)
 		return s.emit(), nil
 	}
+	//ctxpoll:ignore bounded replay: pos strictly advances over a materialized batch list
 	for s.pos < len(s.batches) {
 		b := s.batches[s.pos]
 		s.pos++
@@ -537,6 +542,7 @@ func (r *recoverOp) Next(c *Ctx) (*Batch, error) {
 		}
 		r.started = true
 	}
+	//ctxpoll:ignore bounded replay: fpos strictly advances over the materialized fallback
 	for r.fpos < len(r.fallback) {
 		b := r.fallback[r.fpos]
 		r.fpos++

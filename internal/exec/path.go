@@ -110,6 +110,7 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 	// closure and SCC sweeps batch their own probing (~1k steps), so a
 	// cancelled request aborts mid-search instead of after it.
 	check := pathcomp.Check(c.Poll)
+	c.Probes++ // each branch below consults the compiled-path indexes once
 	switch {
 	case sBound && oBound:
 		// A constant or binding outside the store (overflow or absent

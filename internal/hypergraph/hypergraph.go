@@ -206,6 +206,63 @@ func sliceEqual(a, b []int) bool {
 	return true
 }
 
+// EdgeComponents labels every hyperedge with a connected-component
+// index (0-based, in order of first appearance): two edges are
+// connected when they share a vertex, transitively. Isolated vertices
+// contribute no component; with no edges the result is empty.
+func (h *Hypergraph) EdgeComponents() []int {
+	labels := make([]int, len(h.edges))
+	for i := range labels {
+		labels[i] = -1
+	}
+	// Union-find over vertices, then edges inherit their root.
+	parent := make(map[int]int)
+	var find func(v int) int
+	find = func(v int) int {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	for _, e := range h.edges {
+		for _, v := range e[1:] {
+			parent[find(v)] = find(e[0])
+		}
+	}
+	next := 0
+	roots := make(map[int]int)
+	for i, e := range h.edges {
+		r := find(e[0])
+		c, ok := roots[r]
+		if !ok {
+			c = next
+			roots[r] = c
+			next++
+		}
+		labels[i] = c
+	}
+	return labels
+}
+
+// Components returns the number of connected components among the
+// hyperedges (see EdgeComponents). A hypergraph whose edges split into
+// two or more components is a cartesian product when read as a join
+// query — the lint pass SQL002 builds on this.
+func (h *Hypergraph) Components() int {
+	labels := h.EdgeComponents()
+	max := -1
+	for _, c := range labels {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
 // Decomposition summarizes a witnessing generalized hypertree
 // decomposition found by GHW.
 type Decomposition struct {

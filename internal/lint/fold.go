@@ -1,0 +1,805 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"sparqlog/internal/sparql"
+)
+
+// This file mirrors the runtime expression semantics of
+// internal/eval/expr.go as an abstract constant folder. Soundness
+// contract: when fold says an expression is Known(v), every row
+// evaluates it to v; errAlways means every row yields an expression
+// error; dropAlways means every row yields an error OR a falsy value
+// (either way a FILTER drops the row). Anything weaker is unknown.
+// If eval's semantics change, this file must change with it — the
+// differential and fuzz tests in internal/eval pin the agreement.
+
+// value duplicates eval's runtime value: untyped text with
+// by-lexical-form numeric interpretation, booleans from comparisons.
+type value struct {
+	lex    string
+	num    float64
+	isNum  bool
+	isBool bool
+	b      bool
+}
+
+func textValue(s string) value {
+	if n, err := strconv.ParseFloat(s, 64); err == nil && s != "" {
+		return value{lex: s, num: n, isNum: true}
+	}
+	return value{lex: s}
+}
+
+func numValue(n float64) value {
+	return value{lex: strconv.FormatFloat(n, 'g', -1, 64), num: n, isNum: true}
+}
+
+func boolValue(b bool) value {
+	v := value{isBool: true, b: b}
+	if b {
+		v.lex = "true"
+	} else {
+		v.lex = "false"
+	}
+	return v
+}
+
+func (v value) truthy() bool {
+	if v.isBool {
+		return v.b
+	}
+	if v.isNum {
+		return v.num != 0
+	}
+	return v.lex != "" && v.lex != "false"
+}
+
+// compareValues orders numerically when both operands are numeric,
+// else lexicographically (eval.compareValues).
+func compareValues(l, r value) int {
+	if l.isNum && r.isNum {
+		switch {
+		case l.num < r.num:
+			return -1
+		case l.num > r.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(l.lex, r.lex)
+}
+
+// state is the abstract result of folding an expression.
+type state int
+
+const (
+	known      state = iota // the same value on every row
+	errAlways               // an expression error on every row
+	dropAlways              // error or falsy on every row: a filter always drops
+	unknown
+)
+
+// sval pairs a state with its value (valid only when st == known).
+type sval struct {
+	st state
+	v  value
+}
+
+func knownV(v value) sval { return sval{st: known, v: v} }
+func knownB(b bool) sval  { return knownV(boolValue(b)) }
+func errS() sval          { return sval{st: errAlways} }
+func unknownS() sval      { return sval{st: unknown} }
+
+// dropClass reports whether the state guarantees "error or falsy" —
+// the filter-dropping class. Known falsy values qualify.
+func (s sval) dropClass() bool {
+	switch s.st {
+	case errAlways, dropAlways:
+		return true
+	case known:
+		return !s.v.truthy()
+	}
+	return false
+}
+
+// folder folds expressions under a prefix environment and a set of
+// dead variables (variables no pattern of the query can bind, which
+// therefore error in every strict position).
+type folder struct {
+	prefixes map[string]string
+	dead     map[string]bool
+}
+
+// prefixMap extracts the prologue's prefix declarations.
+func prefixMap(q *sparql.Query) map[string]string {
+	m := make(map[string]string, len(q.Prologue.Prefixes))
+	for _, p := range q.Prologue.Prefixes {
+		m[p.Name] = p.IRI
+	}
+	return m
+}
+
+func (f *folder) expand(iri string, prefixed bool) string {
+	if !prefixed {
+		return iri
+	}
+	i := strings.IndexByte(iri, ':')
+	if i < 0 {
+		return iri
+	}
+	if base, ok := f.prefixes[iri[:i]]; ok {
+		return base + iri[i+1:]
+	}
+	return iri
+}
+
+// fold abstracts eval's eval().
+func (f *folder) fold(e sparql.Expr) sval {
+	switch n := e.(type) {
+	case *sparql.TermExpr:
+		switch n.Term.Kind {
+		case sparql.TermVar:
+			if f.dead[n.Term.Value] {
+				return errS()
+			}
+			return unknownS()
+		case sparql.TermLiteral:
+			if n.Term.Lang != "" {
+				// eval keeps lang-tagged literals as plain text
+				// (never numeric).
+				return knownV(value{lex: n.Term.Value})
+			}
+			return knownV(textValue(n.Term.Value))
+		case sparql.TermIRI:
+			return knownV(value{lex: f.expand(n.Term.Value, n.Term.PrefixedForm)})
+		default:
+			return errS()
+		}
+	case *sparql.BinaryExpr:
+		return f.foldBinary(n)
+	case *sparql.UnaryExpr:
+		x := f.fold(n.X)
+		switch n.Op {
+		case "!":
+			switch x.st {
+			case known:
+				return knownB(!x.v.truthy())
+			case errAlways:
+				return errS()
+			default:
+				// dropAlways includes usable falsy values, whose
+				// negation is true; nothing is guaranteed.
+				return unknownS()
+			}
+		case "-":
+			switch x.st {
+			case known:
+				if !x.v.isNum {
+					return errS()
+				}
+				return knownV(numValue(-x.v.num))
+			case errAlways:
+				return errS()
+			default:
+				return unknownS()
+			}
+		default:
+			// Unary plus passes the operand through unchanged, errors
+			// included, so the abstract state passes through too.
+			return x
+		}
+	case *sparql.FuncCall:
+		return f.foldFunc(n)
+	case *sparql.ExistsExpr:
+		return unknownS()
+	case *sparql.InExpr:
+		return f.foldIn(n)
+	case *sparql.AggregateExpr:
+		// Aggregates in row context always error (eval).
+		return errS()
+	case nil:
+		return errS()
+	}
+	return errS()
+}
+
+func (f *folder) foldBinary(n *sparql.BinaryExpr) sval {
+	switch n.Op {
+	case "&&":
+		l, r := f.fold(n.L), f.fold(n.R)
+		if l.st == known && r.st == known {
+			return knownB(l.v.truthy() && r.v.truthy())
+		}
+		// One side known false forces false regardless of the other
+		// (error-tolerant AND).
+		if l.st == known && !l.v.truthy() || r.st == known && !r.v.truthy() {
+			return knownB(false)
+		}
+		// Any operand in the drop class keeps AND in the drop class:
+		// the result is false (other side false) or an error.
+		if l.dropClass() || r.dropClass() {
+			return sval{st: dropAlways}
+		}
+		return unknownS()
+	case "||":
+		l, r := f.fold(n.L), f.fold(n.R)
+		if l.st == known && r.st == known {
+			return knownB(l.v.truthy() || r.v.truthy())
+		}
+		if l.st == known && l.v.truthy() || r.st == known && r.v.truthy() {
+			return knownB(true)
+		}
+		// OR only drops when both sides are error-or-falsy.
+		if l.dropClass() && r.dropClass() {
+			return sval{st: dropAlways}
+		}
+		return unknownS()
+	}
+	// Strict operators: either operand erroring errors the whole
+	// expression.
+	l := f.fold(n.L)
+	if l.st == errAlways {
+		return errS()
+	}
+	r := f.fold(n.R)
+	if r.st == errAlways {
+		return errS()
+	}
+	if l.st != known || r.st != known {
+		return unknownS()
+	}
+	switch n.Op {
+	case "=":
+		return knownB(compareValues(l.v, r.v) == 0)
+	case "!=":
+		return knownB(compareValues(l.v, r.v) != 0)
+	case "<":
+		return knownB(compareValues(l.v, r.v) < 0)
+	case ">":
+		return knownB(compareValues(l.v, r.v) > 0)
+	case "<=":
+		return knownB(compareValues(l.v, r.v) <= 0)
+	case ">=":
+		return knownB(compareValues(l.v, r.v) >= 0)
+	case "+", "-", "*", "/":
+		if !l.v.isNum || !r.v.isNum {
+			return errS()
+		}
+		switch n.Op {
+		case "+":
+			return knownV(numValue(l.v.num + r.v.num))
+		case "-":
+			return knownV(numValue(l.v.num - r.v.num))
+		case "*":
+			return knownV(numValue(l.v.num * r.v.num))
+		default:
+			if r.v.num == 0 {
+				return errS()
+			}
+			return knownV(numValue(l.v.num / r.v.num))
+		}
+	}
+	return errS()
+}
+
+func (f *folder) foldIn(n *sparql.InExpr) sval {
+	x := f.fold(n.X)
+	if x.st == errAlways {
+		return errS()
+	}
+	if x.st != known {
+		return unknownS()
+	}
+	found := false
+	decided := true
+	for _, item := range n.List {
+		v := f.fold(item)
+		switch v.st {
+		case known:
+			if compareValues(x.v, v.v) == 0 {
+				found = true
+			}
+		case errAlways:
+			// Erroring items are silently skipped by eval.
+		default:
+			decided = false
+		}
+		if found {
+			break
+		}
+	}
+	if !found && !decided {
+		return unknownS()
+	}
+	if n.Not {
+		found = !found
+	}
+	return knownB(found)
+}
+
+func (f *folder) foldFunc(n *sparql.FuncCall) sval {
+	arg := func(i int) sval {
+		if i >= len(n.Args) {
+			return errS()
+		}
+		return f.fold(n.Args[i])
+	}
+	// strict2 folds a two-argument strict builtin with compute on
+	// known values, propagating errors in evaluation order.
+	strict := func(k int, compute func(vs []value) sval) sval {
+		vs := make([]value, 0, k)
+		for i := 0; i < k; i++ {
+			a := arg(i)
+			switch a.st {
+			case errAlways:
+				return errS()
+			case known:
+				vs = append(vs, a.v)
+			default:
+				return unknownS()
+			}
+		}
+		return compute(vs)
+	}
+	switch n.Name {
+	case "BOUND":
+		if len(n.Args) == 1 {
+			if te, ok := n.Args[0].(*sparql.TermExpr); ok && te.Term.Kind == sparql.TermVar {
+				if f.dead[te.Term.Value] {
+					return knownB(false)
+				}
+				return unknownS()
+			}
+		}
+		return errS()
+	case "STR":
+		return strict(1, func(vs []value) sval {
+			// STR drops the numeric interpretation (eval returns a
+			// bare value{lex}).
+			return knownV(value{lex: vs[0].lex})
+		})
+	case "LANG", "DATATYPE":
+		return strict(1, func(vs []value) sval {
+			return knownV(value{lex: ""})
+		})
+	case "STRLEN":
+		return strict(1, func(vs []value) sval {
+			return knownV(numValue(float64(len(vs[0].lex))))
+		})
+	case "UCASE":
+		return strict(1, func(vs []value) sval {
+			return knownV(value{lex: strings.ToUpper(vs[0].lex)})
+		})
+	case "LCASE":
+		return strict(1, func(vs []value) sval {
+			return knownV(value{lex: strings.ToLower(vs[0].lex)})
+		})
+	case "CONTAINS", "STRSTARTS", "STRENDS":
+		name := n.Name
+		return strict(2, func(vs []value) sval {
+			switch name {
+			case "CONTAINS":
+				return knownB(strings.Contains(vs[0].lex, vs[1].lex))
+			case "STRSTARTS":
+				return knownB(strings.HasPrefix(vs[0].lex, vs[1].lex))
+			default:
+				return knownB(strings.HasSuffix(vs[0].lex, vs[1].lex))
+			}
+		})
+	case "CONCAT":
+		return strict(len(n.Args), func(vs []value) sval {
+			var sb strings.Builder
+			for _, v := range vs {
+				sb.WriteString(v.lex)
+			}
+			return knownV(value{lex: sb.String()})
+		})
+	case "REGEX":
+		x, pat := arg(0), arg(1)
+		if x.st == errAlways || (x.st == known && pat.st == errAlways) {
+			return errS()
+		}
+		if x.st != known || pat.st != known {
+			return unknownS()
+		}
+		expr := pat.v.lex
+		if len(n.Args) >= 3 {
+			fl := arg(2)
+			switch fl.st {
+			case known:
+				if strings.Contains(fl.v.lex, "i") {
+					expr = "(?i)" + expr
+				}
+			case errAlways:
+				// eval ignores a failing flags argument.
+			default:
+				return unknownS()
+			}
+		}
+		re, rerr := regexp.Compile(expr)
+		if rerr != nil {
+			return errS()
+		}
+		return knownB(re.MatchString(x.v.lex))
+	case "ABS", "CEIL", "FLOOR", "ROUND":
+		name := n.Name
+		return strict(1, func(vs []value) sval {
+			v := vs[0]
+			if !v.isNum {
+				return errS()
+			}
+			switch name {
+			case "ABS":
+				if v.num < 0 {
+					return knownV(numValue(-v.num))
+				}
+				return knownV(v)
+			case "CEIL":
+				return knownV(numValue(ceil(v.num)))
+			case "FLOOR":
+				return knownV(numValue(floor(v.num)))
+			default:
+				return knownV(numValue(floor(v.num + 0.5)))
+			}
+		})
+	case "SAMETERM":
+		return strict(2, func(vs []value) sval {
+			return knownB(vs[0].lex == vs[1].lex)
+		})
+	case "ISIRI", "ISURI":
+		return strict(1, func(vs []value) sval {
+			return knownB(looksLikeIRI(vs[0].lex))
+		})
+	case "ISLITERAL":
+		return strict(1, func(vs []value) sval {
+			return knownB(!looksLikeIRI(vs[0].lex))
+		})
+	case "ISBLANK":
+		return strict(1, func(vs []value) sval {
+			return knownB(strings.HasPrefix(vs[0].lex, "_:"))
+		})
+	case "ISNUMERIC":
+		return strict(1, func(vs []value) sval {
+			return knownB(vs[0].isNum)
+		})
+	case "IF":
+		c := arg(0)
+		switch c.st {
+		case errAlways:
+			return errS()
+		case known:
+			if c.v.truthy() {
+				return arg(1)
+			}
+			return arg(2)
+		default:
+			return unknownS()
+		}
+	case "COALESCE":
+		for i := range n.Args {
+			a := arg(i)
+			switch a.st {
+			case errAlways:
+				continue // always skipped
+			case known:
+				return a
+			default:
+				// This argument may or may not error per row; folding
+				// cannot pick a branch.
+				return unknownS()
+			}
+		}
+		return errS() // no argument ever succeeds
+	}
+	// Unknown builtins, custom IRI calls: eval errors without touching
+	// the arguments.
+	return errS()
+}
+
+func looksLikeIRI(s string) bool {
+	return strings.Contains(s, "://") || strings.HasPrefix(s, "urn:") ||
+		strings.HasPrefix(s, "mailto:") || strings.HasPrefix(s, "http:")
+}
+
+func ceil(f float64) float64 {
+	i := float64(int64(f))
+	if f > i {
+		return i + 1
+	}
+	return i
+}
+
+func floor(f float64) float64 {
+	i := float64(int64(f))
+	if f < i {
+		return i - 1
+	}
+	return i
+}
+
+// ---------- satisfiability over conjuncts ----------
+
+// conjuncts splits e on top-level && into its operands: a filter whose
+// constraint is a conjunction drops a row as soon as any operand is
+// false or errors.
+func conjuncts(e sparql.Expr, out []sparql.Expr) []sparql.Expr {
+	if be, ok := e.(*sparql.BinaryExpr); ok && be.Op == "&&" {
+		out = conjuncts(be.L, out)
+		return conjuncts(be.R, out)
+	}
+	return append(out, e)
+}
+
+// varConstraint is a conjunct of the shape ?x OP const (normalized so
+// the variable is on the left).
+type varConstraint struct {
+	variable string
+	op       string
+	val      value
+}
+
+var flipOp = map[string]string{
+	"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<=",
+}
+
+// asVarConstraint matches `?x OP rhs` or `lhs OP ?x` where the
+// constant side folds to a known value.
+func (f *folder) asVarConstraint(e sparql.Expr) (varConstraint, bool) {
+	be, ok := e.(*sparql.BinaryExpr)
+	if !ok {
+		return varConstraint{}, false
+	}
+	if _, cmp := flipOp[be.Op]; !cmp {
+		return varConstraint{}, false
+	}
+	if v, ok := asVar(be.L); ok {
+		if c := f.fold(be.R); c.st == known {
+			return varConstraint{variable: v, op: be.Op, val: c.v}, true
+		}
+		return varConstraint{}, false
+	}
+	if v, ok := asVar(be.R); ok {
+		if c := f.fold(be.L); c.st == known {
+			return varConstraint{variable: v, op: flipOp[be.Op], val: c.v}, true
+		}
+	}
+	return varConstraint{}, false
+}
+
+func asVar(e sparql.Expr) (string, bool) {
+	te, ok := e.(*sparql.TermExpr)
+	if !ok || te.Term.Kind != sparql.TermVar {
+		return "", false
+	}
+	return te.Term.Value, true
+}
+
+// selfComparison matches `?x OP ?x` conjuncts that can never hold:
+// with ?x bound both sides compare equal (!=, <, > are false); with ?x
+// unbound the comparison errors. Either way the row drops.
+func selfComparison(e sparql.Expr) (string, string, bool) {
+	be, ok := e.(*sparql.BinaryExpr)
+	if !ok {
+		return "", "", false
+	}
+	if be.Op != "!=" && be.Op != "<" && be.Op != ">" {
+		return "", "", false
+	}
+	l, lok := asVar(be.L)
+	r, rok := asVar(be.R)
+	if lok && rok && l == r {
+		return l, be.Op, true
+	}
+	return "", "", false
+}
+
+// decideAgainstEq decides the constraint `?x OP c2` given that the
+// conjunction also requires ?x = eq. Returns (satisfiable, decided).
+//
+// The equality pins down a lot: if eq is numeric, any x with x = eq
+// must itself be numeric with x.num == eq.num (a non-numeric x would
+// need lexical equality with eq's numeric lexical form, which would
+// make it numeric — contradiction). If eq is non-numeric, x = eq
+// forces x.lex == eq.lex exactly, so x's runtime value is
+// textValue(eq.lex) and every comparison is fully decided.
+func decideAgainstEq(eq value, op string, c2 value) (bool, bool) {
+	if !eq.isNum {
+		xv := textValue(eq.lex)
+		cmp := compareValues(xv, c2)
+		return opHolds(op, cmp), true
+	}
+	// x numeric, x.num == eq.num, x.lex unknown (any float form).
+	if c2.isNum {
+		cmp := 0
+		switch {
+		case eq.num < c2.num:
+			cmp = -1
+		case eq.num > c2.num:
+			cmp = 1
+		}
+		return opHolds(op, cmp), true
+	}
+	// Numeric x against a non-numeric value: compareValues falls back
+	// to lexical comparison against x's unknown float spelling.
+	if !textValue(c2.lex).isNum {
+		// c2's form cannot be any float spelling, so x != c2 always.
+		switch op {
+		case "=":
+			return false, true
+		case "!=":
+			return true, true
+		}
+	}
+	return false, false
+}
+
+func opHolds(op string, cmp int) bool {
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case ">":
+		return cmp > 0
+	case "<=":
+		return cmp <= 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// unsatisfiable reports whether no single value of the variable can
+// satisfy every constraint at once. It is deliberately conservative:
+// the engine compares numerically only when both sides are numeric,
+// falling back to lexicographic comparison, so an interval that is
+// empty numerically may still admit non-numeric values (e.g.
+// ?x > 10 && ?x < 2 is satisfied by "1a"). Unsatisfiability requires
+// emptiness in both regimes.
+func unsatisfiable(cs []varConstraint) bool {
+	if len(cs) < 2 {
+		return false
+	}
+	// Equalities decide everything else.
+	for i, c := range cs {
+		if c.op != "=" {
+			continue
+		}
+		for j, d := range cs {
+			if i == j {
+				continue
+			}
+			if sat, decided := decideAgainstEq(c.val, d.op, d.val); decided && !sat {
+				return true
+			}
+		}
+	}
+	// Interval reasoning over the strict orders. Mixed numeric and
+	// non-numeric bounds switch comparison regimes per row; skip.
+	var nums, texts []varConstraint
+	for _, c := range cs {
+		switch c.op {
+		case "<", "<=", ">", ">=":
+			if c.val.isNum {
+				nums = append(nums, c)
+			} else {
+				texts = append(texts, c)
+			}
+		}
+	}
+	if len(nums) > 0 && len(texts) == 0 {
+		// A numeric bound compares numerically against numeric x and
+		// lexicographically against non-numeric x: both interval
+		// regimes must be empty.
+		return emptyNumInterval(nums) && emptyLexInterval(nums)
+	}
+	if len(texts) > 0 && len(nums) == 0 {
+		// Non-numeric bounds always compare lexicographically.
+		return emptyLexInterval(texts)
+	}
+	return false
+}
+
+func emptyNumInterval(cs []varConstraint) bool {
+	var lo, hi float64
+	loStrict, hiStrict := false, false
+	hasLo, hasHi := false, false
+	for _, c := range cs {
+		v := c.val.num
+		switch c.op {
+		case ">", ">=":
+			s := c.op == ">"
+			if !hasLo || v > lo {
+				lo, loStrict, hasLo = v, s, true
+			} else if v == lo && s {
+				loStrict = true
+			}
+		case "<", "<=":
+			s := c.op == "<"
+			if !hasHi || v < hi {
+				hi, hiStrict, hasHi = v, s, true
+			} else if v == hi && s {
+				hiStrict = true
+			}
+		}
+	}
+	if !hasLo || !hasHi {
+		return false
+	}
+	// Floats are dense enough for the engine's purposes: lo < hi is
+	// treated as satisfiable.
+	return lo > hi || (lo == hi && (loStrict || hiStrict))
+}
+
+func emptyLexInterval(cs []varConstraint) bool {
+	var lo, hi string
+	loStrict, hiStrict := false, false
+	hasLo, hasHi := false, false
+	for _, c := range cs {
+		v := c.val.lex
+		switch c.op {
+		case ">", ">=":
+			s := c.op == ">"
+			if !hasLo || v > lo {
+				lo, loStrict, hasLo = v, s, true
+			} else if v == lo && s {
+				loStrict = true
+			}
+		case "<", "<=":
+			s := c.op == "<"
+			if !hasHi || v < hi {
+				hi, hiStrict, hasHi = v, s, true
+			} else if v == hi && s {
+				hiStrict = true
+			}
+		}
+	}
+	if !hasLo || !hasHi {
+		return false
+	}
+	// Strings are dense under lexicographic order upward (append a
+	// character), so only reversed or point-with-strict intervals are
+	// empty.
+	return lo > hi || (lo == hi && (loStrict || hiStrict))
+}
+
+// unsatReason inspects one filter constraint and reports why it can
+// never keep a row, if provable. The empty string means satisfiable
+// (as far as the folder can tell).
+func (f *folder) unsatReason(e sparql.Expr) (string, bool) {
+	switch s := f.fold(e); s.st {
+	case known:
+		if !s.v.truthy() {
+			return fmt.Sprintf("constraint is constant %q (effective boolean value false)", s.v.lex), true
+		}
+		return "", false
+	case errAlways:
+		return "constraint errors on every solution (filters treat errors as false)", true
+	case dropAlways:
+		return "constraint is false or errors on every solution", true
+	}
+	cj := conjuncts(e, nil)
+	perVar := make(map[string][]varConstraint)
+	for _, c := range cj {
+		if v, op, ok := selfComparison(c); ok {
+			return fmt.Sprintf("self-comparison ?%s %s ?%s can never hold", v, op, v), true
+		}
+		if vc, ok := f.asVarConstraint(c); ok {
+			perVar[vc.variable] = append(perVar[vc.variable], vc)
+		}
+	}
+	for v, cs := range perVar {
+		if unsatisfiable(cs) {
+			return fmt.Sprintf("contradictory constraints on ?%s", v), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+func parse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// TestPassCodes lints a table of queries and checks the exact set of
+// distinct diagnostic codes each produces.
+func TestPassCodes(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		codes string // comma-joined sorted distinct codes, "" for clean
+	}{
+		{
+			"clean",
+			`SELECT ?s WHERE { ?s <urn:p> ?o . FILTER(?o > 3) }`,
+			"",
+		},
+		{
+			"filter-false",
+			`SELECT * WHERE { ?s ?p ?o . FILTER(false) }`,
+			"SQL001",
+		},
+		{
+			"contradictory-equalities",
+			`SELECT * WHERE { ?s <urn:p> ?o . FILTER(?o = <urn:a> && ?o = <urn:b>) }`,
+			"SQL001",
+		},
+		{
+			"prefixed-contradiction",
+			`PREFIX ex: <http://example.org/>
+			 SELECT * WHERE { ?s <urn:p> ?o . FILTER(?o = ex:a && ?o = ex:b) }`,
+			"SQL001",
+		},
+		{
+			"self-comparison",
+			`SELECT * WHERE { ?s <urn:p> ?o . FILTER(?o != ?o) }`,
+			"SQL001",
+		},
+		{
+			// Numeric interval is empty but the lexicographic regime
+			// admits "1a": 10 < "1a" < "2" as strings. Must NOT flag.
+			"numeric-interval-lex-escape",
+			`SELECT * WHERE { ?s <urn:p> ?o . FILTER(?o > 10 && ?o < 2) }`,
+			"",
+		},
+		{
+			// Both regimes empty: numerically 5 < x < 3 is empty and
+			// lexicographically "5" < x < "3" is empty too.
+			"interval-empty-both-regimes",
+			`SELECT * WHERE { ?s <urn:p> ?o . FILTER(?o > 5 && ?o < 3) }`,
+			"SQL001",
+		},
+		{
+			"cartesian-product",
+			`SELECT * WHERE { ?a <urn:p> ?b . ?c <urn:p> ?d }`,
+			"SQL002",
+		},
+		{
+			// A filter mentioning both sides connects the components.
+			"filter-connects",
+			`SELECT * WHERE { ?a <urn:p> ?b . ?c <urn:p> ?d . FILTER(?b = ?d) }`,
+			"SQL007",
+		},
+		{
+			// A dead filter variable always errors, so the filter drops
+			// every row: both the unbound-var and unsat passes fire.
+			"unbound-filter-var",
+			`SELECT * WHERE { ?s ?p ?o . FILTER(?x > 1) }`,
+			"SQL001,SQL003",
+		},
+		{
+			"dead-projection",
+			`SELECT ?s ?missing WHERE { ?s ?p ?o }`,
+			"SQL004",
+		},
+		{
+			"non-well-designed-optional",
+			`SELECT * WHERE { ?s <urn:p> ?o OPTIONAL { ?s <urn:q> ?x } OPTIONAL { ?y <urn:r> ?x } }`,
+			"SQL005",
+		},
+		{
+			"well-designed-optional",
+			`SELECT * WHERE { ?s <urn:p> ?o OPTIONAL { ?s <urn:q> ?x } }`,
+			"",
+		},
+		{
+			"duplicate-union",
+			`SELECT * WHERE { { ?s <urn:p> ?o } UNION { ?s <urn:p> ?o } }`,
+			"SQL006",
+		},
+		{
+			"distinct-union",
+			`SELECT * WHERE { { ?s <urn:p> ?o } UNION { ?s <urn:q> ?o } }`,
+			"",
+		},
+		{
+			"collapsible-equality",
+			`SELECT ?a WHERE { ?a <urn:p> ?b . ?a <urn:q> ?c . FILTER(?b = ?c) }`,
+			"SQL007",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Run(parse(t, tc.src))
+			got := strings.Join(r.Codes(), ",")
+			if got != tc.codes {
+				t.Fatalf("codes = %q, want %q\ndiagnostics: %v", got, tc.codes, r.Diagnostics)
+			}
+		})
+	}
+}
+
+// TestSubqueryScoping checks that passes use per-scope variable sets:
+// a filter over a subquery-internal variable is fine inside the
+// subquery, and wrong outside it.
+func TestSubqueryScoping(t *testing.T) {
+	// ?o is bindable inside the subquery scope; no diagnostics.
+	inner := `SELECT ?s WHERE { { SELECT ?s WHERE { ?s <urn:p> ?o . FILTER(?o > 5) } } }`
+	if r := Run(parse(t, inner)); len(r.Diagnostics) != 0 {
+		t.Fatalf("inner-scope filter flagged: %v", r.Diagnostics)
+	}
+	// ?o is NOT projected out of the subquery, so the outer filter sees
+	// a never-bound variable.
+	outer := `SELECT ?s WHERE { { SELECT ?s WHERE { ?s <urn:p> ?o } } FILTER(?o > 5) }`
+	r := Run(parse(t, outer))
+	got := strings.Join(r.Codes(), ",")
+	if got != "SQL001,SQL003" {
+		t.Fatalf("outer-scope filter codes = %q, want SQL001,SQL003: %v", got, r.Diagnostics)
+	}
+}
+
+// TestEmpty checks the static-emptiness decision across the pattern
+// algebra.
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		empty bool
+	}{
+		{"plain-triples", `SELECT * WHERE { ?s ?p ?o }`, false},
+		{"filter-false", `SELECT * WHERE { ?s ?p ?o . FILTER(false) }`, true},
+		{"filter-true", `SELECT * WHERE { ?s ?p ?o . FILTER(true) }`, false},
+		{"self-neq", `SELECT * WHERE { ?s ?p ?o . FILTER(?o != ?o) }`, true},
+		{"optional-never-propagates",
+			`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <urn:q> ?x . FILTER(false) } }`, false},
+		{"minus-never-propagates",
+			`SELECT * WHERE { ?s ?p ?o MINUS { ?s <urn:q> ?x . FILTER(false) } }`, false},
+		{"union-one-live",
+			`SELECT * WHERE { { ?s ?p ?o . FILTER(false) } UNION { ?s ?p ?o } }`, false},
+		{"union-both-dead",
+			`SELECT * WHERE { { ?s ?p ?o . FILTER(false) } UNION { ?s ?p ?o . FILTER(?o != ?o) } }`, true},
+		{"graph-inner",
+			`SELECT * WHERE { GRAPH ?g { ?s ?p ?o . FILTER(false) } }`, true},
+		{"subquery-limit-zero",
+			`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 0 } }`, true},
+		{"subquery-empty-body",
+			`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o . FILTER(false) } } }`, true},
+		{"subquery-aggregation-yields-row",
+			`SELECT * WHERE { { SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o . FILTER(false) } } }`, false},
+		{"subquery-own-scope",
+			// ?o is dead at the top level but alive inside the subquery:
+			// the inner filter must be judged in its own scope.
+			`SELECT ?s WHERE { { SELECT ?s WHERE { ?s <urn:p> ?o . FILTER(?o > 5) } } }`, false},
+		{"numeric-lex-escape", `SELECT * WHERE { ?s ?p ?o . FILTER(?o > 10 && ?o < 2) }`, false},
+		{"interval-empty", `SELECT * WHERE { ?s ?p ?o . FILTER(?o > 5 && ?o < 3) }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Empty(parse(t, tc.src)); got != tc.empty {
+				t.Fatalf("Empty = %v, want %v", got, tc.empty)
+			}
+		})
+	}
+}
+
+// TestCollapseEqualities checks the SQL007 rewrite's shape: the filter
+// is gone, a BIND re-establishes the dropped variable, the result
+// re-parses, and the original query is untouched.
+func TestCollapseEqualities(t *testing.T) {
+	src := `SELECT ?a ?c WHERE { ?a <urn:p> ?b . ?a <urn:q> ?c . FILTER(?b = ?c) }`
+	q := parse(t, src)
+	before := q.String()
+	rq, ok := CollapseEqualities(q)
+	if !ok {
+		t.Fatalf("rewrite did not apply to %q", src)
+	}
+	if q.String() != before {
+		t.Fatalf("original query mutated by rewrite")
+	}
+	out := rq.String()
+	if strings.Contains(out, "FILTER") {
+		t.Fatalf("rewritten query still has a FILTER: %s", out)
+	}
+	if !strings.Contains(out, "BIND") {
+		t.Fatalf("rewritten query lost the dropped variable: %s", out)
+	}
+	if _, err := sparql.Parse(out); err != nil {
+		t.Fatalf("rewritten query does not re-parse: %v\n%s", err, out)
+	}
+}
+
+// TestCollapseEqualitiesRefusals pins cases the rewrite must not touch.
+func TestCollapseEqualitiesRefusals(t *testing.T) {
+	for _, src := range []string{
+		// Both sides occur in an OPTIONAL too: dropping either would
+		// change what the optional observes.
+		`SELECT * WHERE { ?a <urn:p> ?b . ?a <urn:q> ?c . FILTER(?b = ?c) OPTIONAL { ?b <urn:r> ?c } }`,
+		// ?c never occurs in the group's triples: nothing to substitute.
+		`SELECT * WHERE { ?a <urn:p> ?b . FILTER(?b = ?c) }`,
+		// Both sides are AS targets: the projection would rebind them.
+		`SELECT (?a AS ?c) (?a AS ?b) WHERE { ?a <urn:p> ?b . ?a <urn:q> ?c . FILTER(?b = ?c) }`,
+	} {
+		q := parse(t, src)
+		if _, ok := CollapseEqualities(q); ok {
+			t.Fatalf("rewrite applied where it must refuse: %q", src)
+		}
+	}
+}
+
+// TestDiagnosticString pins the one-line rendering and result helpers.
+func TestDiagnosticString(t *testing.T) {
+	r := Run(parse(t, `SELECT * WHERE { ?s ?p ?o . FILTER(false) }`))
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("expected a diagnostic")
+	}
+	d := r.Diagnostics[0]
+	s := d.String()
+	if !strings.HasPrefix(s, "SQL001 error where") {
+		t.Fatalf("diagnostic string = %q", s)
+	}
+	if !r.Empty {
+		t.Fatal("result should be statically empty")
+	}
+	if max, ok := r.Max(); !ok || max != Error {
+		t.Fatalf("Max = %v,%v", max, ok)
+	}
+}
+
+// TestPassesRegistry checks registration: seven passes, sorted, with
+// docs.
+func TestPassesRegistry(t *testing.T) {
+	ps := Passes()
+	if len(ps) != 7 {
+		t.Fatalf("registered %d passes, want 7", len(ps))
+	}
+	for i, p := range ps {
+		if p.Code == "" || p.Name == "" || p.Doc == "" || p.Run == nil {
+			t.Fatalf("pass %d incomplete: %+v", i, p)
+		}
+		if i > 0 && ps[i-1].Code >= p.Code {
+			t.Fatalf("passes not sorted by code: %s >= %s", ps[i-1].Code, p.Code)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"sparqlog/internal/sparql"
+)
+
+// This file implements the SQL007 optimizer rewrite: a group-level
+// FILTER(?x = ?y) whose ?y lives entirely inside the group's own
+// triple/path elements (plus the filter itself) is collapsed by
+// substituting ?y := ?x in those elements, dropping the filter, and
+// appending BIND(?x AS ?y) so downstream consumers (projection,
+// ORDER BY, trailing VALUES) still see ?y. The join engine then
+// enforces the equality during enumeration instead of filtering after
+// a cartesian-style enumeration of both variables.
+//
+// Caveat, documented and differential-tested: the engine's "=" is
+// value equality (numeric when both sides parse as numbers), while
+// substitution enforces term equality. Distinct lexical forms that
+// compare numerically equal ("01" = "1") satisfy the original filter
+// but not the rewritten join. The rewrite is therefore opt-in
+// (eval.Limits.CollapseEqualities) and exact on term-shaped data such
+// as IRIs.
+
+// canCollapse reports whether the equality filter at g.Elems[i] can
+// be collapsed, and which side to keep. Requirements, checked for
+// (keep=x, drop=y) and then the reverse:
+//
+//   - both variables occur in the group's direct triple/path elements
+//     (so every surviving row binds them there), and
+//   - drop occurs nowhere else in the WHERE tree: its only occurrences
+//     are those direct elements plus this one filter, and
+//   - drop is not an AS target of the projection or GROUP BY (which
+//     would rebind it).
+func canCollapse(q *sparql.Query, g *sparql.Group, i int) (keep, drop string, ok bool) {
+	fl, isFilter := g.Elems[i].(*sparql.Filter)
+	if !isFilter || q.Where == nil {
+		return "", "", false
+	}
+	x, y, isEq := eqVars(fl.Constraint)
+	if !isEq {
+		return "", "", false
+	}
+	try := func(keep, drop string) bool {
+		dDirect := directTripleOcc(g, drop)
+		if dDirect == 0 || directTripleOcc(g, keep) == 0 {
+			return false
+		}
+		if isAsTarget(q, drop) {
+			return false
+		}
+		// All of drop's WHERE-tree occurrences must be the direct
+		// elements plus the one occurrence in this filter.
+		return countPatternOcc(q.Where, drop) == dDirect+1
+	}
+	if try(x, y) {
+		return x, y, true
+	}
+	if try(y, x) {
+		return y, x, true
+	}
+	return "", "", false
+}
+
+// CollapseEqualities returns a rewritten copy of q with every
+// collapsible equality filter folded into its group, or (q, false)
+// when nothing applies. The copy is made by a serialize/parse round
+// trip, so the caller's query is never mutated; on any round-trip
+// failure the original is returned untouched.
+func CollapseEqualities(q *sparql.Query) (*sparql.Query, bool) {
+	if q == nil || q.Where == nil || !hasCollapse(q) {
+		return q, false
+	}
+	clone, err := sparql.Parse(q.String())
+	if err != nil || clone.Where == nil {
+		return q, false
+	}
+	changed := false
+	// Each application removes one filter; bound the fixpoint loop by
+	// the number of filters present.
+	for budget := countFilters(clone.Where); budget > 0; budget-- {
+		if !applyOneCollapse(clone) {
+			break
+		}
+		changed = true
+	}
+	if !changed {
+		return q, false
+	}
+	return clone, true
+}
+
+// hasCollapse reports whether any collapsible equality exists (cheap
+// pre-check before cloning).
+func hasCollapse(q *sparql.Query) bool {
+	found := false
+	walkPath(q.Where, "where", func(p sparql.Pattern, _ string) bool {
+		if found {
+			return false
+		}
+		if g, ok := p.(*sparql.Group); ok {
+			for i := range g.Elems {
+				if _, _, ok := canCollapse(q, g, i); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// applyOneCollapse rewrites the first collapsible equality found and
+// reports whether one was applied.
+func applyOneCollapse(q *sparql.Query) bool {
+	applied := false
+	walkPath(q.Where, "where", func(p sparql.Pattern, _ string) bool {
+		if applied {
+			return false
+		}
+		g, ok := p.(*sparql.Group)
+		if !ok {
+			return true
+		}
+		for i := range g.Elems {
+			keep, drop, ok := canCollapse(q, g, i)
+			if !ok {
+				continue
+			}
+			substituteDirect(g, drop, keep)
+			// Drop the filter; append the BIND at the end of the
+			// group, where keep is bound for every surviving row
+			// (group filters are end-of-group anyway, so no element
+			// could have observed ?drop between the two positions —
+			// canCollapse proved it occurs nowhere else).
+			g.Elems = append(g.Elems[:i], g.Elems[i+1:]...)
+			g.Elems = append(g.Elems, &sparql.Bind{
+				Expr: &sparql.TermExpr{Term: sparql.Variable(keep)},
+				Var:  sparql.Variable(drop),
+			})
+			applied = true
+			return false
+		}
+		return true
+	})
+	return applied
+}
+
+// substituteDirect renames variable from -> to in the group's direct
+// triple and path elements.
+func substituteDirect(g *sparql.Group, from, to string) {
+	ren := func(t *sparql.Term) {
+		if t.Kind == sparql.TermVar && t.Value == from {
+			t.Value = to
+		}
+	}
+	for _, el := range g.Elems {
+		switch t := el.(type) {
+		case *sparql.TriplePattern:
+			ren(&t.S)
+			ren(&t.P)
+			ren(&t.O)
+		case *sparql.PathPattern:
+			ren(&t.S)
+			ren(&t.O)
+		}
+	}
+}
+
+// directTripleOcc counts occurrences of the variable in the group's
+// direct triple/path elements.
+func directTripleOcc(g *sparql.Group, name string) int {
+	n := 0
+	is := func(t sparql.Term) {
+		if t.Kind == sparql.TermVar && t.Value == name {
+			n++
+		}
+	}
+	for _, el := range g.Elems {
+		switch t := el.(type) {
+		case *sparql.TriplePattern:
+			is(t.S)
+			is(t.P)
+			is(t.O)
+		case *sparql.PathPattern:
+			is(t.S)
+			is(t.O)
+		}
+	}
+	return n
+}
+
+// countPatternOcc counts every syntactic occurrence of the variable
+// in the pattern tree of one scope: triple/path/GRAPH positions,
+// filter and bind expressions (including EXISTS bodies — matches
+// there observe outer bindings), VALUES columns. Subqueries count one
+// occurrence when they project the variable and are otherwise opaque
+// (their interior is a different scope).
+func countPatternOcc(p sparql.Pattern, name string) int {
+	n := 0
+	term := func(t sparql.Term) {
+		if t.Kind == sparql.TermVar && t.Value == name {
+			n++
+		}
+	}
+	var exprOcc func(e sparql.Expr)
+	exprOcc = func(e sparql.Expr) {
+		sparql.WalkExpr(e, func(x sparql.Expr) bool {
+			switch t := x.(type) {
+			case *sparql.TermExpr:
+				term(t.Term)
+			case *sparql.ExistsExpr:
+				n += countPatternOcc(t.Pattern, name)
+			}
+			return true
+		})
+	}
+	var walk func(p sparql.Pattern)
+	walk = func(p sparql.Pattern) {
+		if p == nil {
+			return
+		}
+		switch t := p.(type) {
+		case *sparql.TriplePattern:
+			term(t.S)
+			term(t.P)
+			term(t.O)
+		case *sparql.PathPattern:
+			term(t.S)
+			term(t.O)
+		case *sparql.Group:
+			for _, el := range t.Elems {
+				walk(el)
+			}
+		case *sparql.Union:
+			walk(t.Left)
+			walk(t.Right)
+		case *sparql.Optional:
+			walk(t.Inner)
+		case *sparql.GraphGraph:
+			term(t.Name)
+			walk(t.Inner)
+		case *sparql.MinusGraph:
+			walk(t.Inner)
+		case *sparql.ServiceGraph:
+			term(t.Name)
+			walk(t.Inner)
+		case *sparql.Filter:
+			exprOcc(t.Constraint)
+		case *sparql.Bind:
+			exprOcc(t.Expr)
+			term(t.Var)
+		case *sparql.InlineData:
+			for _, v := range t.Vars {
+				term(v)
+			}
+		case *sparql.SubSelect:
+			if t.Query != nil && t.Query.ProjectedVars()[name] {
+				n++
+			}
+		}
+	}
+	walk(p)
+	return n
+}
+
+// isAsTarget reports whether the variable is rebound by an AS alias in
+// the projection or GROUP BY.
+func isAsTarget(q *sparql.Query, name string) bool {
+	for _, it := range q.Select {
+		if it.Expr != nil && it.Var.Kind == sparql.TermVar && it.Var.Value == name {
+			return true
+		}
+	}
+	for _, gk := range q.Mods.GroupBy {
+		if gk.AsVar && gk.Var.Kind == sparql.TermVar && gk.Var.Value == name {
+			return true
+		}
+	}
+	return false
+}
+
+func countFilters(p sparql.Pattern) int {
+	n := 0
+	sparql.Walk(p, func(x sparql.Pattern) bool {
+		if _, ok := x.(*sparql.Filter); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -390,6 +390,7 @@ func (c *compiler) eliminate(f frag) *nfa {
 		stack = append(stack[:0], int32(s))
 		seen[s] = true
 		var cl []int32
+		//ctxpoll:ignore compile-time DFS: the seen set bounds it by the automaton's state count
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]

@@ -529,6 +529,7 @@ func tarjanSCC(chk *ticker, ad *adjacency, n int) (comp []int32, members [][]rdf
 			if low[v] == index[v] {
 				cid := int32(len(members))
 				var ms []rdf.ID
+				//ctxpoll:ignore bounded pop: drains the Tarjan stack down to v, and the enclosing frame loop ticks
 				for {
 					w := tstack[len(tstack)-1]
 					tstack = tstack[:len(tstack)-1]
@@ -765,6 +766,7 @@ func (pa *Path) PairsCtx(check Check, limit int) ([][2]rdf.ID, error) {
 				word := sc.visited[w]
 				sc.visited[w] = 0
 				base := rdf.ID(w) << 6
+				//ctxpoll:ignore bounded bit scan: at most 64 iterations per bitset word, and closureSweep ticked
 				for word != 0 {
 					o := base + rdf.ID(bits.TrailingZeros64(word))
 					word &= word - 1

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -52,6 +53,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sparqld_log_entries_total", "Entries fed to the self-analysis stream.", s.an.Entries())
 	counter("sparqld_log_valid_total", "Self-analysis: parseable queries (Table 1 Valid).", rep.Valid)
 	counter("sparqld_log_unique_total", "Self-analysis: unique queries (Table 1 Unique).", rep.Unique)
+
+	// Static-analysis aggregates, one labeled series per diagnostic
+	// code, emitted in sorted order so scrapes are stable.
+	fmt.Fprintf(&sb, "# HELP sparqld_lint_diagnostics_total Lint diagnostics found in the analyzed workload, by code.\n")
+	fmt.Fprintf(&sb, "# TYPE sparqld_lint_diagnostics_total counter\n")
+	var codes []string
+	for code := range rep.Lint {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&sb, "sparqld_lint_diagnostics_total{code=%q} %d\n", code, rep.Lint[code])
+	}
+	counter("sparqld_lint_empty_queries_total", "Analyzed queries whose WHERE clause is statically empty.", rep.LintEmpty)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(sb.String()))

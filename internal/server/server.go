@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"time"
 
 	"sparqlog/internal/core"
 	"sparqlog/internal/eval"
+	"sparqlog/internal/lint"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
 	"sparqlog/internal/rdf"
@@ -81,6 +83,11 @@ func New(cfg Config) *Server {
 	if maxQ <= 0 {
 		maxQ = DefaultMaxQueryBytes
 	}
+	// The endpoint always lints its workload: per-query diagnostics go
+	// out in the X-Sparqld-Lint header and the aggregates feed /stats
+	// and /metrics (the option stays off by default only for the batch
+	// pipeline, whose benchmarks gate on the paper analyses alone).
+	cfg.Analyzer.Lint = true
 	return &Server{
 		ex: service.NewExecutor(cfg.Snapshot, service.ExecutorOptions{
 			Timeout: cfg.Timeout,
@@ -150,6 +157,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		plainError(w, http.StatusBadRequest, "malformed query: "+err.Error())
 		return
+	}
+
+	// Static analysis of the parsed query: the distinct diagnostic
+	// codes ride along as a response header, so clients learn about
+	// unsatisfiable filters or cartesian products next to the (often
+	// empty) answer they explain.
+	if codes := lint.Run(q).Codes(); len(codes) > 0 {
+		w.Header().Set("X-Sparqld-Lint", strings.Join(codes, ","))
 	}
 
 	if err := s.gate.Acquire(r.Context()); err != nil {

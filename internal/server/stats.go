@@ -2,12 +2,14 @@ package server
 
 import (
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sort"
 	"strings"
 	"time"
 
 	"sparqlog/internal/core"
+	"sparqlog/internal/lint"
 	"sparqlog/internal/paths"
 )
 
@@ -16,6 +18,20 @@ import (
 // keywords, Table 4 shapes, Table 5 property paths) computed by
 // core's pipeline over every query this server has served.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Conditional GET: the ETag hashes every monotonic counter behind
+	// the page (analyzer entries, serving counters, cache counters) —
+	// deliberately not uptime or qps, which tick continuously without
+	// new information. A poller therefore gets 304 until the server
+	// actually serves something new. Weak, because the body's derived
+	// fields (uptime) do drift between equal-tagged responses.
+	etag := s.statsETag()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatch(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	rep := s.an.Report()
 	snap := s.live.Snapshot()
 
@@ -38,6 +54,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(sb.String()))
+}
+
+// statsETag derives the /stats entity tag from the counters that feed
+// the page. fnv64a over their decimal rendering: cheap, stable, and
+// computed without building the report.
+func (s *Server) statsETag() string {
+	snap := s.live.Snapshot()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		s.an.Entries(),
+		snap.Served, snap.Errors, snap.Timeouts, snap.Rejected, snap.Recoveries,
+		s.plans.Hits(), s.plans.Misses(), s.paths.Hits(), s.paths.Misses(),
+		s.gate.InFlight(), s.gate.Waiting())
+	return fmt.Sprintf("W/\"%016x\"", h.Sum64())
+}
+
+// etagMatch implements the If-None-Match weak comparison: any listed
+// tag equal to ours (or "*") matches.
+func etagMatch(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // writeWorkloadTables renders the paper-style statistics of one
@@ -76,6 +120,7 @@ func writeWorkloadTables(sb *strings.Builder, rep *core.DatasetReport) {
 		fmt.Fprintf(sb, "  CQ %d  CPF %d  CQF %d  CQOF %d  well-designed %d\n\n",
 			rep.CQ, rep.CPF, rep.CQF, rep.CQOF, rep.WellDesigned)
 	}
+	writeLintTable(sb, rep)
 	if rep.ShapeCQ.Total > 0 {
 		sc := rep.ShapeCQ
 		fmt.Fprintf(sb, "CQ shapes (Table 4 columns, of %d)\n", sc.Total)
@@ -85,6 +130,31 @@ func writeWorkloadTables(sb *strings.Builder, rep *core.DatasetReport) {
 			pct(sc.Flower, sc.Total))
 	}
 	writeTable5(sb, rep.Paths)
+}
+
+// writeLintTable renders the static-analysis aggregates: per-code
+// diagnostic and query counts over the analyzed workload, plus the
+// statically-empty tally the evaluator short-circuits on.
+func writeLintTable(sb *strings.Builder, rep *core.DatasetReport) {
+	if len(rep.Lint) == 0 && rep.LintEmpty == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "Static analysis (of %d unique)\n", rep.Unique)
+	fmt.Fprintf(sb, "  %-8s %-28s %10s %10s %8s\n", "Code", "Pass", "Diags", "Queries", "%Q")
+	byCode := make(map[string]string)
+	for _, p := range lint.Passes() {
+		byCode[p.Code] = p.Name
+	}
+	var codes []string
+	for code := range rep.Lint {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(sb, "  %-8s %-28s %10d %10d %8s\n",
+			code, byCode[code], rep.Lint[code], rep.LintQueries[code], pct(rep.LintQueries[code], rep.Unique))
+	}
+	fmt.Fprintf(sb, "  statically empty WHERE: %d (%s)\n\n", rep.LintEmpty, pct(rep.LintEmpty, rep.Unique))
 }
 
 // writeTable5 renders the property-path classification.

@@ -199,6 +199,18 @@ func writePattern(sb *strings.Builder, p Pattern) {
 	}
 }
 
+// PatternString serializes a single graph pattern the way it appears
+// inside a group. Equal patterns serialize equally (the serializer is
+// deterministic), so the string doubles as a structural comparison key.
+func PatternString(p Pattern) string {
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	writeGroupElement(&sb, p)
+	return sb.String()
+}
+
 func writeGroupElement(sb *strings.Builder, p Pattern) {
 	switch n := p.(type) {
 	case *TriplePattern:

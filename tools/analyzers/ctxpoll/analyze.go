@@ -1,0 +1,271 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// seedPollNames are the method/function names that poll cancellation
+// directly: the exec.Ctx budgeted checkpoint and raw poll, pathcomp's
+// budgeted ticker, and the context.Context surface.
+var seedPollNames = map[string]bool{
+	"Check":    true,
+	"Poll":     true,
+	"tick":     true,
+	"Err":      true,
+	"Done":     true,
+	"Deadline": true,
+}
+
+// ignoreMarker silences a finding when it appears on the loop's line
+// or the line above.
+const ignoreMarker = "ctxpoll:ignore"
+
+// Finding is one suspect loop.
+type Finding struct {
+	Pos  token.Position
+	Func string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: unbounded loop in %s never polls cancellation (add a Ctx.Check/Poll call or //ctxpoll:ignore)",
+		f.Pos, f.Func)
+}
+
+// fileInfo is one parsed file plus its ignore-comment line set.
+type fileInfo struct {
+	file    *ast.File
+	ignores map[int]bool
+}
+
+// AnalyzeDirs parses every non-test .go file under the given package
+// directories (non-recursive, like a go/analysis unit) and reports
+// suspect loops, ordered by position.
+func AnalyzeDirs(dirs []string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []fileInfo
+	for _, dir := range dirs {
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, de := range names {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, fileInfo{file: f, ignores: ignoreLines(fset, f)})
+		}
+	}
+	polling := pollingFunctions(files)
+	var out []Finding
+	for _, fi := range files {
+		out = append(out, analyzeFile(fset, fi, polling)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out, nil
+}
+
+// ignoreLines collects the line numbers carrying the ignore marker.
+func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, ignoreMarker) {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// pollingFunctions computes the name-based fixpoint: start from the
+// seed names, add every analyzed function whose body calls a polling
+// name, repeat until stable. Method and function names share one
+// namespace — without type information a call c.Next() is attributed
+// to every analyzed Next, which over-approximates reachability in the
+// safe direction for this codebase (its operator methods genuinely
+// poll).
+func pollingFunctions(files []fileInfo) map[string]bool {
+	polling := make(map[string]bool, len(seedPollNames))
+	for n := range seedPollNames {
+		polling[n] = true
+	}
+	type fn struct {
+		name string
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, fi := range files {
+		for _, d := range fi.file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fn{fd.Name.Name, fd.Body})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if polling[f.name] {
+				continue
+			}
+			if callsPolling(f.body, polling) {
+				polling[f.name] = true
+				changed = true
+			}
+		}
+	}
+	return polling
+}
+
+// callsPolling reports whether any call inside n resolves (by base
+// name) to a polling function. Function-literal bodies count: a loop
+// that polls through a closure it invokes still polls.
+func callsPolling(n ast.Node, polling map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if polling[calleeName(call)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName extracts the base name of a call target: the selector's
+// final identifier or the plain identifier, "" for computed calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fe := call.Fun.(type) {
+	case *ast.Ident:
+		return fe.Name
+	case *ast.SelectorExpr:
+		return fe.Sel.Name
+	}
+	return ""
+}
+
+// analyzeFile flags the suspect loops of one file.
+func analyzeFile(fset *token.FileSet, fi fileInfo, polling map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range fi.file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			loop, ok := x.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if !unbounded(loop) || !doesWork(loop.Body) {
+				return true
+			}
+			line := fset.Position(loop.Pos()).Line
+			if fi.ignores[line] || fi.ignores[line-1] {
+				return true
+			}
+			if callsPolling(loop.Body, polling) || receivesChannel(loop.Body) {
+				return true
+			}
+			out = append(out, Finding{Pos: fset.Position(loop.Pos()), Func: funcLabel(fd)})
+			return true
+		})
+	}
+	return out
+}
+
+// unbounded reports whether the for statement's header guarantees no
+// progress bound: `for {}` and the single-condition `for cond {}`
+// (whose condition can stay true forever). Three-clause loops and
+// range loops advance toward their header's bound.
+func unbounded(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	return loop.Init == nil && loop.Post == nil
+}
+
+// doesWork reports whether the loop body is substantial enough to
+// matter: it performs at least one call or contains a nested loop. A
+// pure arithmetic spin (no calls) is not this analyzer's business.
+func doesWork(body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if work {
+			return false
+		}
+		switch x.(type) {
+		case *ast.CallExpr, *ast.ForStmt, *ast.RangeStmt:
+			work = true
+			return false
+		}
+		return true
+	})
+	return work
+}
+
+// receivesChannel reports whether the body blocks on a channel receive
+// or select — loops structured around channel operations are paced by
+// their channel, not by a poll call.
+func receivesChannel(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := x.(type) {
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcLabel renders a method as Recv.Name and a function as Name.
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return "?"
+}

@@ -1,0 +1,50 @@
+// Command ctxpoll is a vet-style analyzer for the executor's
+// cancellation discipline: inner loops of the evaluation engine must
+// poll the execution context (exec.Ctx.Check/Poll or a function that
+// transitively does) or a cancelled request keeps burning CPU until
+// the loop finishes on its own. The bug class is real — the serving
+// path once leaked whole path searches past disconnects — so the rule
+// is enforced mechanically over the packages that host such loops.
+//
+// A loop is suspect when it is potentially unbounded — `for { ... }`
+// or a single-condition `for cond { ... }` (three-clause and range
+// loops are bounded by their header) — and its body performs calls but
+// never reaches a polling function. "Reaches" is a name-based
+// fixpoint, the honest best available without go/types on a stdlib-only
+// toolchain (the tree ships no golang.org/x/tools, so this is a plain
+// CLI rather than a vettool plugin): a function polls if its body
+// calls Check, Poll, Err, Done or Deadline, or any function in the
+// analyzed packages whose name is known to poll.
+//
+// False positives are silenced with a trailing or preceding
+// `//ctxpoll:ignore` comment, which should say why the loop is bounded.
+//
+// Usage:
+//
+//	go run ./tools/analyzers/ctxpoll ./internal/pathcomp ./internal/exec
+//
+// Exit status 1 when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ctxpoll <package-dir> ...")
+		os.Exit(2)
+	}
+	findings, err := AnalyzeDirs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxpoll:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

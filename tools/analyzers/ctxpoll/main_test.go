@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeTestdata runs the analyzer over the annotated fixture and
+// checks that exactly the bad* functions are flagged.
+func TestAnalyzeTestdata(t *testing.T) {
+	findings, err := AnalyzeDirs([]string{"testdata/src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Func)
+	}
+	want := []string{"badInfinite", "badWhile", "badNested"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("flagged %v, want %v\nfindings:\n%s", got, want, joinFindings(findings))
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.String(), "never polls cancellation") {
+			t.Fatalf("unexpected rendering: %s", f)
+		}
+		if f.Pos.Line == 0 || f.Pos.Filename == "" {
+			t.Fatalf("finding without position: %+v", f)
+		}
+	}
+}
+
+// TestAnalyzeEnginePackages pins the production contract the CI step
+// enforces: the executor and compiled-path packages are clean.
+func TestAnalyzeEnginePackages(t *testing.T) {
+	findings, err := AnalyzeDirs([]string{"../../../internal/pathcomp", "../../../internal/exec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("engine packages have unpolled loops:\n%s", joinFindings(findings))
+	}
+}
+
+func joinFindings(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		fmt.Fprintln(&sb, f.String())
+	}
+	return sb.String()
+}

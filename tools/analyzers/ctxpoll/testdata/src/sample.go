@@ -1,0 +1,100 @@
+// Package sample is the ctxpoll self-test fixture: each loop below is
+// annotated with whether the analyzer must flag it.
+package sample
+
+type ctx struct{}
+
+func (c *ctx) Check(mask int) error { return nil }
+func (c *ctx) Poll() error          { return nil }
+
+func work()      {}
+func moreWork()  {}
+func otherWork() {}
+
+// polls transitively: calls Check.
+func checkpoint(c *ctx) error { return c.Check(63) }
+
+// badInfinite must be flagged: unbounded, does work, never polls.
+func badInfinite(c *ctx) {
+	for {
+		work()
+	}
+}
+
+// badWhile must be flagged: single-condition loop, never polls.
+func badWhile(c *ctx, done bool) {
+	for !done {
+		moreWork()
+	}
+}
+
+// goodDirect polls through the Ctx method.
+func goodDirect(c *ctx) {
+	for {
+		if err := c.Check(255); err != nil {
+			return
+		}
+		work()
+	}
+}
+
+// goodTransitive polls through a helper that polls.
+func goodTransitive(c *ctx) {
+	for {
+		if err := checkpoint(c); err != nil {
+			return
+		}
+		work()
+	}
+}
+
+// goodBounded is a three-clause loop: bounded by its header.
+func goodBounded(c *ctx) {
+	for i := 0; i < 100; i++ {
+		work()
+	}
+}
+
+// goodRange iterates a collection.
+func goodRange(c *ctx, xs []int) {
+	for range xs {
+		work()
+	}
+}
+
+// goodChannel blocks on a receive: paced by the channel.
+func goodChannel(c *ctx, ch chan int) {
+	for {
+		<-ch
+		work()
+	}
+}
+
+// goodIgnored carries the escape marker.
+func goodIgnored(c *ctx) {
+	//ctxpoll:ignore bounded by the caller's retry budget
+	for {
+		otherWork()
+	}
+}
+
+// goodSpin performs no calls: not this analyzer's business.
+func goodSpin(c *ctx) {
+	n := 0
+	for {
+		n++
+		if n > 10 {
+			break
+		}
+	}
+}
+
+// badNested must be flagged: the outer loop only spins over an inner
+// bounded loop and never polls.
+func badNested(c *ctx) {
+	for {
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}
+}
