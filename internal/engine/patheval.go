@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"runtime"
+
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
@@ -54,9 +56,11 @@ func PathHolds(sn *rdf.Snapshot, s, o rdf.ID, p sparql.PathExpr, resolve PathRes
 // EvalPathPairs enumerates all (subject, object) pairs connected by the
 // path, up to limit pairs (0 = unlimited), ordered by subject then
 // object ID. The subject candidates are all subjects and objects in the
-// store.
+// store. On large graphs the sweep fans out over GOMAXPROCS workers
+// (pathcomp.PairsParCtx); the pair order is identical to a serial run.
 func EvalPathPairs(sn *rdf.Snapshot, p sparql.PathExpr, resolve PathResolver, limit int) [][2]rdf.ID {
-	return pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).Pairs(limit)
+	out, _ := pathcomp.Compile(sn, p, pathcomp.Resolver(resolve)).PairsParCtx(nil, limit, runtime.GOMAXPROCS(0))
+	return out
 }
 
 // ---------- naive reference interpreter ----------

@@ -61,6 +61,19 @@ type Result struct {
 	// linter proved empty before compilation — finishes with zero. The
 	// legacy path does not meter itself and always reports zero.
 	Probes int64
+	// Parallel reports morsel-driven intra-query execution when the
+	// compiler chose it: worker count plus per-worker processed volumes.
+	// Nil for serial runs (Limits.Parallel == 1, small plans, or query
+	// shapes without a parallelizable section).
+	Parallel *ParallelInfo
+}
+
+// ParallelInfo summarizes one query's intra-query parallel section.
+type ParallelInfo struct {
+	// Workers is the exchange's worker count.
+	Workers int
+	// Stats holds per-worker morsel/batch/row counts.
+	Stats []exec.WorkerStat
 }
 
 // Limits bounds evaluation.
@@ -101,6 +114,14 @@ type Limits struct {
 	// Opt-in because "=" is value equality while substitution enforces
 	// term equality (see internal/lint/rewrite.go for the caveat).
 	CollapseEqualities bool
+	// Parallel is the intra-query worker budget for the columnar
+	// executor's morsel-driven exchange and the compiled-path pair
+	// sweeps: 0 means auto (GOMAXPROCS), 1 pins today's serial
+	// execution (the differential reference), higher values cap the
+	// worker set. The compiler only fans out when the plan's cardinality
+	// estimates clear a threshold, so small queries stay serial — and
+	// parallel output is row-for-row identical to serial either way.
+	Parallel int
 }
 
 // DefaultMaxRows bounds intermediate results.
@@ -136,6 +157,7 @@ func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Li
 	if err == nil {
 		res.Recovered = ev.recovered
 		res.Probes = ev.probes
+		res.Parallel = ev.parInfo
 	}
 	return res, err
 }
@@ -170,6 +192,10 @@ type evaluator struct {
 	// execution of this evaluation (subqueries make their own colExec
 	// and harvest into here) — surfaced as Result.Probes.
 	probes int64
+	// parInfo records the outermost parallel section's worker stats
+	// (subquery executions overwrite first, the main query last) —
+	// surfaced as Result.Parallel.
+	parInfo *ParallelInfo
 }
 
 // pathCache returns the compiled-path cache: the caller-shared one from

@@ -53,6 +53,7 @@ func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
 	for _, pp := range pathPatterns {
 		text += ev.explainPath(pp)
 	}
+	text += explainParallel(sn, q)
 	if extras := nonConjunctiveOperators(q); len(extras) > 0 {
 		text += fmt.Sprintf("note: query also contains %s — only the conjunctive core and property\n"+
 			"      paths above were planned and executed; full evaluation may return different results\n",
@@ -63,6 +64,33 @@ func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
 			"      the service body fails; Result.Recovered counts such silent recoveries\n"
 	}
 	return text, nil
+}
+
+// explainParallel executes the query on the columnar pipeline with the
+// default limits and renders the morsel exchange section: per-worker
+// morsel/batch/row counts when the compiler placed one, a one-line
+// reason when it stayed serial. Failures (row-budget overflow, …) just
+// omit the section — the earlier sections already told the plan story.
+func explainParallel(sn *rdf.Snapshot, q *sparql.Query) string {
+	res, err := QueryWithLimits(sn, q, Limits{})
+	if err != nil {
+		return ""
+	}
+	if res.Parallel == nil {
+		return "parallel exchange: not placed (serial pipeline: low cardinality estimate,\n" +
+			"      a single-pattern group, or one core)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel exchange: %d workers, morsel-driven\n", res.Parallel.Workers)
+	var morsels, batches, rows int64
+	for i, ws := range res.Parallel.Stats {
+		fmt.Fprintf(&b, "  worker %d: %d morsels, %d batches, %d rows\n", i, ws.Morsels, ws.Batches, ws.Rows)
+		morsels += ws.Morsels
+		batches += ws.Batches
+		rows += ws.Rows
+	}
+	fmt.Fprintf(&b, "  merged (serial order): %d morsels, %d batches, %d rows\n", morsels, batches, rows)
+	return b.String()
 }
 
 // hasSilentService reports whether any SERVICE SILENT clause appears in

@@ -1,0 +1,262 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// This file is the intra-query parallelism differential: every query
+// runs once with Limits.Parallel=1 (the serial reference) and once with
+// a forced multi-worker exchange, and the results must be identical —
+// not just as multisets but row for row, because the exchange's
+// sequence-numbered merge promises the exact serial order (and
+// LIMIT-without-ORDER-BY picks *which* rows survive, so order-
+// insensitive comparison would be too weak). The tests lower the
+// planner gate so the exchange engages on test-sized stores.
+
+// forceParallel drops the cardinality gate for the duration of a test
+// so compileParallelRun triggers on small stores.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	saved := parallelMinRows
+	parallelMinRows = 0
+	t.Cleanup(func() { parallelMinRows = saved })
+}
+
+// diffParallelSerial requires identical outcomes — error class, ASK
+// answer, projection, and the exact row sequence — between serial and
+// 4-worker evaluation.
+func diffParallelSerial(t *testing.T, sn *rdf.Snapshot, src string, lim Limits) {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	slim, plim := lim, lim
+	slim.Parallel = 1
+	plim.Parallel = 4
+	serial, serr := QueryWithLimits(sn, q, slim)
+	par, perr := QueryWithLimits(sn, q, plim)
+	if (serr == nil) != (perr == nil) {
+		t.Fatalf("error divergence on %q: serial=%v parallel=%v", src, serr, perr)
+	}
+	if serr != nil {
+		return
+	}
+	if serial.Bool != par.Bool {
+		t.Fatalf("ASK diverges on %q: serial=%v parallel=%v", src, serial.Bool, par.Bool)
+	}
+	if strings.Join(serial.Vars, ",") != strings.Join(par.Vars, ",") {
+		t.Fatalf("vars diverge on %q: %v vs %v", src, serial.Vars, par.Vars)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts diverge on %q: serial=%d parallel=%d", src, len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		a := strings.Join(serial.Rows[i], "\x1f")
+		b := strings.Join(par.Rows[i], "\x1f")
+		if a != b {
+			t.Fatalf("rows diverge on %q at %d:\nserial:   %q\nparallel: %q", src, i, a, b)
+		}
+	}
+}
+
+// TestParallelDifferentialOperators replays the operator corpus with a
+// forced exchange: the same queries the columnar/legacy differential
+// pins down, now serial vs parallel.
+func TestParallelDifferentialOperators(t *testing.T) {
+	forceParallel(t)
+	sn := socialStore()
+	for _, src := range []string{
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z . ?z <urn:knows> ?w }`,
+		`SELECT * WHERE { ?x <urn:knows> ?x . ?x <urn:knows> ?y }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?x <urn:nothere> ?z }`,
+		`SELECT * WHERE { ?s ?p ?o . ?o ?q ?r }`,
+		// Interior filters are transparent to the run; they apply after
+		// the merge.
+		`SELECT * WHERE { ?x <urn:knows> ?y FILTER (?y != <urn:a3>) ?y <urn:knows> ?z }`,
+		`SELECT * WHERE { ?x <urn:age> ?a . ?x <urn:knows> ?y FILTER (?a > 22) }`,
+		// Paths inside the run (worker chains clone the path operator).
+		`SELECT * WHERE { ?x <urn:tag> <urn:gold> . ?x (<urn:knows>|<urn:special>)+ ?y }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows>+ ?z }`,
+		`SELECT ?x ?y WHERE { ?x <urn:knows>+ ?y . ?y <urn:tag> <urn:gold> }`,
+		// Downstream operators consume the merged stream.
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z OPTIONAL { ?z <urn:age> ?a } }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z MINUS { ?z <urn:tag> <urn:gold> } }`,
+		`SELECT * WHERE { { ?x <urn:knows> ?y . ?y <urn:knows> ?z } UNION { ?x <urn:special> ?z } }`,
+		`SELECT ?z WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z FILTER EXISTS { ?z <urn:age> ?a } }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z BIND (CONCAT(STR(?x), "-") AS ?k) }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z VALUES ?x { <urn:a2> <urn:a7> } }`,
+		`SELECT * WHERE { { SELECT ?x WHERE { ?x <urn:tag> <urn:gold> } } ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+		`SELECT ?g ?x ?y WHERE { GRAPH ?g { ?x <urn:knows> ?y . ?y <urn:knows> ?z } }`,
+		// Streaming DISTINCT with worker pre-dedup, LIMIT early exit.
+		`SELECT DISTINCT ?y WHERE { ?x <urn:knows> ?y . ?z <urn:knows> ?y }`,
+		`SELECT DISTINCT ?z WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z } LIMIT 3`,
+		`SELECT ?z WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z } LIMIT 4`,
+		`SELECT ?z WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z } OFFSET 5 LIMIT 5`,
+		// Modifiers that materialize: ORDER BY, aggregation over the
+		// merged stream.
+		`SELECT ?z WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z } ORDER BY ?z LIMIT 3`,
+		`SELECT ?y (COUNT(*) AS ?c) WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z } GROUP BY ?y ORDER BY DESC(?c) ?y`,
+		`SELECT (COUNT(*) AS ?c) WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+		// ASK stops at the first merged row.
+		`ASK { ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+		`ASK { ?x <urn:nothere> ?y . ?y <urn:knows> ?z }`,
+		`CONSTRUCT { ?z <urn:knownBy2> ?x } WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+	} {
+		diffParallelSerial(t, sn, src, Limits{})
+	}
+}
+
+// TestParallelDifferentialRandom is the randomized half, sharing the
+// query generator with the columnar/legacy differential.
+func TestParallelDifferentialRandom(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(173))
+	for trial := 0; trial < 120; trial++ {
+		st := rdf.NewStore()
+		nNodes := 4 + rng.Intn(10)
+		nPreds := 1 + rng.Intn(3)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			st.Add(
+				fmt.Sprintf("urn:n%d", rng.Intn(nNodes)),
+				fmt.Sprintf("urn:p%d", rng.Intn(nPreds)),
+				fmt.Sprintf("urn:n%d", rng.Intn(nNodes)),
+			)
+		}
+		sn := st.Freeze()
+		src := randomQuery(rng, nNodes, nPreds)
+		diffParallelSerial(t, sn, src, Limits{})
+	}
+}
+
+// parallelChainStore is a store big enough that the exchange engages
+// under the real gate too: a bipartite fan (s_i -p-> m_j -q-> o_k).
+func parallelChainStore(fan int) *rdf.Snapshot {
+	st := rdf.NewStore()
+	for i := 0; i < fan; i++ {
+		for j := 0; j < 8; j++ {
+			st.Add(fmt.Sprintf("urn:s%d", i), "urn:p", fmt.Sprintf("urn:m%d", (i+j)%fan))
+			st.Add(fmt.Sprintf("urn:m%d", i), "urn:q", fmt.Sprintf("urn:o%d", (i*7+j)%16))
+		}
+	}
+	return st.Freeze()
+}
+
+// TestParallelExchangePlaced pins the compiler gating: an eligible
+// two-pattern join on a large store places the exchange (surfaced as
+// Result.Parallel with per-worker stats that add up), Parallel=1 does
+// not, and neither does a replayed subtree.
+func TestParallelExchangePlaced(t *testing.T) {
+	sn := parallelChainStore(160)
+	src := `SELECT * WHERE { ?s <urn:p> ?m . ?m <urn:q> ?o }`
+	q, _ := sparql.Parse(src)
+
+	res, err := QueryWithLimits(sn, q, Limits{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel == nil || res.Parallel.Workers != 4 {
+		t.Fatalf("expected a 4-worker exchange, got %+v", res.Parallel)
+	}
+	var rows int64
+	for _, ws := range res.Parallel.Stats {
+		rows += ws.Rows
+	}
+	if rows != int64(len(res.Rows)) {
+		t.Fatalf("worker stats rows = %d, want %d", rows, len(res.Rows))
+	}
+
+	res, err = QueryWithLimits(sn, q, Limits{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel != nil {
+		t.Fatalf("Parallel=1 must stay serial, got %+v", res.Parallel)
+	}
+
+	// A replayed subtree never hosts an exchange, even when forced.
+	forceParallel(t)
+	q2, _ := sparql.Parse(`SELECT * WHERE { ?s <urn:p> ?m OPTIONAL { ?m <urn:q> ?o . ?o <urn:nothere> ?x } }`)
+	res, err = QueryWithLimits(sn, q2, Limits{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel != nil {
+		t.Fatalf("OPTIONAL body must not host an exchange, got %+v", res.Parallel)
+	}
+}
+
+// TestParallelRowLimitParity: the shared per-operator row budget makes
+// MaxRows trip (or not) independently of morsel scheduling, exactly as
+// the serial pipeline decides it.
+func TestParallelRowLimitParity(t *testing.T) {
+	forceParallel(t)
+	sn := parallelChainStore(40)
+	src := `SELECT * WHERE { ?s <urn:p> ?m . ?m <urn:q> ?o }`
+	q, _ := sparql.Parse(src)
+	serialRes, serr := QueryWithLimits(sn, q, Limits{Parallel: 1})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	total := len(serialRes.Rows)
+	for _, maxRows := range []int{total / 3, total - 1, total, total + 1} {
+		_, serr := QueryWithLimits(sn, q, Limits{Parallel: 1, MaxRows: maxRows})
+		_, perr := QueryWithLimits(sn, q, Limits{Parallel: 4, MaxRows: maxRows})
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("MaxRows=%d: serial err=%v, parallel err=%v", maxRows, serr, perr)
+		}
+	}
+	// Streaming LIMIT under a tight budget must keep succeeding in
+	// parallel: the early exit closes the exchange before the budget
+	// would fill.
+	q2, _ := sparql.Parse(src + ` LIMIT 2`)
+	for _, par := range []int{1, 4} {
+		res, err := QueryWithLimits(sn, q2, Limits{Parallel: par, MaxRows: total + 1})
+		if err != nil || len(res.Rows) != 2 {
+			t.Fatalf("parallel=%d: streaming limit rows=%d err=%v", par, len(res.Rows), err)
+		}
+	}
+}
+
+// TestParallelCancellationMidMorsel: cancelling mid-query aborts every
+// worker promptly and the exchange reclaims its goroutines (a hang here
+// fails the test by timeout).
+func TestParallelCancellationMidMorsel(t *testing.T) {
+	forceParallel(t)
+	st := rdf.NewStore()
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			st.Add(fmt.Sprintf("urn:s%d", i), "urn:p", fmt.Sprintf("urn:o%d", j))
+		}
+	}
+	sn := st.Freeze()
+	q, err := sparql.Parse(`SELECT * WHERE { ?a <urn:p> ?b . ?c <urn:p> ?d . ?e <urn:p> ?f }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, qerr := QueryContext(ctx, sn, q, Limits{MaxRows: 1 << 30, Parallel: 4})
+	if qerr == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, qerr := QueryContext(ctx2, sn, q, Limits{MaxRows: 1 << 30, Parallel: 4}); qerr == nil {
+		t.Fatal("pre-cancelled context must error")
+	}
+}

@@ -1,0 +1,407 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the morsel-driven intra-query exchange. A Parallel
+// operator partitions its input stream into small row ranges (morsels),
+// feeds them through a bounded queue to a fixed worker set — each
+// worker owning a private copy of the downstream operator chain and a
+// private Ctx — and merges the per-morsel outputs back in dispatch
+// order, so the merged stream is row-for-row identical to a serial run
+// of the same chain. Only snapshot-read-only operators (index joins,
+// compiled paths) may appear inside a worker chain: everything that
+// touches the execution's Pool (filters, BIND, VALUES, subqueries)
+// stays upstream of the exchange or downstream of the merge, where it
+// runs single-threaded as before.
+
+// Budget is a cumulative row cap shared by the clones of one capped
+// operator across parallel workers. Serially an operator checks its
+// private rowsCum against Ctx.MaxRows; cloned across workers each copy
+// sees only its share, so the clones additionally charge one shared
+// Budget per emitted batch — the sum across workers equals the serial
+// cumulative count, and the query errors exactly when a serial run
+// would have (ErrRowLimit is scheduling-independent: every morsel's
+// output is charged before the merge surfaces end-of-stream).
+type Budget struct{ used atomic.Int64 }
+
+// charge adds n output rows; a nil Budget (the serial case) is free.
+func (b *Budget) charge(n, max int) error {
+	if b == nil || max <= 0 {
+		return nil
+	}
+	if b.used.Add(int64(n)) > int64(max) {
+		return ErrRowLimit
+	}
+	return nil
+}
+
+// ShareBudget wires a join or path operator to charge the shared
+// cross-worker row budget in addition to its private MaxRows check.
+// Operators without budget support are left unchanged.
+func ShareBudget(op Operator, b *Budget) {
+	if s, ok := op.(interface{ setBudget(*Budget) }); ok {
+		s.setBudget(b)
+	}
+}
+
+// WorkerChain is one worker's private copy of the parallel section:
+// Root must consume from Seed, and every operator between them must be
+// safe to run concurrently with its siblings (snapshot reads only).
+type WorkerChain struct {
+	Seed *Seed
+	Root Operator
+}
+
+// WorkerStat is one worker's processed-volume summary, for explain
+// output and the stats merge.
+type WorkerStat struct {
+	Morsels int64
+	Batches int64
+	Rows    int64
+}
+
+// minMorselRows bounds morsel granularity from below: below this,
+// per-morsel overhead (copy, channel hop, chain reset) dominates.
+const minMorselRows = 16
+
+type morsel struct {
+	seq int64
+	b   *Batch
+}
+
+type morselResult struct {
+	seq     int64
+	batches []*Batch
+	err     error
+}
+
+// Parallel is the exchange/merge operator. It is NOT safe for use as a
+// correlated inner subtree (its workers outlive a single Next call);
+// the compiler places at most one instance, on the main pipeline.
+type Parallel struct {
+	base
+	in     Operator
+	chains []WorkerChain
+
+	// dedup, when enabled, pre-deduplicates each morsel's output on the
+	// given slots inside the worker. The seen-set clears between
+	// morsels, so the first occurrence of each key in merged stream
+	// order always survives — a downstream DISTINCT on the same slots
+	// produces identical rows, but the exchange ships (and the final
+	// dedup hashes) per-morsel-unique rows only.
+	dedup    []int
+	hasDedup bool
+
+	started bool
+	stopped bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	morsels chan morsel
+	results chan morselResult
+
+	pc     *Ctx   // parent Ctx, for the probe/stat harvest
+	wctx   []*Ctx // per-worker forked Ctxs
+	dctx   *Ctx   // dispatcher's forked Ctx
+	wstats []WorkerStat
+
+	pending map[int64]*morselResult
+	nextSeq int64
+	cur     *morselResult
+	curPos  int
+	done    bool
+	err     error
+}
+
+// NewParallel returns the exchange over in with one worker per chain.
+// The caller builds the chains (same schema width as in) and wires any
+// shared Budgets; len(chains) must be at least 1.
+func NewParallel(in Operator, chains []WorkerChain) *Parallel {
+	return &Parallel{base: newBase(slotsOf(in)), in: in, chains: chains}
+}
+
+// SetDedup enables per-morsel worker-side pre-deduplication on slots.
+// Must be called before the first Next.
+func (p *Parallel) SetDedup(slots []int) {
+	p.dedup, p.hasDedup = slots, true
+}
+
+// Workers returns the worker count.
+func (p *Parallel) Workers() int { return len(p.chains) }
+
+// WorkerStats returns per-worker morsel/batch/row counts; valid after
+// the stream ended or Close was called.
+func (p *Parallel) WorkerStats() []WorkerStat { return p.wstats }
+
+// fork derives a goroutine-private Ctx from the parent: same deadline
+// and row budget, private step and probe counters (harvested back on
+// finish), and no nested intra-query parallelism.
+func (c *Ctx) fork(ctx context.Context) *Ctx {
+	return &Ctx{ctx: ctx, deadline: c.deadline, hasDL: c.hasDL, MaxRows: c.MaxRows, Parallel: 1}
+}
+
+func (p *Parallel) start(c *Ctx) {
+	p.pc = c
+	ictx, cancel := context.WithCancel(c.ctx)
+	p.cancel = cancel
+	n := len(p.chains)
+	p.morsels = make(chan morsel, 2*n)
+	p.results = make(chan morselResult, 2*n)
+	p.pending = make(map[int64]*morselResult, 2*n)
+	p.wstats = make([]WorkerStat, n)
+	p.dctx = c.fork(ictx)
+	p.wctx = make([]*Ctx, n)
+	for i := range p.chains {
+		p.wctx[i] = c.fork(ictx)
+		p.wg.Add(1)
+		go p.worker(i, ictx)
+	}
+	p.wg.Add(1)
+	go p.dispatch(ictx)
+	go func() {
+		p.wg.Wait()
+		close(p.results)
+	}()
+	p.started = true
+}
+
+// dispatch pulls the driving stream and re-splits each input batch into
+// owned morsels sized for load balance (about one chunk per worker and
+// never below minMorselRows), tagging each with its dispatch sequence.
+// An upstream error rides the results channel as an error morsel at the
+// current sequence, so the merge surfaces it exactly where a serial run
+// would have: after all rows the upstream produced before failing.
+func (p *Parallel) dispatch(ictx context.Context) {
+	defer p.wg.Done()
+	var seq int64
+	send := func(r morselResult) {
+		select {
+		case p.results <- r:
+		case <-ictx.Done():
+		}
+	}
+	for {
+		b, err := p.in.Next(p.dctx)
+		if err != nil {
+			close(p.morsels)
+			send(morselResult{seq: seq, err: err})
+			return
+		}
+		if b == nil {
+			close(p.morsels)
+			return
+		}
+		rows := b.Rows()
+		chunk := (rows + len(p.chains) - 1) / len(p.chains)
+		if chunk < minMorselRows {
+			chunk = minMorselRows
+		}
+		for from := 0; from < rows; from += chunk {
+			to := min(from+chunk, rows)
+			m := NewBatch(b.Slots())
+			for r := from; r < to; r++ {
+				m.AppendRow(b, r)
+			}
+			select {
+			case p.morsels <- morsel{seq: seq, b: m}:
+				seq++
+			case <-ictx.Done():
+				close(p.morsels)
+				return
+			}
+		}
+	}
+}
+
+// worker runs morsels through its private chain, materializing each
+// morsel's full output (dedup-compressed when enabled) and posting it
+// under the morsel's sequence number. After an error the worker drops
+// into poison mode — every further morsel is answered with the same
+// error immediately — so the pipeline keeps draining and the merge can
+// reach the first error in sequence order without deadlocking.
+func (p *Parallel) worker(i int, ictx context.Context) {
+	defer p.wg.Done()
+	wc, c, st := p.chains[i], p.wctx[i], &p.wstats[i]
+	var seen map[string]struct{}
+	var key []byte
+	if p.hasDedup {
+		seen = make(map[string]struct{})
+	}
+	var failed error
+	for {
+		var m morsel
+		var ok bool
+		select {
+		case m, ok = <-p.morsels:
+		case <-ictx.Done():
+			return
+		}
+		if !ok {
+			return
+		}
+		var r morselResult
+		if failed != nil {
+			r = morselResult{seq: m.seq, err: failed}
+		} else {
+			wc.Seed.SetBatches([]*Batch{m.b})
+			wc.Root.Reset()
+			var batches []*Batch
+			var err error
+			if p.hasDedup {
+				clear(seen)
+				batches, key, err = drainDedup(c, wc.Root, p.dedup, seen, key)
+			} else {
+				batches, err = Materialize(c, wc.Root)
+			}
+			if err != nil {
+				failed = err
+				batches = nil
+			}
+			st.Morsels++
+			for _, b := range batches {
+				st.Batches++
+				st.Rows += int64(b.Rows())
+			}
+			r = morselResult{seq: m.seq, batches: batches, err: err}
+		}
+		select {
+		case p.results <- r:
+		case <-ictx.Done():
+			return
+		}
+	}
+}
+
+// drainDedup is Materialize with inline dedup on the packed slot key —
+// the worker half of the DISTINCT pipeline breaker.
+func drainDedup(c *Ctx, op Operator, slots []int, seen map[string]struct{}, key []byte) ([]*Batch, []byte, error) {
+	var out []*Batch
+	var cp *Batch
+	for {
+		b, err := op.Next(c)
+		if err != nil {
+			return nil, key, err
+		}
+		if b == nil {
+			if cp != nil && cp.Rows() > 0 {
+				out = append(out, cp)
+			}
+			return out, key, nil
+		}
+		for row := 0; row < b.Rows(); row++ {
+			key = key[:0]
+			for _, s := range slots {
+				v := b.Get(s, row)
+				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			if cp == nil {
+				cp = NewBatch(b.Slots())
+			}
+			cp.AppendRow(b, row)
+			if cp.Full() {
+				out = append(out, cp)
+				cp = NewBatch(b.Slots())
+			}
+		}
+	}
+}
+
+func (p *Parallel) Next(c *Ctx) (*Batch, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.done {
+		return nil, nil
+	}
+	if !p.started {
+		p.start(c)
+	}
+	//ctxpoll:ignore merge loop: blocks on the results channel; workers and the dispatcher poll cancellation and post errors, which close the channel path within one ticker interval
+	for {
+		if p.cur != nil {
+			//ctxpoll:ignore bounded replay of one morsel's batch list; the workers that produced it polled per batch
+			for p.curPos < len(p.cur.batches) {
+				b := p.cur.batches[p.curPos]
+				p.curPos++
+				if b.Rows() == 0 {
+					continue
+				}
+				p.stats.Batches++
+				p.stats.Rows += int64(b.Rows())
+				return b, nil
+			}
+			p.cur = nil
+		}
+		if r, ok := p.pending[p.nextSeq]; ok {
+			delete(p.pending, p.nextSeq)
+			p.nextSeq++
+			if r.err != nil {
+				p.err = r.err
+				p.stop()
+				return nil, r.err
+			}
+			p.cur, p.curPos = r, 0
+			continue
+		}
+		r, ok := <-p.results
+		if !ok {
+			// Cancellation can make workers drop results (their sends
+			// select against ictx.Done), so a closed channel is a clean
+			// end-of-stream only while the parent context is live —
+			// otherwise the truncation must surface as the context error.
+			if err := c.Poll(); err != nil {
+				p.err = err
+				p.stop()
+				return nil, err
+			}
+			p.done = true
+			p.stop()
+			return nil, nil
+		}
+		rc := r
+		p.pending[rc.seq] = &rc
+	}
+}
+
+// stop cancels the internal context, waits out every goroutine, and
+// harvests the forked Ctxs' probe counters into the parent. Idempotent.
+func (p *Parallel) stop() {
+	if !p.started || p.stopped {
+		return
+	}
+	p.stopped = true
+	p.cancel()
+	p.wg.Wait()
+	p.pc.Probes += p.dctx.Probes
+	for _, w := range p.wctx {
+		p.pc.Probes += w.Probes
+	}
+}
+
+// Close aborts any in-flight workers and reclaims their goroutines.
+// Consumers that stop pulling early (LIMIT, ASK) never drive Next to
+// end-of-stream, so the execution layer must Close the exchange when
+// the query finishes.
+func (p *Parallel) Close() { p.stop() }
+
+// Reset rewinds the exchange for a fresh run. The compiler never places
+// a Parallel inside a correlated subtree, so this is defensive: it
+// tears the current run down and clears the merge state.
+func (p *Parallel) Reset() {
+	p.stop()
+	p.in.Reset()
+	for _, wc := range p.chains {
+		wc.Root.Reset()
+	}
+	p.started, p.stopped, p.done = false, false, false
+	p.err = nil
+	p.pending, p.cur, p.curPos, p.nextSeq = nil, nil, 0, 0
+	p.wstats = nil
+}

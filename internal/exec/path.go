@@ -42,6 +42,10 @@ type pathOp struct {
 	loops     []rdf.ID
 	loopsDone bool
 
+	// bud, when set, is the row budget shared with this op's clones in
+	// sibling parallel worker chains (see exec.Budget).
+	bud *Budget
+
 	rowsCum int
 	cur     *Batch
 	curRow  int
@@ -57,6 +61,8 @@ func (p *pathOp) Reset() {
 	p.in.Reset()
 	p.rowsCum, p.cur, p.curRow = 0, nil, 0
 }
+
+func (p *pathOp) setBudget(b *Budget) { p.bud = b }
 
 func (p *pathOp) Next(c *Ctx) (*Batch, error) {
 	for {
@@ -84,6 +90,9 @@ func (p *pathOp) Next(c *Ctx) (*Batch, error) {
 			}
 		}
 		p.rowsCum += p.out.Rows()
+		if err := p.bud.charge(p.out.Rows(), c.MaxRows); err != nil {
+			return nil, err
+		}
 		if b := p.emit(); b != nil {
 			return b, nil
 		}
@@ -175,7 +184,7 @@ func (p *pathOp) processRow(c *Ctx, in *Batch, row int) error {
 		if c.MaxRows > 0 {
 			limit = c.MaxRows + 1 - p.rowsCum - p.out.Rows()
 		}
-		pairs, err := p.pa.PairsCtx(check, limit)
+		pairs, err := p.pa.PairsParCtx(check, limit, c.Parallel)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,16 @@
 // row order of the row-at-a-time evaluation they replaced, which keeps
 // the columnar executor result-identical (including solution-modifier
 // tie-breaks) to the legacy materialized path it is tested against.
+//
+// Parallel is the morsel-driven exchange: it splits a driving
+// operator's batches into morsels, fans them out to workers holding
+// private clones of a join/path operator chain, and merges the results
+// back in exact dispatch order, so a parallel pipeline emits
+// row-for-row the same output as its serial counterpart. Worker chains
+// may contain only operators whose scratch state is private to the
+// chain (joins and paths); row budgets shared across clones of one
+// chain position use the atomic Budget so MaxRows outcomes are
+// scheduling-independent.
 package exec
 
 // Schema assigns query variables to dense slot indexes. It is built

@@ -1,0 +1,140 @@
+// In-package differential for the parallel pair sweeps: pairsPar is
+// called directly (bypassing the PairsParCtx size gate, which would
+// route test-sized graphs to the serial path) and must reproduce the
+// serial PairsCtx enumeration exactly — same pairs, same order, and
+// with a limit the exact same prefix. Runs under -race in CI, where it
+// is the concurrency check on the component-claim and stripe-claim
+// cursors.
+package pathcomp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+func testGraph(t *testing.T, seed int64, nodes, extra int) *rdf.Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	st := rdf.NewStore()
+	name := func(i int) string { return fmt.Sprintf("n%02d", i) }
+	preds := []string{"a", "b", "c"}
+	for i := 0; i < nodes; i++ {
+		st.Add(name(i), "a", name((i+1)%nodes))
+	}
+	for i := 0; i < extra; i++ {
+		st.Add(name(rng.Intn(nodes)), preds[rng.Intn(len(preds))], name(rng.Intn(nodes)))
+	}
+	st.Add(name(0), "a", name(0)) // self-loop: singleton SCC with a loop
+	return st.Freeze()
+}
+
+func compileExpr(t *testing.T, sn *rdf.Snapshot, expr string) *Path {
+	t.Helper()
+	q, err := sparql.Parse("ASK { ?x " + expr + " ?y }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	pp := q.PathPatterns()
+	if len(pp) != 1 {
+		t.Fatalf("%q: want one path pattern, got %d", expr, len(pp))
+	}
+	resolve := func(iri string) (rdf.ID, bool) { return sn.Lookup(iri) }
+	return Compile(sn, pp[0].Path, resolve)
+}
+
+// pairExprs covers both sweep engines: the closure fast path (*, +,
+// alternation closures — SCC condensation, component claims) and the
+// general automaton (sequence, inverse, negation — striped runners).
+var pairExprs = []string{
+	`<a>*`, `<a>+`, `(<a>|<b>)+`, `(<a>|<b>)*`,
+	`<a>/<b>`, `^<a>`, `<a>?`, `!<a>`, `<a>/<b>*`,
+}
+
+func TestPairsParMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{3, 11, 4099} {
+		sn := testGraph(t, seed, 40, 120)
+		for _, expr := range pairExprs {
+			pa := compileExpr(t, sn, expr)
+			want, err := pa.PairsCtx(nil, 0)
+			if err != nil {
+				t.Fatalf("%q serial: %v", expr, err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got, err := pa.pairsPar(nil, 0, workers)
+				if err != nil {
+					t.Fatalf("%q workers=%d: %v", expr, workers, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%q workers=%d: %d pairs, want %d", expr, workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%q workers=%d: pair %d = %v, want %v", expr, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairsParLimitExactPrefix: a limited parallel sweep must return
+// exactly the first `limit` pairs of the serial enumeration — the
+// ascending stripe claim guarantees the finished prefix is contiguous.
+func TestPairsParLimitExactPrefix(t *testing.T) {
+	sn := testGraph(t, 17, 48, 160)
+	for _, expr := range pairExprs {
+		pa := compileExpr(t, sn, expr)
+		full, err := pa.PairsCtx(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{1, 5, 37, len(full), len(full) + 10} {
+			got, err := pa.pairsPar(nil, limit, 4)
+			if err != nil {
+				t.Fatalf("%q limit=%d: %v", expr, limit, err)
+			}
+			want := full
+			if limit < len(full) {
+				want = full[:limit]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%q limit=%d: %d pairs, want %d", expr, limit, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%q limit=%d: pair %d = %v, want %v", expr, limit, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPairsParCancellation: a failing check aborts the sweep and the
+// check's error comes back, not a partial pair list. The check passes
+// once and then fails, so the abort lands mid-evaluation; the counter
+// is atomic because every worker's ticker shares the check. (Tickers
+// batch ~1k steps per check call, so the graph is sized to step well
+// past two calls.)
+func TestPairsParCancellation(t *testing.T) {
+	sn := testGraph(t, 29, 200, 2200)
+	stop := errors.New("stop")
+	for _, expr := range []string{`<a>+`, `<a>/<b>`} {
+		pa := compileExpr(t, sn, expr)
+		var calls atomic.Int64
+		check := func() error {
+			if calls.Add(1) > 1 {
+				return stop
+			}
+			return nil
+		}
+		if _, err := pa.pairsPar(check, 0, 4); !errors.Is(err, stop) {
+			t.Fatalf("%q: err = %v, want %v", expr, err, stop)
+		}
+	}
+}

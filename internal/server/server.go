@@ -94,6 +94,10 @@ func New(cfg Config) *Server {
 			Plans:   plans,
 			Paths:   paths,
 			Limits:  cfg.Limits,
+			// The in-flight gate is the serving pool: budget each
+			// request's intra-query workers against it so a full gate
+			// never oversubscribes inter × intra beyond GOMAXPROCS.
+			MaxConcurrent: cfg.MaxInFlight,
 		}),
 		plans:         plans,
 		paths:         paths,

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"runtime"
+	"testing"
+
+	"sparqlog/internal/rdf"
+)
+
+// TestIntraBudgetPinsTotalConcurrency: inter × intra must never exceed
+// GOMAXPROCS, whatever is requested, and both factors stay >= 1.
+func TestIntraBudgetPinsTotalConcurrency(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	for _, pool := range []int{0, 1, 2, 4, maxp, 2 * maxp, 64} {
+		for _, req := range []int{0, 1, 2, 8, 1024} {
+			intra := intraBudget(req, pool)
+			if intra < 1 {
+				t.Fatalf("pool=%d req=%d: intra=%d < 1", pool, req, intra)
+			}
+			effPool := pool
+			if effPool < 1 {
+				effPool = 1
+			}
+			if effPool <= maxp && effPool*intra > maxp {
+				t.Fatalf("pool=%d req=%d: pool*intra = %d oversubscribes GOMAXPROCS=%d",
+					pool, req, effPool*intra, maxp)
+			}
+			// An explicit modest request is honored when it fits.
+			if req == 1 && intra != 1 {
+				t.Fatalf("pool=%d: explicit serial request became %d", pool, intra)
+			}
+		}
+	}
+	// A saturated pool forces serial queries.
+	if got := intraBudget(0, 4*maxp); got != 1 {
+		t.Fatalf("saturated pool: intra=%d, want 1", got)
+	}
+	// A single-query caller gets the full machine by default.
+	if got := intraBudget(0, 1); got != maxp {
+		t.Fatalf("pool=1: intra=%d, want GOMAXPROCS=%d", got, maxp)
+	}
+}
+
+// TestExecutorClampsParallel: the serving executor resolves its
+// per-request budget at construction from MaxConcurrent.
+func TestExecutorClampsParallel(t *testing.T) {
+	sn := rdf.NewStore().Freeze()
+	maxp := runtime.GOMAXPROCS(0)
+
+	ex := NewExecutor(sn, ExecutorOptions{})
+	if ex.lim.Parallel != maxp {
+		t.Fatalf("default executor: Parallel=%d, want %d", ex.lim.Parallel, maxp)
+	}
+	ex = NewExecutor(sn, ExecutorOptions{MaxConcurrent: 2 * maxp})
+	if ex.lim.Parallel != 1 {
+		t.Fatalf("oversubscribed gate: Parallel=%d, want 1", ex.lim.Parallel)
+	}
+}

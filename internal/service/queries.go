@@ -33,8 +33,30 @@ type QueryOptions struct {
 	// shape compiles to its automaton once.
 	Paths *pathcomp.Cache
 	// Limits are the per-query evaluation bounds (MaxRows etc.); the
-	// Plans/Paths fields above override the ones inside.
+	// Plans/Paths fields above override the ones inside. Limits.Parallel
+	// (intra-query workers) is treated as a request and clamped so the
+	// pool does not oversubscribe the machine: with W pool workers each
+	// query gets at most max(1, GOMAXPROCS/W) exchange workers, and 0
+	// asks for that full per-query share.
 	Limits eval.Limits
+}
+
+// intraBudget resolves a query's intra-query worker request against the
+// pool size: inter × intra never exceeds GOMAXPROCS (each stays >= 1).
+// requested <= 0 — and any request above the per-query share — takes
+// the whole share.
+func intraBudget(requested, pool int) int {
+	if pool < 1 {
+		pool = 1
+	}
+	share := runtime.GOMAXPROCS(0) / pool
+	if share < 1 {
+		share = 1
+	}
+	if requested <= 0 || requested > share {
+		return share
+	}
+	return requested
 }
 
 // QueryOutcome is one query's result summary, index-aligned with the
@@ -98,6 +120,7 @@ func RunQueries(ctx context.Context, sn *rdf.Snapshot, queries []*sparql.Query, 
 	}
 	lim := opt.Limits
 	lim.Plans, lim.Paths = opt.Plans, opt.Paths
+	lim.Parallel = intraBudget(lim.Parallel, workers)
 	var planHits0, planMisses0, pathHits0, pathMisses0 int64
 	if opt.Plans != nil {
 		planHits0, planMisses0 = opt.Plans.Hits(), opt.Plans.Misses()

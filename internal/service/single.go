@@ -36,14 +36,24 @@ type ExecutorOptions struct {
 	// requests (pathcomp.NewCache for the snapshot).
 	Paths *pathcomp.Cache
 	// Limits bounds each evaluation; the Plans/Paths fields above
-	// override the ones inside.
+	// override the ones inside. Limits.Parallel is clamped against
+	// MaxConcurrent exactly as the batch pool clamps against its worker
+	// count (see QueryOptions.Limits).
 	Limits eval.Limits
+	// MaxConcurrent is how many queries the caller may Execute at once
+	// (an HTTP server's in-flight gate). It budgets intra-query
+	// parallelism: each request gets at most max(1, GOMAXPROCS /
+	// MaxConcurrent) exchange workers, so a full gate never
+	// oversubscribes the machine. <= 0 means 1 (a single-request
+	// caller, which may use every core).
+	MaxConcurrent int
 }
 
 // NewExecutor returns a serving executor over the snapshot.
 func NewExecutor(sn *rdf.Snapshot, opt ExecutorOptions) *Executor {
 	lim := opt.Limits
 	lim.Plans, lim.Paths = opt.Plans, opt.Paths
+	lim.Parallel = intraBudget(lim.Parallel, opt.MaxConcurrent)
 	return &Executor{sn: sn, lim: lim, tmout: opt.Timeout}
 }
 
