@@ -94,3 +94,82 @@ func BenchmarkExecBatch(b *testing.B) {
 		}
 	}
 }
+
+// runExecMatrix runs each named query in columnar and legacy mode, the
+// same cell convention as BenchmarkExecBatch.
+func runExecMatrix(b *testing.B, g *gmark.Graph, names []string, srcs map[string]string) {
+	b.Helper()
+	queries := make(map[string]*sparql.Query, len(srcs))
+	for name, src := range srcs {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		queries[name] = q
+	}
+	for _, name := range names {
+		q := queries[name]
+		for _, m := range []struct {
+			mode string
+			lim  eval.Limits
+		}{
+			{"columnar", eval.Limits{}},
+			{"legacy", eval.Limits{Legacy: true}},
+		} {
+			b.Run(name+"/"+m.mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eval.QueryWithLimits(g.Snapshot, q, m.lim); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecAggregate is the GROUP BY matrix: the streaming hash
+// GroupBy over ID tuples against the legacy string-keyed
+// finishAggregate. Columnar cells are CI-gated; legacy cells are the
+// speedup denominator.
+func BenchmarkExecAggregate(b *testing.B) {
+	g := plannerBenchGraph(b)
+	runExecMatrix(b, g, []string{"groupcount", "grouphaving"}, map[string]string{
+		// Single-key grouping over a two-atom join: the group key ?j
+		// never needs text on the columnar path.
+		"groupcount": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT (COUNT(*) AS ?n) WHERE {
+				?p bib:publishedIn ?j .
+				?p bib:cites ?q .
+			} GROUP BY ?j`,
+		// DISTINCT aggregate + HAVING + ordered emission of the group
+		// column: exercises per-group dedup state and the aggregate
+		// TopK.
+		"grouphaving": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT ?j (COUNT(DISTINCT ?a) AS ?n) WHERE {
+				?p bib:publishedIn ?j .
+				?p bib:authoredBy ?a .
+			} GROUP BY ?j HAVING (COUNT(*) > 2) ORDER BY DESC(?n) ?j LIMIT 20`,
+	})
+}
+
+// BenchmarkExecTopK is the ORDER BY + LIMIT matrix: bounded-heap
+// selection against the legacy full materialize-and-sort. Columnar
+// cells are CI-gated; legacy cells are the speedup denominator.
+func BenchmarkExecTopK(b *testing.B) {
+	g := plannerBenchGraph(b)
+	runExecMatrix(b, g, []string{"orderlimit", "orderoffset"}, map[string]string{
+		// Two-key top-25 over the citation join.
+		"orderlimit": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT ?p ?j WHERE {
+				?p bib:cites ?q .
+				?p bib:publishedIn ?j .
+			} ORDER BY ?j ?p LIMIT 25`,
+		// Descending first key with a deep OFFSET: keep = offset+limit.
+		"orderoffset": `PREFIX bib: <http://gmark.bib/p/>
+			SELECT ?r ?q WHERE {
+				?p bib:authoredBy ?r .
+				?p bib:cites ?q .
+			} ORDER BY DESC(?r) ?q OFFSET 100 LIMIT 50`,
+	})
+}

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"sparqlog/internal/exec"
 	"sparqlog/internal/lint"
@@ -62,6 +63,11 @@ type colExec struct {
 	noPar      int            // > 0 inside correlated/replayed subtrees
 	chainClean bool           // main chain holds only unit/join/path ops so far
 	parallel   *exec.Parallel // the placed exchange, for Close + stats
+
+	// aggPlan is the compiled aggregate finishing plan (hidden slots,
+	// rewritten expressions); nil when the query has no aggregation or
+	// its shape needs the legacy-style finisher over drained rows.
+	aggPlan *aggPlan
 }
 
 // parallelMinRows gates the exchange on the planner's peak intermediate
@@ -164,6 +170,11 @@ func (ev *evaluator) queryColumnar(q *sparql.Query) (*Result, error) {
 		}
 	}()
 	ce.collectVars(q)
+	// Aggregate planning assigns the hidden output slots, so it must
+	// run while the schema is still open — before the width freezes.
+	if q.Type == sparql.SelectQuery && hasAggregates(q) {
+		ce.aggPlan = ce.planAggregate(q)
+	}
 	width := ce.schema.Len()
 	var root exec.Operator = exec.NewUnit(width)
 	var err error
@@ -732,16 +743,127 @@ func (ce *colExec) drain(root exec.Operator) ([]env, error) {
 	return envs, nil
 }
 
-// finishSelect applies solution modifiers. Without ORDER BY,
-// aggregation or SELECT *, DISTINCT runs streaming on packed ID tuples
-// of the projected slots and LIMIT/OFFSET stop the pull early;
-// otherwise the stream materializes and the shared (env-generic)
-// finishing path applies the modifiers in the legacy order.
+// finishSelect applies solution modifiers as columnar operators where
+// the compiled plans allow: GROUP BY/HAVING through exec.GroupBy plus
+// per-group filters (planAggregate's rewrite), ORDER BY through
+// exec.TopK (bounded-heap when a LIMIT caps the output), DISTINCT
+// streaming on packed ID tuples, and LIMIT/OFFSET stopping the pull
+// early. Shapes outside the compiled plans (aggregate queries
+// planAggregate declined, SELECT *'s variable collection) drain and
+// take the legacy-order finishing over materialized rows.
 func (ce *colExec) finishSelect(q *sparql.Query, root exec.Operator) (*Result, error) {
 	ev := ce.ev
 	agg := hasAggregates(q)
+	ap := ce.aggPlan
+	if agg && ap == nil {
+		envs, err := ce.drain(root)
+		if err != nil {
+			return nil, err
+		}
+		return ev.finishAggregate(q, envs)
+	}
+	var gb *exec.GroupBy
+	var okeys []orderKeyPlan
+	if agg {
+		if p, ok := root.(*exec.Parallel); ok && p == ce.parallel {
+			// The exchange is the stream's root: switch it into
+			// aggregation mode, so workers pre-aggregate morsels into
+			// partial tables and only group states cross the merge. The
+			// worker-side dictionary view must be the snapshot's
+			// (concurrency-safe; worker chains only carry snapshot IDs).
+			p.SetAggregate(ap.spec.Keys, ap.spec.Aggs, ev.st.TermOf)
+		}
+		gb = exec.NewGroupBy(root, ap.spec, ce.pool.Text, ce.pool.Intern)
+		root = gb
+		for _, h := range ap.having {
+			h := h
+			root = exec.NewFilter(root, func(c *exec.Ctx, b *exec.Batch, row int) bool {
+				v, err := ev.evalAggRow(h, rowEnv{ce, b, row}, gb.SyntheticEmpty())
+				return err == nil && v.truthy()
+			})
+		}
+		okeys = ap.order
+		// From here on the stream is the rewritten query's: aggregates
+		// live in hidden slots, grouping and having are done.
+		q = ap.rq
+	} else {
+		for _, k := range q.Mods.OrderBy {
+			okeys = append(okeys, orderKeyPlan{expr: k.Expr, desc: k.Desc})
+		}
+	}
+	evalKey := func(e sparql.Expr, b *exec.Batch, row int) (value, error) {
+		if agg {
+			return ev.evalAggRow(e, rowEnv{ce, b, row}, gb.SyntheticEmpty())
+		}
+		return ev.eval(e, rowEnv{ce, b, row})
+	}
+	var tk *exec.TopK
+	orderDone := len(okeys) > 0
+	if orderDone {
+		// Bound the sort when a LIMIT caps the output and nothing
+		// between the sort and the slice (DISTINCT, SELECT *'s
+		// variable collection over all rows) needs the full set.
+		keep := -1
+		if q.Mods.HasLimit && !q.Distinct && !q.Reduced && !q.SelectStar &&
+			q.Mods.Limit < 1<<31 && q.Mods.Offset < 1<<31 {
+			k := q.Mods.Limit
+			if q.Mods.HasOffset {
+				k += q.Mods.Offset
+			}
+			keep = int(k)
+		}
+		keys := okeys
+		keyFn := func(b *exec.Batch, row int, out []exec.SortKey) {
+			for i, k := range keys {
+				v, err := evalKey(k.expr, b, row)
+				if err != nil {
+					if k.errAsEmpty {
+						// A projected-column key reads the cell text,
+						// and an errored cell is "" — a valid key.
+						out[i] = exec.SortKey{}
+					} else {
+						out[i] = exec.SortKey{Err: true}
+					}
+					continue
+				}
+				if k.reparse {
+					v = textValue(v.text())
+				}
+				out[i] = exec.SortKey{IsNum: v.isNum, Num: v.num, Lex: v.lex}
+			}
+		}
+		cmp := func(a, b []exec.SortKey) int {
+			for i := range keys {
+				ai, bi := a[i], b[i]
+				if ai.Err || bi.Err {
+					continue
+				}
+				var c int
+				if ai.IsNum && bi.IsNum {
+					switch {
+					case ai.Num < bi.Num:
+						c = -1
+					case ai.Num > bi.Num:
+						c = 1
+					}
+				} else {
+					c = strings.Compare(ai.Lex, bi.Lex)
+				}
+				if c == 0 {
+					continue
+				}
+				if keys[i].desc {
+					return -c
+				}
+				return c
+			}
+			return 0
+		}
+		tk = exec.NewTopK(root, keep, len(keys), keyFn, cmp)
+		root = tk
+	}
 	streamDistinct, streamSliced := false, false
-	if !agg && len(q.Mods.OrderBy) == 0 && !q.SelectStar {
+	if !q.SelectStar {
 		if (q.Distinct || q.Reduced) && allPlainVars(q.Select) {
 			var slots []int
 			for _, it := range q.Select {
@@ -779,11 +901,26 @@ func (ce *colExec) finishSelect(q *sparql.Query, root exec.Operator) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	if agg {
-		return ev.finishAggregate(q, envs)
+	if gb != nil || tk != nil {
+		mi := &ModifierInfo{}
+		if gb != nil {
+			info := gb.Info()
+			mi.Groups, mi.GroupRows, mi.PartialTables = info.Groups, info.InputRows, info.PartialTables
+		}
+		if tk != nil {
+			info := tk.Info()
+			mi.TopKMode, mi.TopKScanned, mi.TopKKept = info.Mode, info.Scanned, info.Kept
+		}
+		ev.modInfo = mi
 	}
-	res := ev.projectSelect(q, envs)
-	ev.applyOrder(q, res, envs)
+	var res *Result
+	if agg {
+		res = ce.projectAgg(q, envs, gb.SyntheticEmpty())
+	} else {
+		res = ev.projectSelect(q, envs)
+		// TopK already emitted sorted order (okeys covers every ORDER BY
+		// key), so the legacy applyOrder re-sort never runs here.
+	}
 	if !streamDistinct {
 		applyDistinct(q, res)
 	}

@@ -66,6 +66,10 @@ type Result struct {
 	// Nil for serial runs (Limits.Parallel == 1, small plans, or query
 	// shapes without a parallelizable section).
 	Parallel *ParallelInfo
+	// Modifiers reports columnar GROUP BY / ORDER BY operator execution
+	// (group counts, partial-table merges, heap-vs-sort mode); nil when
+	// neither operator ran.
+	Modifiers *ModifierInfo
 }
 
 // ParallelInfo summarizes one query's intra-query parallel section.
@@ -74,6 +78,25 @@ type ParallelInfo struct {
 	Workers int
 	// Stats holds per-worker morsel/batch/row counts.
 	Stats []exec.WorkerStat
+}
+
+// ModifierInfo summarizes columnar solution-modifier execution: the
+// GroupBy and TopK operators the compiler placed. Nil when neither ran
+// (no aggregation/ordering, the legacy path, or a legacy-shape
+// aggregate finisher).
+type ModifierInfo struct {
+	// Groups is the emitted group count (before HAVING), GroupRows the
+	// input rows aggregated, PartialTables the worker partial tables
+	// merged at the exchange (0 = serial aggregation).
+	Groups        int64
+	GroupRows     int64
+	PartialTables int64
+	// TopKMode is "heap" (bounded selection) or "sort" (full stable
+	// sort); empty when no ORDER BY operator ran. TopKScanned rows went
+	// in, TopKKept came out.
+	TopKMode    string
+	TopKScanned int64
+	TopKKept    int64
 }
 
 // Limits bounds evaluation.
@@ -158,6 +181,7 @@ func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Li
 		res.Recovered = ev.recovered
 		res.Probes = ev.probes
 		res.Parallel = ev.parInfo
+		res.Modifiers = ev.modInfo
 	}
 	return res, err
 }
@@ -196,6 +220,9 @@ type evaluator struct {
 	// (subquery executions overwrite first, the main query last) —
 	// surfaced as Result.Parallel.
 	parInfo *ParallelInfo
+	// modInfo records the outermost columnar GroupBy/TopK execution,
+	// the same way — surfaced as Result.Modifiers.
+	modInfo *ModifierInfo
 }
 
 // pathCache returns the compiled-path cache: the caller-shared one from
@@ -1101,6 +1128,29 @@ func containsAggregate(e sparql.Expr) bool {
 	return found
 }
 
+// packStrings encodes a string tuple injectively by prefixing every
+// part with its byte length. Joining with a separator byte is not
+// injective — ("a\x00", "b") and ("a", "\x00b") both join to the same
+// string — which silently merged distinct GROUP BY keys (and DISTINCT
+// rows) containing NUL bytes.
+func packStrings(parts []string) string {
+	n := 4 * len(parts)
+	for _, p := range parts {
+		n += len(p)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, p := range parts {
+		n := len(p)
+		b.WriteByte(byte(n))
+		b.WriteByte(byte(n >> 8))
+		b.WriteByte(byte(n >> 16))
+		b.WriteByte(byte(n >> 24))
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
 // groupData is one GROUP BY group: its key values and member rows.
 type groupData struct {
 	key     []string
@@ -1121,7 +1171,7 @@ func (ev *evaluator) finishAggregate(q *sparql.Query, rows []env) (*Result, erro
 			}
 			key = append(key, v.text())
 		}
-		ks := strings.Join(key, "\x00")
+		ks := packStrings(key)
 		g, ok := groups[ks]
 		if !ok {
 			g = &groupData{key: key}
@@ -1276,7 +1326,7 @@ func applyDistinct(q *sparql.Query, res *Result) {
 	seen := map[string]bool{}
 	var out [][]string
 	for _, row := range res.Rows {
-		k := strings.Join(row, "\x00")
+		k := packStrings(row)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, row)

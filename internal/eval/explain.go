@@ -76,20 +76,47 @@ func explainParallel(sn *rdf.Snapshot, q *sparql.Query) string {
 	if err != nil {
 		return ""
 	}
+	var b strings.Builder
 	if res.Parallel == nil {
-		return "parallel exchange: not placed (serial pipeline: low cardinality estimate,\n" +
-			"      a single-pattern group, or one core)\n"
+		b.WriteString("parallel exchange: not placed (serial pipeline: low cardinality estimate,\n" +
+			"      a single-pattern group, or one core)\n")
+	} else {
+		fmt.Fprintf(&b, "parallel exchange: %d workers, morsel-driven\n", res.Parallel.Workers)
+		var morsels, batches, rows int64
+		for i, ws := range res.Parallel.Stats {
+			fmt.Fprintf(&b, "  worker %d: %d morsels, %d batches, %d rows\n", i, ws.Morsels, ws.Batches, ws.Rows)
+			morsels += ws.Morsels
+			batches += ws.Batches
+			rows += ws.Rows
+		}
+		fmt.Fprintf(&b, "  merged (serial order): %d morsels, %d batches, %d rows\n", morsels, batches, rows)
+	}
+	b.WriteString(explainModifiers(res.Modifiers))
+	return b.String()
+}
+
+// explainModifiers renders the columnar GroupBy/TopK section of the
+// transcript: how many input rows were aggregated into how many groups
+// (and how many worker partial tables the exchange merged), and which
+// ORDER BY strategy ran (bounded heap vs full stable sort).
+func explainModifiers(mi *ModifierInfo) string {
+	if mi == nil {
+		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "parallel exchange: %d workers, morsel-driven\n", res.Parallel.Workers)
-	var morsels, batches, rows int64
-	for i, ws := range res.Parallel.Stats {
-		fmt.Fprintf(&b, "  worker %d: %d morsels, %d batches, %d rows\n", i, ws.Morsels, ws.Batches, ws.Rows)
-		morsels += ws.Morsels
-		batches += ws.Batches
-		rows += ws.Rows
+	if mi.GroupRows > 0 || mi.Groups > 0 {
+		fmt.Fprintf(&b, "streaming aggregation: %d rows -> %d groups", mi.GroupRows, mi.Groups)
+		if mi.PartialTables > 0 {
+			fmt.Fprintf(&b, " (%d worker partial tables merged in dispatch order)", mi.PartialTables)
+		} else {
+			b.WriteString(" (serial)")
+		}
+		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "  merged (serial order): %d morsels, %d batches, %d rows\n", morsels, batches, rows)
+	if mi.TopKMode != "" {
+		fmt.Fprintf(&b, "top-k order by: mode=%s, scanned %d rows, kept %d\n",
+			mi.TopKMode, mi.TopKScanned, mi.TopKKept)
+	}
 	return b.String()
 }
 

@@ -473,6 +473,58 @@ func (ev *evaluator) evalAggregateExpr(e sparql.Expr, members []env) (value, err
 	}
 }
 
+// evalAggRow is evalAggregateExpr's mirror over one emitted columnar
+// group row: hidden aggregate-output variables read their finalized
+// slot, and everything else keeps the legacy semantics exactly —
+// Binary/Unary chains recurse strictly (either side's error is the
+// expression's error, with none of plain eval's &&/|| tolerance), and
+// any other leaf evaluates against the row as "the group's first
+// member", which for a synthetic empty group (empty = true) means an
+// unconditional expression error.
+func (ev *evaluator) evalAggRow(e sparql.Expr, b env, empty bool) (value, error) {
+	switch n := e.(type) {
+	case *sparql.TermExpr:
+		if n.Term.Kind == sparql.TermVar && isHiddenAggVar(n.Term.Value) {
+			name := n.Term.Value
+			v, ok := b.lookupVar(name)
+			if name[len(hiddenAggPrefix)] == hiddenConcatMark {
+				// GROUP_CONCAT never errors and its result stays
+				// non-numeric at the top level (the legacy value is a
+				// bare lexical form); an unbound slot is the empty
+				// concatenation.
+				return value{lex: v}, nil
+			}
+			if !ok {
+				// The aggregate finalized to unbound — exactly the
+				// states where computeAggregate errors (MIN/MAX/SAMPLE
+				// of nothing, AVG with no numerics).
+				return value{}, errEval
+			}
+			return textValue(v), nil
+		}
+	case *sparql.BinaryExpr:
+		l, err := ev.evalAggRow(n.L, b, empty)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := ev.evalAggRow(n.R, b, empty)
+		if err != nil {
+			return value{}, err
+		}
+		return ev.evalBinary(&sparql.BinaryExpr{Op: n.Op, L: litExpr(l), R: litExpr(r)}, binding{})
+	case *sparql.UnaryExpr:
+		x, err := ev.evalAggRow(n.X, b, empty)
+		if err != nil {
+			return value{}, err
+		}
+		return ev.eval(&sparql.UnaryExpr{Op: n.Op, X: litExpr(x)}, binding{})
+	}
+	if empty {
+		return value{}, errEval
+	}
+	return ev.eval(e, b)
+}
+
 // litExpr wraps a computed value back into an expression leaf.
 func litExpr(v value) sparql.Expr {
 	t := sparql.Term{Kind: sparql.TermLiteral, Value: v.lex}

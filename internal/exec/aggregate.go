@@ -1,0 +1,544 @@
+package exec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"sparqlog/internal/rdf"
+)
+
+// This file is the columnar GROUP BY / aggregation operator. Grouping
+// runs on packed ID tuples of the key slots — never on strings — and
+// each group carries one running state per aggregate. The dictionary is
+// touched only where a value genuinely needs text: SUM/AVG parse the
+// lexical form once per distinct ID (cached), GROUP_CONCAT materializes
+// its parts at finalize, MIN/MAX compare lexical-or-numeric values, and
+// COUNT/SAMPLE never look at text at all. Group emission preserves
+// first-encounter order, the legacy finisher's contract, so the
+// aggregated stream is row-for-row identical to the string path it
+// replaced. Under Parallel (SetAggregate), workers pre-aggregate each
+// morsel into a partial table and the consumer merges the partials in
+// dispatch order, which keeps first-encounter order — and with it
+// SAMPLE and plain-projected-variable ("first member") semantics —
+// exactly serial.
+
+// AggKind selects one running-aggregate semantics.
+type AggKind int
+
+// Aggregate kinds. AggFirst is internal to the compiler: it captures
+// the group's first input row's slot value (Unbound included), which is
+// how the legacy finisher projects a plain non-key variable and
+// evaluates it inside HAVING/ORDER BY expressions (members[0]).
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggSample
+	AggConcat
+	AggFirst
+)
+
+// AggSpec is one aggregate column: input slot (ignored for
+// AggCountStar), output slot, and the COUNT-family modifiers.
+type AggSpec struct {
+	Kind AggKind
+	// Slot is the argument slot; -1 marks an argument variable the
+	// query never binds (every member contributes no value, exactly as
+	// the legacy per-member expression error did).
+	Slot int
+	// Out is the output slot the finalized value lands in.
+	Out      int
+	Distinct bool
+	// Sep is the GROUP_CONCAT separator (pass the resolved default).
+	Sep string
+}
+
+// GroupSpec configures a GroupBy operator.
+type GroupSpec struct {
+	// Keys are the grouping slots. Group identity is the packed ID
+	// tuple over them; an empty list puts every row in one group.
+	Keys []int
+	Aggs []AggSpec
+	// EmptyGroup emits one synthetic all-zero group when the input is
+	// empty and the query had no GROUP BY clause (COUNT(*) = 0).
+	EmptyGroup bool
+}
+
+// aggVal is one cached value interpretation: the lexical form plus its
+// numeric parse, mirroring the expression evaluator's textValue.
+type aggVal struct {
+	lex   string
+	num   float64
+	isNum bool
+}
+
+// valCache memoizes ID → aggVal so each distinct ID pays for text (and
+// the float parse) at most once per cache.
+type valCache struct {
+	text func(rdf.ID) string
+	vals map[rdf.ID]aggVal
+}
+
+func newValCache(text func(rdf.ID) string) *valCache {
+	return &valCache{text: text, vals: map[rdf.ID]aggVal{}}
+}
+
+func (vc *valCache) get(id rdf.ID) aggVal {
+	if v, ok := vc.vals[id]; ok {
+		return v
+	}
+	lex := vc.text(id)
+	v := aggVal{lex: lex}
+	if n, err := strconv.ParseFloat(lex, 64); err == nil && lex != "" {
+		v.num, v.isNum = n, true
+	}
+	vc.vals[id] = v
+	return v
+}
+
+// compareAggVals orders numerically when both values parse as numbers,
+// lexicographically otherwise — the expression evaluator's
+// compareValues over lexical forms.
+func compareAggVals(l, r aggVal) int {
+	if l.isNum && r.isNum {
+		switch {
+		case l.num < r.num:
+			return -1
+		case l.num > r.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(l.lex, r.lex)
+}
+
+// formatAggNum renders a float the way the expression evaluator's
+// numValue does, so columnar aggregate output is byte-identical to the
+// legacy finisher's.
+func formatAggNum(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// aggState is one aggregate's running state within one group. DISTINCT
+// aggregates accumulate the ordered distinct ID list and compute at
+// finalize; the rest fold incrementally.
+type aggState struct {
+	count   int64
+	sum     float64
+	n       int64
+	best    rdf.ID
+	hasBest bool
+	ids     []rdf.ID
+	seen    map[rdf.ID]struct{}
+}
+
+// update folds one input row into the state. Unbound arguments
+// contribute nothing (the legacy per-member expression error), except
+// to COUNT(*) — which counts rows — and AggFirst, which records the
+// first row's value verbatim.
+func (s *aggState) update(a *AggSpec, id rdf.ID, vc *valCache) {
+	switch a.Kind {
+	case AggFirst:
+		if !s.hasBest {
+			s.best, s.hasBest = id, true
+		}
+		return
+	case AggCountStar:
+		s.count++
+		return
+	}
+	if id == Unbound {
+		return
+	}
+	if a.Distinct {
+		if s.seen == nil {
+			s.seen = map[rdf.ID]struct{}{}
+		}
+		if _, dup := s.seen[id]; dup {
+			return
+		}
+		s.seen[id] = struct{}{}
+		s.ids = append(s.ids, id)
+		return
+	}
+	switch a.Kind {
+	case AggCount:
+		s.count++
+	case AggSum, AggAvg:
+		if v := vc.get(id); v.isNum {
+			s.sum += v.num
+			s.n++
+		}
+	case AggMin, AggMax:
+		if !s.hasBest {
+			s.best, s.hasBest = id, true
+			return
+		}
+		if id == s.best {
+			return
+		}
+		c := compareAggVals(vc.get(id), vc.get(s.best))
+		if a.Kind == AggMin && c < 0 || a.Kind == AggMax && c > 0 {
+			s.best = id
+		}
+	case AggSample:
+		if !s.hasBest {
+			s.best, s.hasBest = id, true
+		}
+	case AggConcat:
+		s.ids = append(s.ids, id)
+	}
+}
+
+// merge folds src (the later partial, in serial order) into s. The
+// commutative states add; order-sensitive ones (SAMPLE, AggFirst,
+// MIN/MAX ties) keep s, the earlier side, which is exactly what a
+// serial run would have kept.
+func (s *aggState) merge(a *AggSpec, src *aggState, vc *valCache) {
+	if a.Distinct {
+		for _, id := range src.ids {
+			if s.seen == nil {
+				s.seen = map[rdf.ID]struct{}{}
+			}
+			if _, dup := s.seen[id]; dup {
+				continue
+			}
+			s.seen[id] = struct{}{}
+			s.ids = append(s.ids, id)
+		}
+		return
+	}
+	switch a.Kind {
+	case AggCount, AggCountStar:
+		s.count += src.count
+	case AggSum, AggAvg:
+		s.sum += src.sum
+		s.n += src.n
+	case AggMin, AggMax:
+		if !src.hasBest {
+			return
+		}
+		if !s.hasBest {
+			s.best, s.hasBest = src.best, true
+			return
+		}
+		if src.best == s.best {
+			return
+		}
+		c := compareAggVals(vc.get(src.best), vc.get(s.best))
+		if a.Kind == AggMin && c < 0 || a.Kind == AggMax && c > 0 {
+			s.best = src.best
+		}
+	case AggSample, AggFirst:
+		if !s.hasBest && src.hasBest {
+			s.best, s.hasBest = src.best, true
+		}
+	case AggConcat:
+		s.ids = append(s.ids, src.ids...)
+	}
+}
+
+// finalize renders the state as an output ID. Values that already exist
+// as IDs (MIN/MAX/SAMPLE/first) pass through without touching the
+// dictionary; computed lexical forms (counts, sums, concatenations)
+// intern. An aggregate the legacy finisher would have errored on (AVG
+// of nothing numeric, MIN of an empty group) finalizes to Unbound — the
+// projected cell stays empty either way.
+func (s *aggState) finalize(a *AggSpec, vc *valCache, intern func(string) rdf.ID) rdf.ID {
+	if a.Distinct {
+		return s.finalizeDistinct(a, vc, intern)
+	}
+	switch a.Kind {
+	case AggCount, AggCountStar:
+		return intern(formatAggNum(float64(s.count)))
+	case AggSum:
+		return intern(formatAggNum(s.sum))
+	case AggAvg:
+		if s.n == 0 {
+			return Unbound
+		}
+		return intern(formatAggNum(s.sum / float64(s.n)))
+	case AggMin, AggMax, AggSample, AggFirst:
+		if !s.hasBest {
+			return Unbound
+		}
+		return s.best
+	case AggConcat:
+		return internConcat(s.ids, a.Sep, vc, intern)
+	}
+	return Unbound
+}
+
+// finalizeDistinct computes a DISTINCT aggregate from the ordered
+// distinct ID list (the legacy path dedups the value list before
+// aggregating; dictionary IDs are bijective with text, so ID-level
+// dedup selects the same values).
+func (s *aggState) finalizeDistinct(a *AggSpec, vc *valCache, intern func(string) rdf.ID) rdf.ID {
+	switch a.Kind {
+	case AggCount:
+		return intern(formatAggNum(float64(len(s.ids))))
+	case AggSum, AggAvg:
+		sum, n := 0.0, 0
+		for _, id := range s.ids {
+			if v := vc.get(id); v.isNum {
+				sum += v.num
+				n++
+			}
+		}
+		if a.Kind == AggSum {
+			return intern(formatAggNum(sum))
+		}
+		if n == 0 {
+			return Unbound
+		}
+		return intern(formatAggNum(sum / float64(n)))
+	case AggMin, AggMax:
+		if len(s.ids) == 0 {
+			return Unbound
+		}
+		best := s.ids[0]
+		for _, id := range s.ids[1:] {
+			c := compareAggVals(vc.get(id), vc.get(best))
+			if a.Kind == AggMin && c < 0 || a.Kind == AggMax && c > 0 {
+				best = id
+			}
+		}
+		return best
+	case AggSample:
+		if len(s.ids) == 0 {
+			return Unbound
+		}
+		return s.ids[0]
+	case AggConcat:
+		return internConcat(s.ids, a.Sep, vc, intern)
+	}
+	return Unbound
+}
+
+func internConcat(ids []rdf.ID, sep string, vc *valCache, intern func(string) rdf.ID) rdf.ID {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = vc.get(id).lex
+	}
+	sort.Strings(parts) // the legacy finisher sorts for determinism
+	return intern(strings.Join(parts, sep))
+}
+
+// aggGroup is one group: its key tuple and one state per aggregate.
+type aggGroup struct {
+	keys   []rdf.ID
+	states []aggState
+}
+
+// aggTable is one (partial or final) hash aggregation table. Group
+// identity is the packed key-slot ID tuple (4 bytes per slot —
+// fixed-width, so field boundaries can never be confused, unlike the
+// joined-string keys this replaces); order preserves first encounter.
+type aggTable struct {
+	spec   *GroupSpec
+	vc     *valCache
+	groups map[string]int
+	order  []aggGroup
+	key    []byte
+	// rows/batches count consumed input, for worker stats.
+	rows    int64
+	batches int64
+}
+
+func newAggTable(spec *GroupSpec, vc *valCache) *aggTable {
+	return &aggTable{spec: spec, vc: vc, groups: map[string]int{}}
+}
+
+// group returns the state row for the key tuple at (b, row), inserting
+// in first-encounter order.
+func (t *aggTable) group(b *Batch, row int) *aggGroup {
+	t.key = t.key[:0]
+	for _, s := range t.spec.Keys {
+		v := b.Get(s, row)
+		t.key = append(t.key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	gi, ok := t.groups[string(t.key)]
+	if !ok {
+		gi = len(t.order)
+		t.groups[string(t.key)] = gi
+		g := aggGroup{states: make([]aggState, len(t.spec.Aggs))}
+		if len(t.spec.Keys) > 0 {
+			g.keys = make([]rdf.ID, len(t.spec.Keys))
+			for i, s := range t.spec.Keys {
+				g.keys[i] = b.Get(s, row)
+			}
+		}
+		t.order = append(t.order, g)
+	}
+	return &t.order[gi]
+}
+
+// addBatch folds every row of b into the table.
+func (t *aggTable) addBatch(b *Batch) {
+	t.batches++
+	t.rows += int64(b.Rows())
+	aggs := t.spec.Aggs
+	for row := 0; row < b.Rows(); row++ {
+		g := t.group(b, row)
+		for i := range aggs {
+			a := &aggs[i]
+			id := Unbound
+			if a.Slot >= 0 {
+				id = b.Get(a.Slot, row)
+			}
+			g.states[i].update(a, id, t.vc)
+		}
+	}
+}
+
+// mergeTable folds src — a later partial in serial order — into t,
+// preserving first-encounter group order across the pair.
+func (t *aggTable) mergeTable(src *aggTable) {
+	t.rows += src.rows
+	t.batches += src.batches
+	aggs := t.spec.Aggs
+	for si := range src.order {
+		sg := &src.order[si]
+		t.key = t.key[:0]
+		for _, v := range sg.keys {
+			t.key = append(t.key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		gi, ok := t.groups[string(t.key)]
+		if !ok {
+			gi = len(t.order)
+			t.groups[string(t.key)] = gi
+			t.order = append(t.order, aggGroup{keys: sg.keys, states: make([]aggState, len(aggs))})
+		}
+		g := &t.order[gi]
+		for i := range aggs {
+			g.states[i].merge(&aggs[i], &sg.states[i], t.vc)
+		}
+	}
+}
+
+// GroupByInfo summarizes one GroupBy execution for explain output.
+type GroupByInfo struct {
+	// Groups is the emitted group count (before HAVING).
+	Groups int64
+	// InputRows is the number of rows aggregated.
+	InputRows int64
+	// PartialTables counts worker partial tables merged at the
+	// exchange; zero for a serial build.
+	PartialTables int64
+}
+
+// GroupBy is the pipeline breaker: it drains its input into an
+// aggTable (or merges worker partials when the input is a Parallel in
+// aggregation mode), then emits one output row per group — key slots
+// and finalized aggregate slots set, everything else unbound — in
+// first-encounter order.
+type GroupBy struct {
+	base
+	in     Operator
+	spec   GroupSpec
+	intern func(string) rdf.ID
+	vc     *valCache
+
+	tab   *aggTable
+	built bool
+	synth bool // emitted the synthetic empty group
+	pos   int
+	info  GroupByInfo
+}
+
+// NewGroupBy returns the GROUP BY / aggregation operator. text reads an
+// ID's lexical form (the consumer-side dictionary view) and intern maps
+// computed text back to an ID; intern("") must return Unbound.
+func NewGroupBy(in Operator, spec GroupSpec, text func(rdf.ID) string, intern func(string) rdf.ID) *GroupBy {
+	vc := newValCache(text)
+	return &GroupBy{
+		base:   newBase(slotsOf(in)),
+		in:     in,
+		spec:   spec,
+		intern: intern,
+		vc:     vc,
+		tab:    newAggTable(&spec, vc),
+	}
+}
+
+// Info returns the execution summary; valid once the stream ended.
+func (g *GroupBy) Info() GroupByInfo { return g.info }
+
+// SyntheticEmpty reports that the emitted stream is the one synthetic
+// empty-input group (aggregation without GROUP BY over zero rows). The
+// compiler's finishing expressions check it: the legacy path evaluates
+// non-aggregate leaves against "the first member" of a group, and the
+// synthetic group has none.
+func (g *GroupBy) SyntheticEmpty() bool { return g.synth }
+
+func (g *GroupBy) build(c *Ctx) error {
+	if p, ok := g.in.(*Parallel); ok && p.hasAgg {
+		for {
+			t, err := p.nextTable(c)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				break
+			}
+			g.info.PartialTables++
+			g.tab.mergeTable(t)
+		}
+	} else {
+		for {
+			b, err := g.in.Next(c)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			g.tab.addBatch(b)
+		}
+	}
+	if len(g.tab.order) == 0 && g.spec.EmptyGroup {
+		g.synth = true
+		g.tab.order = append(g.tab.order, aggGroup{states: make([]aggState, len(g.spec.Aggs))})
+	}
+	g.info.Groups = int64(len(g.tab.order))
+	g.info.InputRows = g.tab.rows
+	g.built = true
+	return nil
+}
+
+func (g *GroupBy) Next(c *Ctx) (*Batch, error) {
+	if !g.built {
+		if err := g.build(c); err != nil {
+			return nil, err
+		}
+	}
+	if g.pos >= len(g.tab.order) {
+		return nil, nil
+	}
+	g.out.Reset()
+	//ctxpoll:ignore bounded emission: pos strictly advances over the materialized group list
+	for g.pos < len(g.tab.order) && !g.out.Full() {
+		grp := &g.tab.order[g.pos]
+		row := g.out.AppendUnbound()
+		for i, s := range g.spec.Keys {
+			g.out.Set(s, row, grp.keys[i])
+		}
+		for i := range g.spec.Aggs {
+			g.out.Set(g.spec.Aggs[i].Out, row, grp.states[i].finalize(&g.spec.Aggs[i], g.vc, g.intern))
+		}
+		g.pos++
+	}
+	return g.emit(), nil
+}
+
+func (g *GroupBy) Reset() {
+	g.in.Reset()
+	g.tab = newAggTable(&g.spec, g.vc)
+	g.built, g.synth, g.pos = false, false, 0
+	g.info = GroupByInfo{}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"sparqlog/internal/rdf"
 )
 
 // This file is the morsel-driven intra-query exchange. A Parallel
@@ -76,7 +78,10 @@ type morsel struct {
 type morselResult struct {
 	seq     int64
 	batches []*Batch
-	err     error
+	// tab is the morsel's partial aggregation table (aggregation mode);
+	// batches stays nil then.
+	tab *aggTable
+	err error
 }
 
 // Parallel is the exchange/merge operator. It is NOT safe for use as a
@@ -95,6 +100,17 @@ type Parallel struct {
 	// dedup hashes) per-morsel-unique rows only.
 	dedup    []int
 	hasDedup bool
+
+	// aggSpec, when set, switches the exchange into aggregation mode:
+	// each worker folds a morsel's chain output into a partial aggTable
+	// (sharing one per-worker value cache over aggText) and ships the
+	// table instead of row batches. The consumer (GroupBy) pulls the
+	// partials in dispatch order via nextTable and merges them, so group
+	// first-encounter order — and with it SAMPLE/first-member semantics —
+	// is exactly the serial order. Mutually exclusive with dedup.
+	aggSpec *GroupSpec
+	aggText func(rdf.ID) string
+	hasAgg  bool
 
 	started bool
 	stopped bool
@@ -127,6 +143,19 @@ func NewParallel(in Operator, chains []WorkerChain) *Parallel {
 // Must be called before the first Next.
 func (p *Parallel) SetDedup(slots []int) {
 	p.dedup, p.hasDedup = slots, true
+}
+
+// SetAggregate switches the exchange into aggregation mode: workers
+// fold each morsel into a partial aggregation table over (keys, aggs)
+// and the consumer merges partials in dispatch order. text must read an
+// ID's lexical form and be safe for concurrent snapshot reads (worker
+// chains only ever carry snapshot IDs — the compiler's chainClean
+// invariant). Must be called before the first Next; the stream is then
+// consumed through nextTable (by GroupBy), not Next.
+func (p *Parallel) SetAggregate(keys []int, aggs []AggSpec, text func(rdf.ID) string) {
+	p.aggSpec = &GroupSpec{Keys: keys, Aggs: aggs}
+	p.aggText = text
+	p.hasAgg = true
 }
 
 // Workers returns the worker count.
@@ -230,6 +259,13 @@ func (p *Parallel) worker(i int, ictx context.Context) {
 	if p.hasDedup {
 		seen = make(map[string]struct{})
 	}
+	// Aggregation mode: one value cache per worker (numeric parses are
+	// reusable across morsels), one partial table per morsel (tables
+	// must merge in dispatch order, so they cannot span morsels).
+	var wvc *valCache
+	if p.hasAgg {
+		wvc = newValCache(p.aggText)
+	}
 	var failed error
 	for {
 		var m morsel
@@ -249,29 +285,53 @@ func (p *Parallel) worker(i int, ictx context.Context) {
 			wc.Seed.SetBatches([]*Batch{m.b})
 			wc.Root.Reset()
 			var batches []*Batch
+			var tab *aggTable
 			var err error
-			if p.hasDedup {
+			switch {
+			case p.hasAgg:
+				tab = newAggTable(p.aggSpec, wvc)
+				err = drainAggregate(c, wc.Root, tab)
+			case p.hasDedup:
 				clear(seen)
 				batches, key, err = drainDedup(c, wc.Root, p.dedup, seen, key)
-			} else {
+			default:
 				batches, err = Materialize(c, wc.Root)
 			}
 			if err != nil {
 				failed = err
-				batches = nil
+				batches, tab = nil, nil
 			}
 			st.Morsels++
 			for _, b := range batches {
 				st.Batches++
 				st.Rows += int64(b.Rows())
 			}
-			r = morselResult{seq: m.seq, batches: batches, err: err}
+			if tab != nil {
+				st.Batches += tab.batches
+				st.Rows += tab.rows
+			}
+			r = morselResult{seq: m.seq, batches: batches, tab: tab, err: err}
 		}
 		select {
 		case p.results <- r:
 		case <-ictx.Done():
 			return
 		}
+	}
+}
+
+// drainAggregate folds op's stream into the partial table — the worker
+// half of the aggregation pipeline breaker.
+func drainAggregate(c *Ctx, op Operator, tab *aggTable) error {
+	for {
+		b, err := op.Next(c)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		tab.addBatch(b)
 	}
 }
 
@@ -313,7 +373,11 @@ func drainDedup(c *Ctx, op Operator, slots []int, seen map[string]struct{}, key 
 	}
 }
 
-func (p *Parallel) Next(c *Ctx) (*Batch, error) {
+// nextResult surfaces morsel results in exact dispatch order: it parks
+// out-of-order arrivals in pending and blocks on the results channel
+// until the next sequence number shows up. Returns (nil, nil) at a
+// clean end of stream.
+func (p *Parallel) nextResult(c *Ctx) (*morselResult, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
@@ -325,20 +389,6 @@ func (p *Parallel) Next(c *Ctx) (*Batch, error) {
 	}
 	//ctxpoll:ignore merge loop: blocks on the results channel; workers and the dispatcher poll cancellation and post errors, which close the channel path within one ticker interval
 	for {
-		if p.cur != nil {
-			//ctxpoll:ignore bounded replay of one morsel's batch list; the workers that produced it polled per batch
-			for p.curPos < len(p.cur.batches) {
-				b := p.cur.batches[p.curPos]
-				p.curPos++
-				if b.Rows() == 0 {
-					continue
-				}
-				p.stats.Batches++
-				p.stats.Rows += int64(b.Rows())
-				return b, nil
-			}
-			p.cur = nil
-		}
 		if r, ok := p.pending[p.nextSeq]; ok {
 			delete(p.pending, p.nextSeq)
 			p.nextSeq++
@@ -347,8 +397,7 @@ func (p *Parallel) Next(c *Ctx) (*Batch, error) {
 				p.stop()
 				return nil, r.err
 			}
-			p.cur, p.curPos = r, 0
-			continue
+			return r, nil
 		}
 		r, ok := <-p.results
 		if !ok {
@@ -367,6 +416,50 @@ func (p *Parallel) Next(c *Ctx) (*Batch, error) {
 		}
 		rc := r
 		p.pending[rc.seq] = &rc
+	}
+}
+
+func (p *Parallel) Next(c *Ctx) (*Batch, error) {
+	//ctxpoll:ignore replay loop: nextResult blocks on the polled results channel; the batch replay per result is bounded
+	for {
+		if p.cur != nil {
+			//ctxpoll:ignore bounded replay of one morsel's batch list; the workers that produced it polled per batch
+			for p.curPos < len(p.cur.batches) {
+				b := p.cur.batches[p.curPos]
+				p.curPos++
+				if b.Rows() == 0 {
+					continue
+				}
+				p.stats.Batches++
+				p.stats.Rows += int64(b.Rows())
+				return b, nil
+			}
+			p.cur = nil
+		}
+		r, err := p.nextResult(c)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		p.cur, p.curPos = r, 0
+	}
+}
+
+// nextTable yields the partial aggregation tables in dispatch order —
+// the merge half of the aggregation pipeline breaker, consumed by
+// GroupBy instead of Next when aggregation mode is on. Returns
+// (nil, nil) at end of stream.
+func (p *Parallel) nextTable(c *Ctx) (*aggTable, error) {
+	//ctxpoll:ignore skip loop: nextResult blocks on the polled results channel
+	for {
+		r, err := p.nextResult(c)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		if r.tab != nil {
+			p.stats.Batches += r.tab.batches
+			p.stats.Rows += r.tab.rows
+			return r.tab, nil
+		}
 	}
 }
 

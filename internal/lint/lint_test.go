@@ -112,6 +112,31 @@ func TestPassCodes(t *testing.T) {
 			`SELECT ?a WHERE { ?a <urn:p> ?b . ?a <urn:q> ?c . FILTER(?b = ?c) }`,
 			"SQL007",
 		},
+		{
+			"unbound-order-key",
+			`SELECT ?s WHERE { ?s <urn:p> ?o } ORDER BY ?x ?o`,
+			"SQL008",
+		},
+		{
+			"unbound-order-key-in-expr",
+			`SELECT ?s WHERE { ?s <urn:p> ?o } ORDER BY DESC(?o + ?nope)`,
+			"SQL008",
+		},
+		{
+			"order-key-bound",
+			`SELECT ?s WHERE { ?s <urn:p> ?o } ORDER BY DESC(?o) ?s`,
+			"",
+		},
+		{
+			"order-key-select-alias",
+			`SELECT (COUNT(*) AS ?c) WHERE { ?s <urn:p> ?o } ORDER BY DESC(?c)`,
+			"",
+		},
+		{
+			"order-key-group-as-alias",
+			`SELECT (COUNT(*) AS ?c) WHERE { ?s <urn:p> ?o } GROUP BY (?o AS ?k) ORDER BY ?k`,
+			"",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -140,6 +165,24 @@ func TestSubqueryScoping(t *testing.T) {
 	got := strings.Join(r.Codes(), ",")
 	if got != "SQL001,SQL003" {
 		t.Fatalf("outer-scope filter codes = %q, want SQL001,SQL003: %v", got, r.Diagnostics)
+	}
+}
+
+// TestUnboundOrderKeyScoping checks SQL008 honors subquery scopes: a
+// key over a subquery-internal variable is fine inside the subquery
+// and a no-op outside it (the variable isn't projected out).
+func TestUnboundOrderKeyScoping(t *testing.T) {
+	inner := `SELECT ?s WHERE { { SELECT ?s WHERE { ?s <urn:p> ?o } ORDER BY ?o } }`
+	if r := Run(parse(t, inner)); len(r.Diagnostics) != 0 {
+		t.Fatalf("inner-scope order key flagged: %v", r.Diagnostics)
+	}
+	outer := `SELECT ?s WHERE { { SELECT ?s WHERE { ?s <urn:p> ?o } } } ORDER BY ?o`
+	r := Run(parse(t, outer))
+	if got := strings.Join(r.Codes(), ","); got != "SQL008" {
+		t.Fatalf("outer-scope order key codes = %q, want SQL008: %v", got, r.Diagnostics)
+	}
+	if !strings.Contains(r.Diagnostics[0].Message, "?o") {
+		t.Fatalf("diagnostic doesn't name the variable: %v", r.Diagnostics[0])
 	}
 }
 
@@ -250,12 +293,12 @@ func TestDiagnosticString(t *testing.T) {
 	}
 }
 
-// TestPassesRegistry checks registration: seven passes, sorted, with
+// TestPassesRegistry checks registration: eight passes, sorted, with
 // docs.
 func TestPassesRegistry(t *testing.T) {
 	ps := Passes()
-	if len(ps) != 7 {
-		t.Fatalf("registered %d passes, want 7", len(ps))
+	if len(ps) != 8 {
+		t.Fatalf("registered %d passes, want 8", len(ps))
 	}
 	for i, p := range ps {
 		if p.Code == "" || p.Name == "" || p.Doc == "" || p.Run == nil {

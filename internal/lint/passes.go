@@ -60,6 +60,13 @@ func init() {
 		Severity: Info,
 		Run:      runCollapsibleEquality,
 	})
+	register(&Pass{
+		Code:     "SQL008",
+		Name:     "unbound-order-key",
+		Doc:      "ORDER BY keys over variables no pattern of the query can bind (and that no SELECT or GROUP BY alias introduces): every row's key errors identically, so the sort silently has no effect.",
+		Severity: Warning,
+		Run:      runUnboundOrderKey,
+	})
 }
 
 // scope is one variable scope: the top query, or one subquery. Each
@@ -432,6 +439,43 @@ func runCollapsibleEquality(c *Ctx) {
 			}
 			return true
 		})
+	}
+}
+
+// ---------- SQL008 ----------
+
+// runUnboundOrderKey flags ORDER BY keys whose variables can never be
+// bound: not by any pattern of the scope's WHERE clause, not as a
+// SELECT expression alias, and not as a GROUP BY ... AS alias. The key
+// expression then errors on every row, and since the comparator skips
+// error keys pairwise, the sort is a silent no-op on that key.
+func runUnboundOrderKey(c *Ctx) {
+	for _, s := range scopes(c.Query) {
+		if len(s.q.Mods.OrderBy) == 0 {
+			continue
+		}
+		aliased := make(map[string]bool)
+		if !s.q.SelectStar {
+			for _, it := range s.q.Select {
+				if it.Expr != nil && it.Var.Kind == sparql.TermVar && it.Var.Value != "" {
+					aliased[it.Var.Value] = true
+				}
+			}
+		}
+		for _, gk := range s.q.Mods.GroupBy {
+			if gk.AsVar && gk.Var.Kind == sparql.TermVar && gk.Var.Value != "" {
+				aliased[gk.Var.Value] = true
+			}
+		}
+		for i, ok := range s.q.Mods.OrderBy {
+			for _, v := range sortedVars(exprOwnVars(ok.Expr)) {
+				if s.bindable[v] || aliased[v] {
+					continue
+				}
+				c.Report(fmt.Sprintf("%sorderby[%d]", s.prefix, i), sparql.ExprString(ok.Expr),
+					"ORDER BY key uses ?%s, which nothing in the query binds: the sort is a silent no-op on that key", v)
+			}
+		}
 	}
 }
 

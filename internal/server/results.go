@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"encoding/xml"
 	"io"
@@ -117,49 +118,61 @@ func writeXML(w io.Writer, res *eval.Result, isAsk bool) error {
 	return err
 }
 
+// svFlushRows is how many result rows writeSV emits between explicit
+// flushes. With an http.ResponseWriter underneath, each flush becomes
+// a chunk on the wire, so clients start receiving a huge SELECT answer
+// after the first few hundred rows rather than after full
+// serialization.
+const svFlushRows = 512
+
 // writeSV writes the CSV (sep ',') or TSV (sep '\t') results format:
 // CSV carries plain values with RFC 4180 quoting, TSV carries terms in
 // SPARQL syntax (<iri>, "literal", _:label) per the W3C TSV spec.
+// Output streams row by row through a buffered writer instead of
+// materializing the whole document first.
 func writeSV(w io.Writer, res *eval.Result, isAsk bool, sep byte) error {
-	var sb strings.Builder
+	bw := bufio.NewWriterSize(w, 32<<10)
 	if isAsk {
 		if res.Bool {
-			sb.WriteString("true\n")
+			bw.WriteString("true\n")
 		} else {
-			sb.WriteString("false\n")
+			bw.WriteString("false\n")
 		}
-		_, err := io.WriteString(w, sb.String())
-		return err
+		return bw.Flush()
 	}
 	tsv := sep == '\t'
 	for i, v := range res.Vars {
 		if i > 0 {
-			sb.WriteByte(sep)
+			bw.WriteByte(sep)
 		}
 		if tsv {
-			sb.WriteByte('?')
+			bw.WriteByte('?')
 		}
-		sb.WriteString(v)
+		bw.WriteString(v)
 	}
-	sb.WriteByte('\n')
-	for _, row := range res.Rows {
+	bw.WriteByte('\n')
+	for r, row := range res.Rows {
 		for i, cell := range row {
 			if i > 0 {
-				sb.WriteByte(sep)
+				bw.WriteByte(sep)
 			}
 			if cell == eval.Unbound {
 				continue
 			}
 			if tsv {
-				sb.WriteString(tsvTerm(cell))
+				bw.WriteString(tsvTerm(cell))
 			} else {
-				sb.WriteString(csvField(cell))
+				bw.WriteString(csvField(cell))
 			}
 		}
-		sb.WriteByte('\n')
+		bw.WriteByte('\n')
+		if (r+1)%svFlushRows == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
 	}
-	_, err := io.WriteString(w, sb.String())
-	return err
+	return bw.Flush()
 }
 
 // csvField quotes a CSV value per RFC 4180 when needed.
