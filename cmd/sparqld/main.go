@@ -36,6 +36,7 @@ import (
 	"sparqlog/internal/core"
 	"sparqlog/internal/eval"
 	"sparqlog/internal/gmark"
+	"sparqlog/internal/qcache"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/server"
 )
@@ -50,6 +51,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admitted requests that may wait for an evaluation slot; beyond it 503")
 	maxRows := flag.Int("max-rows", 1_000_000, "row cap per query result (0 = unlimited)")
 	maxQueryBytes := flag.Int64("max-query-bytes", server.DefaultMaxQueryBytes, "largest accepted query text")
+	cacheBytes := flag.Int64("cache-bytes", qcache.DefaultMaxBytes, "result cache byte budget (0 = disable result caching)")
+	cacheMinCost := flag.Duration("cache-min-cost", qcache.DefaultMinCost, "cost-aware admission: only cache results whose execution took at least this long (0 = cache every successful result)")
 	logFile := flag.String("log", "", "append one Apache-format endpoint log line per request to this file")
 	dedup := flag.String("dedup", "exact", "self-analysis dedup mode: exact, structural, or keep (no dedup)")
 	name := flag.String("name", "sparqld", "corpus label in /stats")
@@ -102,6 +105,20 @@ func main() {
 		Limits:        eval.Limits{MaxRows: *maxRows},
 		Analyzer:      opts,
 		CorpusName:    *name,
+	}
+	// Flag semantics: 0 turns the feature off / admits everything; the
+	// Config encodes those as negatives (0 there means "default").
+	switch {
+	case *cacheBytes == 0:
+		cfg.CacheBytes = -1
+	default:
+		cfg.CacheBytes = *cacheBytes
+	}
+	switch {
+	case *cacheMinCost == 0:
+		cfg.CacheMinCost = -1
+	default:
+		cfg.CacheMinCost = *cacheMinCost
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)

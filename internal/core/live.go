@@ -65,7 +65,7 @@ func NewLiveAnalyzer(name string, opts Options, workers int) *LiveAnalyzer {
 		case opts.StructuralDedup:
 			la.shards[i].reps = make(map[string]streamRep)
 		default:
-			la.shards[i].seen = make(map[string]entryStatus)
+			la.shards[i].seen = make(map[string]seenEntry)
 		}
 	}
 	for i := range la.slots {
@@ -121,6 +121,7 @@ func (la *LiveAnalyzer) Report() *DatasetReport {
 		for i := range la.shards {
 			for _, r := range la.shards[i].reps {
 				rep.Unique++
+				rep.noteShapeUnique(r.label)
 				rep.analyzeQuery(r.q, la.opts)
 			}
 		}

@@ -4,8 +4,6 @@ import (
 	"runtime"
 	"sync"
 
-	"sparqlog/internal/analysis"
-	"sparqlog/internal/paths"
 	"sparqlog/internal/sparql"
 )
 
@@ -22,13 +20,7 @@ func AnalyzeLogParallel(name string, entries []string, opts Options, workers int
 	if workers == 1 {
 		return AnalyzeLog(name, entries, opts)
 	}
-	rep := &DatasetReport{
-		Name:        name,
-		Keywords:    make(map[string]int),
-		OperatorSet: analysis.NewDistribution(),
-		GirthHist:   make(map[int]int),
-		Paths:       paths.NewTable5(),
-	}
+	rep := NewCorpusReport(name)
 	// Sequential pass: cleaning and occurrence counting, no parsing.
 	occurrences := make(map[string]int)
 	var distinct []string
@@ -80,21 +72,29 @@ func AnalyzeLogParallel(name string, entries []string, opts Options, workers int
 				}
 				mult := occurrences[raw]
 				out.valid += mult
+				label := RepeatShape(q)
+				s := out.rep.Repeats[label]
+				s.Total += mult
 				switch {
 				case opts.KeepDuplicates:
 					// The appendix corpus analyzes every duplicate.
+					s.Unique += mult
 					out.unique += mult
 					for i := 0; i < mult; i++ {
 						out.rep.analyzeQuery(q, opts)
 					}
 				case opts.StructuralDedup:
-					// Defer: structural dedup must be global.
+					// Defer: structural dedup must be global (the unique
+					// count lands in the merge below; only occurrence
+					// totals accumulate here).
 					fp := sparql.Fingerprint(q)
 					out.fps[fp] = append(out.fps[fp], q)
 				default:
+					s.Unique++
 					out.unique++
 					out.rep.analyzeQuery(q, opts)
 				}
+				out.rep.Repeats[label] = s
 			}
 		}(distinct[lo:hi], part)
 	}
@@ -108,12 +108,18 @@ func AnalyzeLogParallel(name string, entries []string, opts Options, workers int
 				continue
 			}
 			rep.Valid += part.valid
+			for label, s := range part.rep.Repeats {
+				cur := rep.Repeats[label]
+				cur.Total += s.Total
+				rep.Repeats[label] = cur
+			}
 			for fp, qs := range part.fps {
 				if seen[fp] {
 					continue
 				}
 				seen[fp] = true
 				rep.Unique++
+				rep.noteShapeUnique(RepeatShape(qs[0]))
 				rep.analyzeQuery(qs[0], opts)
 			}
 		}

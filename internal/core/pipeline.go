@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 
 	"sparqlog/internal/analysis"
@@ -156,6 +157,83 @@ type DatasetReport struct {
 	Lint        map[string]int
 	LintQueries map[string]int
 	LintEmpty   int
+
+	// Repeats is the workload repeat-rate table: for each coarse query
+	// shape (RepeatShape), how many valid occurrences the log held and
+	// how many distinct queries those occurrences collapse to under the
+	// active dedup mode. The gap between the two is the workload a
+	// result cache could absorb, which is what makes cache sizing
+	// data-driven from the paper's own unique-vs-valid observation.
+	Repeats map[string]RepeatStat
+}
+
+// RepeatStat is one row of the repeat-rate table: Total counts valid
+// occurrences of a repeat shape, Unique the distinct queries among
+// them. Total/Unique is the shape's repeat factor; (Total-Unique)/Total
+// bounds the hit ratio a result cache could reach on that shape.
+type RepeatStat struct {
+	Total, Unique int
+}
+
+// RepeatShape returns the coarse structural label used for workload
+// repeat-rate accounting: query form, bucketed triple count, and the
+// operator keywords that dominate evaluation cost. The label is a
+// function of the parsed structure only, so alpha-equivalent queries
+// share one label and the table is identical whichever dedup mode
+// produced it.
+func RepeatShape(q *sparql.Query) string {
+	var sb strings.Builder
+	switch q.Type {
+	case sparql.SelectQuery:
+		sb.WriteString("SELECT")
+	case sparql.AskQuery:
+		sb.WriteString("ASK")
+	case sparql.ConstructQuery:
+		sb.WriteString("CONSTRUCT")
+	case sparql.DescribeQuery:
+		sb.WriteString("DESCRIBE")
+	default:
+		sb.WriteString("OTHER")
+	}
+	if b := bucket(analysis.TripleCount(q)); b == SizeHistBuckets-1 {
+		fmt.Fprintf(&sb, "/%d+t", b)
+	} else {
+		fmt.Fprintf(&sb, "/%dt", b)
+	}
+	k := analysis.QueryKeywords(q)
+	flag := func(name string, on bool) {
+		if on {
+			sb.WriteByte('+')
+			sb.WriteString(name)
+		}
+	}
+	flag("distinct", k.Distinct)
+	flag("filter", k.Filter)
+	flag("opt", k.Opt)
+	flag("union", k.Union)
+	flag("agg", k.Count || k.Max || k.Min || k.Avg || k.Sum || k.GroupBy)
+	flag("order", k.OrderBy)
+	flag("limit", k.Limit)
+	return sb.String()
+}
+
+// noteShape records one valid occurrence of a repeat shape; unique
+// additionally counts it as its class's representative.
+func (rep *DatasetReport) noteShape(label string, unique bool) {
+	s := rep.Repeats[label]
+	s.Total++
+	if unique {
+		s.Unique++
+	}
+	rep.Repeats[label] = s
+}
+
+// noteShapeUnique counts a class representative whose occurrences were
+// already recorded (the deferred-analysis paths of structural dedup).
+func (rep *DatasetReport) noteShapeUnique(label string) {
+	s := rep.Repeats[label]
+	s.Unique++
+	rep.Repeats[label] = s
 }
 
 // Options configures the pipeline.
@@ -192,13 +270,7 @@ func looksLikeQuery(entry string) bool {
 
 // AnalyzeLog runs the full pipeline over one log's raw entries.
 func AnalyzeLog(name string, entries []string, opts Options) *DatasetReport {
-	rep := &DatasetReport{
-		Name:        name,
-		Keywords:    make(map[string]int),
-		OperatorSet: analysis.NewDistribution(),
-		GirthHist:   make(map[int]int),
-		Paths:       paths.NewTable5(),
-	}
+	rep := NewCorpusReport(name)
 	parser := &sparql.Parser{}
 	seen := make(map[string]bool)
 	for _, raw := range entries {
@@ -212,16 +284,19 @@ func AnalyzeLog(name string, entries []string, opts Options) *DatasetReport {
 			continue
 		}
 		rep.Valid++
+		shape := RepeatShape(q)
 		if !opts.KeepDuplicates {
 			key := raw
 			if opts.StructuralDedup {
 				key = sparql.Fingerprint(q)
 			}
 			if seen[key] {
+				rep.noteShape(shape, false)
 				continue
 			}
 			seen[key] = true
 		}
+		rep.noteShape(shape, true)
 		rep.Unique++
 		rep.analyzeQuery(q, opts)
 	}
@@ -231,17 +306,12 @@ func AnalyzeLog(name string, entries []string, opts Options) *DatasetReport {
 // AnalyzeQueries runs the analysis over already-parsed queries (used by
 // tests and the repro harness).
 func AnalyzeQueries(name string, qs []*sparql.Query, opts Options) *DatasetReport {
-	rep := &DatasetReport{
-		Name:        name,
-		Keywords:    make(map[string]int),
-		OperatorSet: analysis.NewDistribution(),
-		GirthHist:   make(map[int]int),
-		Paths:       paths.NewTable5(),
-	}
+	rep := NewCorpusReport(name)
 	for _, q := range qs {
 		rep.Total++
 		rep.Valid++
 		rep.Unique++
+		rep.noteShape(RepeatShape(q), true)
 		rep.analyzeQuery(q, opts)
 	}
 	return rep
@@ -501,6 +571,15 @@ func (rep *DatasetReport) Merge(o *DatasetReport) {
 		}
 	}
 	rep.LintEmpty += o.LintEmpty
+	if rep.Repeats == nil && len(o.Repeats) > 0 {
+		rep.Repeats = make(map[string]RepeatStat)
+	}
+	for k, v := range o.Repeats {
+		s := rep.Repeats[k]
+		s.Total += v.Total
+		s.Unique += v.Unique
+		rep.Repeats[k] = s
+	}
 }
 
 // NewCorpusReport returns an empty report suitable as a Merge target.
@@ -511,5 +590,6 @@ func NewCorpusReport(name string) *DatasetReport {
 		OperatorSet: analysis.NewDistribution(),
 		GirthHist:   make(map[int]int),
 		Paths:       paths.NewTable5(),
+		Repeats:     make(map[string]RepeatStat),
 	}
 }

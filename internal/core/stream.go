@@ -62,17 +62,29 @@ const (
 )
 
 // streamRep is the current representative of one fingerprint class:
-// the parsed query of the earliest occurrence seen so far.
+// the parsed query of the earliest occurrence seen so far, plus its
+// repeat-shape label (identical across the class, cached so report
+// time never re-walks the AST).
 type streamRep struct {
-	idx uint64
-	q   *sparql.Query
+	idx   uint64
+	q     *sparql.Query
+	label string
+}
+
+// seenEntry is the recorded state of one distinct entry text in exact
+// dedup: its parse status plus the repeat-shape label of the parsed
+// query, so duplicate occurrences can be counted into the repeat-rate
+// table without re-parsing.
+type seenEntry struct {
+	status entryStatus
+	label  string
 }
 
 // dedupShard is one lock-striped slice of the global seen-set.
 type dedupShard struct {
 	mu sync.Mutex
 	// seen is keyed by raw entry text (exact dedup).
-	seen map[string]entryStatus
+	seen map[string]seenEntry
 	// reps is keyed by fingerprint (structural dedup).
 	reps map[string]streamRep
 }
@@ -121,7 +133,7 @@ func (sa *StreamAnalyzer) AnalyzeSeq(name string, seq iter.Seq[string]) *Dataset
 		case sa.Opts.StructuralDedup:
 			shards[i].reps = make(map[string]streamRep)
 		default:
-			shards[i].seen = make(map[string]entryStatus)
+			shards[i].seen = make(map[string]seenEntry)
 		}
 	}
 	seed := maphash.MakeSeed()
@@ -195,6 +207,7 @@ func (sa *StreamAnalyzer) analyzeRepresentatives(rep *DatasetReport, shards []de
 			for i := range idx {
 				for _, r := range shards[i].reps {
 					part.Unique++
+					part.noteShapeUnique(r.label)
 					part.analyzeQuery(r.q, sa.Opts)
 				}
 			}
@@ -237,6 +250,7 @@ func (w *streamWorker) process(raw string, idx uint64) {
 		}
 		w.rep.Valid++
 		w.rep.Unique++
+		w.rep.noteShape(RepeatShape(q), true)
 		w.rep.analyzeQuery(q, w.opts)
 	case w.opts.StructuralDedup:
 		// Structural dedup keys on the fingerprint, which needs the parse
@@ -251,11 +265,13 @@ func (w *streamWorker) process(raw string, idx uint64) {
 			return
 		}
 		w.rep.Valid++
+		label := RepeatShape(q)
+		w.rep.noteShape(label, false)
 		fp := sparql.Fingerprint(q)
 		shard := w.shard(fp)
 		shard.mu.Lock()
 		if cur, ok := shard.reps[fp]; !ok || idx < cur.idx {
-			shard.reps[fp] = streamRep{idx: idx, q: q}
+			shard.reps[fp] = streamRep{idx: idx, q: q, label: label}
 		}
 		shard.mu.Unlock()
 	default:
@@ -268,11 +284,15 @@ func (w *streamWorker) process(raw string, idx uint64) {
 		shard.mu.Lock()
 		st, dup := shard.seen[raw]
 		if !dup {
-			shard.seen[raw] = statusPending
+			shard.seen[raw] = seenEntry{status: statusPending}
 		}
 		shard.mu.Unlock()
 		if !dup {
 			q, err := w.parser.Parse(raw)
+			var label string
+			if err == nil {
+				label = RepeatShape(q)
+			}
 			shard.mu.Lock()
 			if err != nil {
 				// Keep no state for unparseable entries, mirroring
@@ -280,7 +300,7 @@ func (w *streamWorker) process(raw string, idx uint64) {
 				// instead of inflating the shards with invalid noise.
 				delete(shard.seen, raw)
 			} else {
-				shard.seen[raw] = statusValid
+				shard.seen[raw] = seenEntry{status: statusValid, label: label}
 			}
 			shard.mu.Unlock()
 			if err != nil {
@@ -288,17 +308,20 @@ func (w *streamWorker) process(raw string, idx uint64) {
 			}
 			w.rep.Valid++
 			w.rep.Unique++
+			w.rep.noteShape(label, true)
 			w.rep.analyzeQuery(q, w.opts)
 			return
 		}
-		switch st {
+		switch st.status {
 		case statusValid:
 			w.rep.Valid++
+			w.rep.noteShape(st.label, false)
 		case statusPending:
 			// The claimer is still parsing; parse our identical copy to
-			// learn validity without waiting on it.
-			if _, err := w.parser.Parse(raw); err == nil {
+			// learn validity (and the repeat label) without waiting on it.
+			if q, err := w.parser.Parse(raw); err == nil {
 				w.rep.Valid++
+				w.rep.noteShape(RepeatShape(q), false)
 			}
 		}
 	}

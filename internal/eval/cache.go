@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sparqlog/internal/exec"
+	"sparqlog/internal/qcache"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// cacheKey derives the result-cache key for one evaluation: the
+// canonical query text (variable-renaming- and prefix-invariant,
+// solution modifiers included) plus the row budget. MaxRows is part of
+// the key because it changes observable behaviour at the margin — a
+// result that fit a large budget must not answer a request whose
+// smaller budget would have overflowed.
+func cacheKey(q *sparql.Query, lim Limits) string {
+	return fmt.Sprintf("mr%d|%s", lim.MaxRows, sparql.QueryString(q))
+}
+
+// queryCached wraps queryDirect with the result cache: lookup, then
+// single-flight collapse of concurrent identical executions, then
+// cost-aware fill. Only clean results are shared or stored — errors
+// (deadline truncations and row-limit overflows included) and
+// SERVICE-recovered answers always come from a real execution and are
+// never cached.
+func queryCached(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Limits) (*Result, error) {
+	c := lim.Results
+	key := cacheKey(q, lim)
+	if r, ok := c.Get(sn, key); ok {
+		return &Result{Vars: r.Vars, Rows: r.Rows, Bool: r.Bool, Cached: true, CacheKey: key}, nil
+	}
+	fl, leader := c.Join(key)
+	if !leader {
+		r, ok, err := fl.Wait(ctx, c)
+		if err != nil {
+			// Our own deadline struck while waiting on the leader; the
+			// executor convention for an expired context.
+			return nil, exec.ErrTimeout
+		}
+		if ok {
+			return &Result{Vars: r.Vars, Rows: r.Rows, Bool: r.Bool, Collapsed: true}, nil
+		}
+		// The leader's execution failed or produced an unshareable
+		// result; our deadline and SERVICE luck may differ, so run it
+		// ourselves (without re-joining: a failing query must not
+		// serialize all its issuers forever).
+		return queryDirect(ctx, sn, q, lim)
+	}
+	start := time.Now()
+	res, err := queryDirect(ctx, sn, q, lim)
+	cost := time.Since(start)
+	shareable := err == nil && res.Recovered == 0
+	var cr qcache.Result
+	if shareable {
+		cr = qcache.Result{Vars: res.Vars, Rows: res.Rows, Bool: res.Bool}
+	}
+	c.Complete(key, fl, cr, shareable)
+	if shareable && c.Put(sn, key, cr, cost) {
+		res.CacheKey = key
+	}
+	return res, err
+}

@@ -1,0 +1,302 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlog/internal/qcache"
+	"sparqlog/internal/rdf"
+	"sparqlog/internal/sparql"
+)
+
+// diffCachedUncached pins the tentpole's correctness contract: with a
+// result cache wired in, the answer must be indistinguishable from
+// uncached execution — on the filling miss AND on the subsequent hit.
+// The hit is additionally required to be byte-faithful to the fill
+// (same row order, same nil-vs-empty Rows), because it materializes
+// from the fill's stored columns.
+func diffCachedUncached(t *testing.T, sn *rdf.Snapshot, qc *qcache.Cache, src string) {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	direct, derr := QueryWithLimits(sn, q, Limits{})
+	fill, ferr := QueryWithLimits(sn, q, Limits{Results: qc})
+	hit, herr := QueryWithLimits(sn, q, Limits{Results: qc})
+	if (derr == nil) != (ferr == nil) || (derr == nil) != (herr == nil) {
+		t.Fatalf("error divergence on %q: direct=%v fill=%v hit=%v", src, derr, ferr, herr)
+	}
+	if derr != nil {
+		return
+	}
+	if !hit.Cached {
+		t.Fatalf("second evaluation of %q did not hit the cache", src)
+	}
+	if fill.Cached {
+		t.Fatalf("first evaluation of %q claims a cache hit", src)
+	}
+	// Hit vs fill: exact equality, including row order and nil-ness.
+	if !reflect.DeepEqual(hit.Vars, fill.Vars) || !reflect.DeepEqual(hit.Rows, fill.Rows) || hit.Bool != fill.Bool {
+		t.Fatalf("cached hit diverges from its fill on %q:\nfill %#v\nhit  %#v", src, fill.Rows, hit.Rows)
+	}
+	// Fill vs independent execution: multiset equality (unordered
+	// queries may enumerate differently between runs).
+	if direct.Bool != fill.Bool || strings.Join(direct.Vars, ",") != strings.Join(fill.Vars, ",") {
+		t.Fatalf("fill diverges from direct on %q", src)
+	}
+	a, b := sortedRows(direct), sortedRows(fill)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("rows diverge on %q:\ndirect %q\ncached %q", src, a, b)
+	}
+}
+
+// TestCachedDifferentialOperators replays the operator corpus with a
+// shared result cache: DISTINCT, ORDER, slicing, aggregates, paths,
+// ASK — everything the canonical cache key must keep distinct.
+func TestCachedDifferentialOperators(t *testing.T) {
+	sn := socialStore()
+	qc := qcache.New(sn, qcache.Options{MinCost: -1})
+	for _, src := range []string{
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:knows> ?z }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y OPTIONAL { ?y <urn:age> ?a } }`,
+		`SELECT * WHERE { { ?x <urn:age> ?v } UNION { ?x <urn:name> ?v } }`,
+		`SELECT * WHERE { ?x <urn:knows> ?y MINUS { ?x <urn:tag> <urn:gold> } }`,
+		`SELECT * WHERE { ?x <urn:age> ?a FILTER (?a > 24) }`,
+		`SELECT * WHERE { ?x <urn:age> ?a BIND (?a * 2 AS ?d) FILTER (?d > 48) }`,
+		`SELECT ?y WHERE { <urn:a0> <urn:knows>+ ?y }`,
+		`SELECT DISTINCT ?y WHERE { ?x <urn:knows> ?y . ?z <urn:knows> ?y }`,
+		`SELECT ?a WHERE { ?x <urn:age> ?a } ORDER BY DESC(?a) LIMIT 3`,
+		`SELECT ?n WHERE { ?x <urn:name> ?n } ORDER BY ?n OFFSET 1 LIMIT 2`,
+		`SELECT ?y (COUNT(*) AS ?c) WHERE { ?x <urn:knows> ?y } GROUP BY ?y ORDER BY DESC(?c) ?y`,
+		`SELECT ?x (SUM(?a) AS ?s) WHERE { ?x <urn:age> ?a } GROUP BY ?x HAVING (SUM(?a) > 23)`,
+		`SELECT (GROUP_CONCAT(?n ; separator=",") AS ?all) WHERE { ?x <urn:name> ?n }`,
+		// Expression products live in the entry-local overflow table.
+		`SELECT (?a + 1 AS ?b) WHERE { ?x <urn:age> ?a } ORDER BY ?b`,
+		// Unbound cells round-trip as unbound.
+		`SELECT ?x ?e WHERE { ?x <urn:age> ?a BIND ("" AS ?e) FILTER (!BOUND(?e)) }`,
+		// Empty result sets and ASK (nil Rows) round-trip faithfully.
+		`SELECT * WHERE { ?x <urn:knows> ?y . ?x <urn:nothere> ?z }`,
+		`ASK { <urn:a0> <urn:knows>/<urn:knows> <urn:a2> }`,
+		`ASK { ?x <urn:age> ?a FILTER (?a > 100) }`,
+	} {
+		diffCachedUncached(t, sn, qc, src)
+	}
+	if qc.Hits() == 0 {
+		t.Fatal("corpus produced no cache hits")
+	}
+}
+
+// TestCachedDifferentialRandom is the randomized half over fresh
+// stores, one cache per snapshot as the serving path builds them.
+func TestCachedDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 120; trial++ {
+		st := rdf.NewStore()
+		nNodes := 4 + rng.Intn(10)
+		nPreds := 1 + rng.Intn(3)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			st.Add(
+				fmt.Sprintf("urn:n%d", rng.Intn(nNodes)),
+				fmt.Sprintf("urn:p%d", rng.Intn(nPreds)),
+				fmt.Sprintf("urn:n%d", rng.Intn(nNodes)),
+			)
+		}
+		sn := st.Freeze()
+		qc := qcache.New(sn, qcache.Options{MinCost: -1})
+		diffCachedUncached(t, sn, qc, randomQuery(rng, nNodes, nPreds))
+	}
+}
+
+// TestCacheKeyAlphaEquivalence: variable renaming and prefix spelling
+// must share one entry; different modifiers must not.
+func TestCacheKeyAlphaEquivalence(t *testing.T) {
+	sn := socialStore()
+	qc := qcache.New(sn, qcache.Options{MinCost: -1})
+	lim := Limits{Results: qc}
+	run := func(src string) *Result {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		res, err := QueryWithLimits(sn, q, lim)
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		return res
+	}
+	run(`SELECT ?x WHERE { ?x <urn:age> ?a }`)
+	if res := run(`SELECT ?other WHERE { ?other <urn:age> ?v }`); !res.Cached {
+		t.Fatal("alpha-equivalent repeat missed the cache")
+	}
+	if res := run(`PREFIX u: <urn:> SELECT ?x WHERE { ?x u:age ?a }`); !res.Cached {
+		t.Fatal("prefix-spelled repeat missed the cache")
+	}
+	if res := run(`SELECT DISTINCT ?x WHERE { ?x <urn:age> ?a }`); res.Cached {
+		t.Fatal("DISTINCT variant shared the non-DISTINCT entry")
+	}
+	if res := run(`SELECT ?x WHERE { ?x <urn:age> ?a } LIMIT 2`); res.Cached {
+		t.Fatal("LIMIT variant shared the unlimited entry")
+	}
+}
+
+// TestDoNotCacheErrors: row-limit overflows, expired deadlines, and
+// SERVICE-recovered results must never become cache entries.
+func TestDoNotCacheErrors(t *testing.T) {
+	sn := socialStore()
+
+	t.Run("row limit overflow", func(t *testing.T) {
+		qc := qcache.New(sn, qcache.Options{MinCost: -1})
+		q, _ := sparql.Parse(`SELECT * WHERE { ?s ?p ?o }`)
+		lim := Limits{Results: qc, MaxRows: 2}
+		if _, err := QueryWithLimits(sn, q, lim); err == nil {
+			t.Fatal("expected row-limit error")
+		}
+		if qc.Entries() != 0 {
+			t.Fatal("overflowed result was cached")
+		}
+		// A larger budget under the same cache must re-execute, not see
+		// a poisoned entry — and the overflowing budget must stay an
+		// error even after the large-budget success is cached.
+		big := Limits{Results: qc, MaxRows: 1000}
+		res, err := QueryWithLimits(sn, q, big)
+		if err != nil || res.Cached {
+			t.Fatalf("large-budget run: %v (cached=%v)", err, res.Cached)
+		}
+		if _, err := QueryWithLimits(sn, q, lim); err == nil {
+			t.Fatal("small budget answered from the large-budget entry")
+		}
+	})
+
+	t.Run("expired deadline", func(t *testing.T) {
+		// Heavy enough that the evaluator observes the cancelled
+		// context mid-execution (tiny queries may finish before any
+		// cancellation check, which is a success, not a truncation).
+		st := rdf.NewStore()
+		for i := 0; i < 300; i++ {
+			st.Add(fmt.Sprintf("urn:c%d", i), "urn:next", fmt.Sprintf("urn:c%d", (i+1)%300))
+		}
+		bigSn := st.Freeze()
+		qc := qcache.New(bigSn, qcache.Options{MinCost: -1})
+		q, _ := sparql.Parse(`SELECT ?x ?y WHERE { ?x <urn:next>+ ?y }`)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := QueryContext(ctx, bigSn, q, Limits{Results: qc}); err == nil {
+			t.Fatal("expected deadline error")
+		}
+		if qc.Entries() != 0 {
+			t.Fatal("deadline-truncated result was cached")
+		}
+	})
+
+	t.Run("service recovery", func(t *testing.T) {
+		qc := qcache.New(sn, qcache.Options{MinCost: -1})
+		q, _ := sparql.Parse(`SELECT ?x WHERE { SERVICE SILENT <http://remote/> { ?x <urn:special> ?y } }`)
+		res, err := QueryWithLimits(sn, q, Limits{Results: qc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Recovered == 0 {
+			t.Skip("SERVICE did not recover; nothing to pin")
+		}
+		if qc.Entries() != 0 {
+			t.Fatal("SERVICE-recovered result was cached")
+		}
+		again, err := QueryWithLimits(sn, q, Limits{Results: qc})
+		if err != nil || again.Cached {
+			t.Fatalf("recovered query answered from cache: %v cached=%v", err, again.Cached)
+		}
+	})
+}
+
+// TestSingleFlightStampede: N concurrent identical queries through the
+// eval layer must execute exactly once — everyone else is a cache hit
+// or a collapsed follower.
+func TestSingleFlightStampede(t *testing.T) {
+	st := rdf.NewStore()
+	for i := 0; i < 400; i++ {
+		st.Add(fmt.Sprintf("urn:c%d", i), "urn:next", fmt.Sprintf("urn:c%d", (i+1)%400))
+	}
+	sn := st.Freeze()
+	qc := qcache.New(sn, qcache.Options{MinCost: -1})
+	// Transitive closure over the 400-cycle: heavy enough (160k pairs)
+	// that every goroutine joins the flight long before the leader
+	// finishes executing.
+	q, err := sparql.Parse(`SELECT ?x ?y WHERE { ?x <urn:next>+ ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	results := make([]*Result, n)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			res, err := QueryWithLimits(sn, q, Limits{Results: qc})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	var executed, collapsed, hits int
+	for _, res := range results {
+		switch {
+		case res == nil:
+		case res.Cached:
+			hits++
+		case res.Collapsed:
+			collapsed++
+		default:
+			executed++
+		}
+	}
+	if executed != 1 {
+		t.Fatalf("executions = %d (hits %d, collapsed %d), want exactly 1", executed, hits, collapsed)
+	}
+	if hits+collapsed != n-1 {
+		t.Fatalf("hits %d + collapsed %d != %d", hits, collapsed, n-1)
+	}
+	if qc.Collapsed() != int64(collapsed) {
+		t.Fatalf("cache Collapsed = %d, flags say %d", qc.Collapsed(), collapsed)
+	}
+	// All 32 must agree on the answer.
+	want := sortedRows(results[0])
+	for i, res := range results[1:] {
+		if !reflect.DeepEqual(sortedRows(res), want) {
+			t.Fatalf("goroutine %d returned different rows", i+1)
+		}
+	}
+}
+
+// TestCostAdmissionThroughEval: with a real MinCost, a microsecond
+// query is executed every time (admission rejects it), never cached.
+func TestCostAdmissionThroughEval(t *testing.T) {
+	sn := socialStore()
+	qc := qcache.New(sn, qcache.Options{MinCost: time.Hour})
+	q, _ := sparql.Parse(`SELECT ?x WHERE { ?x <urn:age> ?a } LIMIT 1`)
+	for i := 0; i < 3; i++ {
+		res, err := QueryWithLimits(sn, q, Limits{Results: qc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("below-threshold query was cached")
+		}
+	}
+	if qc.Entries() != 0 || qc.Rejected() == 0 {
+		t.Fatalf("entries=%d rejected=%d, want 0 and >0", qc.Entries(), qc.Rejected())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sparqlog/internal/lint"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
+	"sparqlog/internal/qcache"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -70,6 +71,17 @@ type Result struct {
 	// (group counts, partial-table merges, heap-vs-sort mode); nil when
 	// neither operator ran.
 	Modifiers *ModifierInfo
+	// Cached marks a result served from the result cache (Limits.Results)
+	// without executing; Collapsed marks one received from a concurrent
+	// identical execution via single-flight. Both false means this
+	// result was evaluated here.
+	Cached    bool
+	Collapsed bool
+	// CacheKey is the canonical cache key when the result is resident in
+	// the result cache (a hit, or a fresh execution that was admitted).
+	// Serving layers use it to attach and reuse serialized bodies;
+	// empty means not resident.
+	CacheKey string
 }
 
 // ParallelInfo summarizes one query's intra-query parallel section.
@@ -137,6 +149,16 @@ type Limits struct {
 	// Opt-in because "=" is value equality while substitution enforces
 	// term equality (see internal/lint/rewrite.go for the caveat).
 	CollapseEqualities bool
+	// Results optionally consults a snapshot-keyed query result cache
+	// between parse and execution (internal/qcache): repeated queries —
+	// keyed by their canonical sparql.QueryString, so variable renaming
+	// and prefix spelling do not split entries — skip the plan→exec
+	// pipeline entirely, and concurrent identical queries collapse onto
+	// one execution (single-flight). The cache is bound to one snapshot;
+	// evaluating a different snapshot degrades to uncached execution.
+	// Errors, deadline truncations, row-limit overflows, and
+	// SERVICE-recovered results are never cached.
+	Results *qcache.Cache
 	// Parallel is the intra-query worker budget for the columnar
 	// executor's morsel-driven exchange and the compiled-path pair
 	// sweeps: 0 means auto (GOMAXPROCS), 1 pins today's serial
@@ -175,6 +197,17 @@ func QueryContext(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Li
 			q = rq
 		}
 	}
+	// Cache lookup sits after the equality-collapse rewrite so the key
+	// reflects the semantics actually executed, and degrades to direct
+	// execution on a snapshot mismatch (the plan.Cache convention).
+	if lim.Results != nil && lim.Results.Snapshot() == sn {
+		return queryCached(ctx, sn, q, lim)
+	}
+	return queryDirect(ctx, sn, q, lim)
+}
+
+// queryDirect is the uncached evaluation path.
+func queryDirect(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim Limits) (*Result, error) {
 	ev := &evaluator{st: sn, prefixes: prefixMap(q), lim: lim, ctx: ctx}
 	res, err := ev.query(q)
 	if err == nil {

@@ -54,6 +54,7 @@ func Explain(sn *rdf.Snapshot, q *sparql.Query) (string, error) {
 		text += ev.explainPath(pp)
 	}
 	text += explainParallel(sn, q)
+	text += explainCacheLine(q)
 	if extras := nonConjunctiveOperators(q); len(extras) > 0 {
 		text += fmt.Sprintf("note: query also contains %s — only the conjunctive core and property\n"+
 			"      paths above were planned and executed; full evaluation may return different results\n",
@@ -118,6 +119,21 @@ func explainModifiers(mi *ModifierInfo) string {
 			mi.TopKMode, mi.TopKScanned, mi.TopKKept)
 	}
 	return b.String()
+}
+
+// explainCacheLine renders the result-cache view of the query: the
+// canonical key (sparql.QueryString) a serving layer with Limits.
+// Results set would cache this answer under. Alpha-equivalent repeats
+// share the key, so the line shows exactly which workload class the
+// query's cache entry serves.
+func explainCacheLine(q *sparql.Query) string {
+	key := sparql.QueryString(q)
+	if len(key) > 96 {
+		key = key[:93] + "..."
+	}
+	return fmt.Sprintf("result cache: canonical key %q\n"+
+		"      (snapshot-keyed; stored after execution when measured cost reaches the\n"+
+		"      admission threshold; errors, truncations and recovered results never cached)\n", key)
 }
 
 // hasSilentService reports whether any SERVICE SILENT clause appears in

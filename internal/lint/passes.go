@@ -390,9 +390,15 @@ func runDuplicateUnion(c *Ctx) {
 		}
 		walkPath(s.q.Where, s.wherePath(), func(p sparql.Pattern, path string) bool {
 			if u, ok := p.(*sparql.Union); ok {
-				l, r := sparql.PatternString(u.Left), sparql.PatternString(u.Right)
-				if l != "" && l == r {
-					c.Report(path, l,
+				// Compare the branches canonically (prefixes expanded,
+				// variables renamed under one shared context): catches
+				// `dbo:x` vs its full-IRI spelling while branches over
+				// different variables — different solutions — stay
+				// distinct. The reported snippet keeps the user's own
+				// spelling.
+				cs := sparql.CanonPatternStrings(c.Query.Prologue, u.Left, u.Right)
+				if cs[0] != "" && cs[0] == cs[1] {
+					c.Report(path, sparql.PatternString(u.Left),
 						"UNION branches are identical: duplicate work and duplicate solutions")
 				}
 			}

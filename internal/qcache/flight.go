@@ -1,0 +1,61 @@
+package qcache
+
+import "context"
+
+// Flight is one in-progress execution of a cache key. The first caller
+// to Join becomes the leader and executes; concurrent callers of the
+// same key become followers and Wait for the leader's result instead
+// of stampeding the executor with identical work.
+type Flight struct {
+	done chan struct{}
+	res  Result
+	ok   bool
+}
+
+// Join registers interest in key's execution. The boolean reports
+// leadership: the leader must execute the query and call Complete
+// exactly once (also on error paths — abandoning a flight would strand
+// followers until their contexts expire).
+func (c *Cache) Join(key string) (*Flight, bool) {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f := &Flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// Complete resolves the flight: followers wake with r when shareable
+// is true, and fall back to executing themselves when it is false (the
+// leader erred, timed out, or produced a result that must not be
+// shared — a follower's own deadline and SERVICE luck may differ).
+// Only the leader calls Complete.
+func (c *Cache) Complete(key string, f *Flight, r Result, shareable bool) {
+	c.fmu.Lock()
+	// Guard against a stale flight: only remove the one we own.
+	if cur, ok := c.flights[key]; ok && cur == f {
+		delete(c.flights, key)
+	}
+	c.fmu.Unlock()
+	f.res, f.ok = r, shareable
+	close(f.done)
+}
+
+// Wait blocks until the leader completes or ctx expires. On a
+// shareable completion it returns the leader's result (and counts one
+// collapsed execution); ok=false with a nil error means the follower
+// must execute the query itself.
+func (f *Flight) Wait(ctx context.Context, c *Cache) (Result, bool, error) {
+	select {
+	case <-f.done:
+		if !f.ok {
+			return Result{}, false, nil
+		}
+		c.collapsed.Add(1)
+		return f.res, true, nil
+	case <-ctx.Done():
+		return Result{}, false, ctx.Err()
+	}
+}

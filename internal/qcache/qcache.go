@@ -1,0 +1,503 @@
+// Package qcache is a memory-bounded, snapshot-keyed query result
+// cache for the serving path. It converts the paper's central workload
+// observation — real SPARQL logs are massively repetitive (our own
+// sparqld self-analysis sees >52% exact repeats) — into a speedup:
+// repeated queries skip the plan→exec pipeline entirely.
+//
+// Keys are canonical query fingerprints (sparql.QueryString: variable
+// renaming and prefix expansion normalized away, solution modifiers
+// included), so alpha-equivalent repeats share one entry. The cache is
+// bound to one immutable rdf.Snapshot at construction; callers compare
+// snapshot identity on every access (the plan.Cache pattern), so a new
+// snapshot invalidates implicitly — no epoch bookkeeping on the hot
+// path.
+//
+// Entries store columnar ID tuples, not strings: one rdf.ID column per
+// projected variable, resolved through the snapshot dictionary on
+// materialization, with an entry-local overflow table for terms the
+// dictionary does not hold (expression products). Admission is
+// cost-aware — only results whose measured execution cost reaches
+// Options.MinCost are stored, so the cache holds the heavy tail rather
+// than microsecond point lookups — and eviction is sharded LRU under a
+// byte budget. Hot entries additionally carry per-content-type
+// serialized response bodies (SetBody/Body) so an HTTP hit can be a
+// single Write.
+//
+// Invariant: cache entries are immutable once inserted and keyed by
+// snapshot identity. Get materializes fresh rows on every hit; nothing
+// handed out aliases mutable cache state.
+package qcache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparqlog/internal/rdf"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultMaxBytes is the byte budget across all shards.
+	DefaultMaxBytes = 64 << 20
+	// DefaultMinCost is the admission threshold: results measured
+	// cheaper than this are not worth a cache slot (the 1µs point
+	// lookups the paper's repeat statistics are full of re-execute
+	// faster than they'd be found).
+	DefaultMinCost = 500 * time.Microsecond
+	// DefaultShards is the lock-stripe count.
+	DefaultShards = 16
+)
+
+// Options configures New. The zero value serves with the defaults
+// above; negative MinCost admits every successful result (tests,
+// replay experiments).
+type Options struct {
+	// MaxBytes is the cache-wide byte budget over entries and their
+	// serialized bodies; <= 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// MinCost is the cost-aware admission threshold: only results whose
+	// measured execution took at least this long are stored. 0 means
+	// DefaultMinCost; negative admits everything.
+	MinCost time.Duration
+	// Shards is the lock-stripe count; <= 0 means DefaultShards.
+	Shards int
+	// MaxEntryBytes caps one entry (rows plus bodies); <= 0 means
+	// MaxBytes/8. Results larger than this are never admitted: one
+	// huge answer must not evict the whole working set.
+	MaxEntryBytes int64
+}
+
+// Result is a materialized query answer: the neutral shape the cache
+// exchanges with the evaluator (qcache cannot import eval). Rows use
+// the evaluator's conventions — aligned with Vars, "" marks unbound.
+type Result struct {
+	Vars []string
+	Rows [][]string
+	Bool bool
+}
+
+// unboundID marks an unbound cell in a stored column. rdf.IDs are
+// dense dictionary indexes, so the top of the uint32 range is free.
+const unboundID = ^rdf.ID(0)
+
+// cachedBody is one serialized response representation of an entry.
+type cachedBody struct {
+	data []byte
+	etag string
+}
+
+// entry is one cached result in columnar form. Immutable after insert
+// except for the bodies map and LRU links, both guarded by the shard
+// lock.
+type entry struct {
+	key  string
+	vars []string
+	// nilRows preserves the caller's nil-vs-empty Rows distinction
+	// (ASK results carry nil) so a hit is byte-faithful to execution.
+	nilRows bool
+	boolV   bool
+	nrows   int
+	// cols holds one column per var, column-major; IDs below base
+	// resolve through the snapshot dictionary, IDs at or above it index
+	// extra (terms the dictionary does not hold), unboundID is a hole.
+	cols  [][]rdf.ID
+	extra []string
+	cost  time.Duration
+	bytes int64
+
+	bodies     map[string]cachedBody
+	prev, next *entry
+}
+
+// shard is one lock stripe: a map plus an intrusive LRU list under a
+// private byte budget.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	head    *entry // most recently used
+	tail    *entry // eviction candidate
+	bytes   int64
+	max     int64
+}
+
+// Cache is the result cache. Safe for concurrent use; create with New.
+type Cache struct {
+	sn       *rdf.Snapshot
+	base     rdf.ID // sn.NumTerms(): first entry-local overflow ID
+	minCost  time.Duration
+	maxEntry int64
+	shards   []shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	bodyHits  atomic.Int64
+	evictions atomic.Int64
+	rejected  atomic.Int64
+
+	fmu     sync.Mutex
+	flights map[string]*Flight
+}
+
+// New returns a cache bound to sn.
+func New(sn *rdf.Snapshot, opts Options) *Cache {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	nShards := opts.Shards
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	minCost := opts.MinCost
+	if minCost == 0 {
+		minCost = DefaultMinCost
+	}
+	maxEntry := opts.MaxEntryBytes
+	if maxEntry <= 0 {
+		maxEntry = maxBytes / 8
+	}
+	c := &Cache{
+		sn:       sn,
+		base:     rdf.ID(sn.NumTerms()),
+		minCost:  minCost,
+		maxEntry: maxEntry,
+		shards:   make([]shard, nShards),
+		flights:  make(map[string]*Flight),
+	}
+	perShard := maxBytes / int64(nShards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].max = perShard
+	}
+	return c
+}
+
+// Snapshot returns the snapshot the cache is bound to. Callers holding
+// a different snapshot must not consult this cache (degrade to
+// uncached execution, exactly as plan.Cache degrades).
+func (c *Cache) Snapshot() *rdf.Snapshot { return c.sn }
+
+// MinCost returns the effective admission threshold.
+func (c *Cache) MinCost() time.Duration { return c.minCost }
+
+func (c *Cache) shard(key string) *shard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Get returns the materialized result under key, if cached. sn must be
+// the snapshot the caller evaluates against: a mismatch is a miss by
+// definition (stored IDs index a different dictionary). Rows are
+// freshly materialized — the caller owns them.
+func (c *Cache) Get(sn *rdf.Snapshot, key string) (Result, bool) {
+	if sn != c.sn {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		sh.touch(e)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	return c.materialize(e), true
+}
+
+// materialize rebuilds string rows from an entry's ID columns. The
+// entry is immutable, so no lock is held while resolving.
+func (c *Cache) materialize(e *entry) Result {
+	r := Result{Vars: e.vars, Bool: e.boolV}
+	if e.nrows == 0 {
+		if !e.nilRows {
+			r.Rows = [][]string{}
+		}
+		return r
+	}
+	ncols := len(e.vars)
+	cells := make([]string, e.nrows*ncols)
+	rows := make([][]string, e.nrows)
+	for i := range rows {
+		row := cells[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for j := 0; j < ncols; j++ {
+			switch id := e.cols[j][i]; {
+			case id == unboundID:
+				row[j] = ""
+			case id >= c.base:
+				row[j] = e.extra[id-c.base]
+			default:
+				row[j] = c.sn.TermOf(id)
+			}
+		}
+		rows[i] = row
+	}
+	r.Rows = rows
+	return r
+}
+
+// Put stores a successful result under key when it clears cost-aware
+// admission. It reports whether the entry is now resident (an existing
+// entry under the same key also counts: the double-fill race after a
+// flight resolves to the first writer). Callers must never Put errors,
+// truncations, or recovered results — the cache cannot tell.
+func (c *Cache) Put(sn *rdf.Snapshot, key string, r Result, cost time.Duration) bool {
+	if sn != c.sn {
+		return false
+	}
+	if cost < c.minCost {
+		c.rejected.Add(1)
+		return false
+	}
+	e := c.convert(key, r, cost)
+	if e.bytes > c.maxEntry {
+		c.rejected.Add(1)
+		return false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return true
+	}
+	if !sh.makeRoom(e.bytes, nil, c) {
+		c.rejected.Add(1)
+		return false
+	}
+	sh.entries[key] = e
+	sh.bytes += e.bytes
+	sh.pushFront(e)
+	return true
+}
+
+// convert interns a string result into columnar ID form. Terms missing
+// from the snapshot dictionary (expression products, federated terms)
+// go into an entry-local overflow table addressed above c.base.
+func (c *Cache) convert(key string, r Result, cost time.Duration) *entry {
+	e := &entry{
+		key:     key,
+		vars:    r.Vars,
+		nilRows: r.Rows == nil,
+		boolV:   r.Bool,
+		nrows:   len(r.Rows),
+		cost:    cost,
+	}
+	ncols := len(r.Vars)
+	var overflow map[string]rdf.ID
+	var extraBytes int64
+	if ncols > 0 && e.nrows > 0 {
+		e.cols = make([][]rdf.ID, ncols)
+		flat := make([]rdf.ID, e.nrows*ncols)
+		for j := range e.cols {
+			e.cols[j] = flat[j*e.nrows : (j+1)*e.nrows]
+		}
+		for i, row := range r.Rows {
+			for j := 0; j < ncols; j++ {
+				cell := ""
+				if j < len(row) {
+					cell = row[j]
+				}
+				if cell == "" {
+					e.cols[j][i] = unboundID
+					continue
+				}
+				if id, ok := c.sn.Lookup(cell); ok {
+					e.cols[j][i] = id
+					continue
+				}
+				if overflow == nil {
+					overflow = make(map[string]rdf.ID)
+				}
+				id, ok := overflow[cell]
+				if !ok {
+					id = c.base + rdf.ID(len(e.extra))
+					overflow[cell] = id
+					e.extra = append(e.extra, cell)
+					extraBytes += int64(len(cell)) + 16
+				}
+				e.cols[j][i] = id
+			}
+		}
+	}
+	const entryOverhead = 256
+	e.bytes = entryOverhead + int64(len(key)) +
+		int64(e.nrows)*int64(ncols)*4 + extraBytes
+	for _, v := range e.vars {
+		e.bytes += int64(len(v))
+	}
+	return e
+}
+
+// makeRoom evicts from the shard's LRU tail until add fits the budget,
+// never evicting pin (the entry being grown). Returns false if add can
+// never fit. Caller holds sh.mu.
+func (sh *shard) makeRoom(add int64, pin *entry, c *Cache) bool {
+	if add > sh.max {
+		return false
+	}
+	for sh.bytes+add > sh.max && sh.tail != nil && sh.tail != pin {
+		ev := sh.tail
+		sh.unlink(ev)
+		delete(sh.entries, ev.key)
+		sh.bytes -= ev.bytes
+		c.evictions.Add(1)
+	}
+	return sh.bytes+add <= sh.max
+}
+
+// SetBody attaches one serialized response body (per content type) to
+// a resident entry, computing its entity tag. Returns the tag and
+// whether the body was stored: false when the entry is gone (evicted
+// between execution and serialization) or the body would blow the
+// entry cap. Bodies count against the shard budget like row data.
+func (c *Cache) SetBody(key, contentType string, body []byte) (string, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return "", false
+	}
+	if _, ok := e.bodies[contentType]; ok {
+		return e.bodies[contentType].etag, true
+	}
+	add := int64(len(body)) + int64(len(contentType)) + 64
+	if e.bytes+add > c.maxEntry {
+		return "", false
+	}
+	// Evict colder entries to fit the grown entry; pin e at the front
+	// first so makeRoom cannot evict it.
+	sh.touch(e)
+	sh.bytes -= e.bytes
+	if !sh.makeRoom(e.bytes+add, e, c) {
+		sh.bytes += e.bytes
+		return "", false
+	}
+	if e.bodies == nil {
+		e.bodies = make(map[string]cachedBody)
+	}
+	data := append([]byte(nil), body...)
+	e.bodies[contentType] = cachedBody{data: data, etag: bodyETag(data)}
+	e.bytes += add
+	sh.bytes += e.bytes
+	return e.bodies[contentType].etag, true
+}
+
+// Body returns the cached serialized body and its entity tag for one
+// content type, if present.
+func (c *Cache) Body(key, contentType string) ([]byte, string, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return nil, "", false
+	}
+	b, ok := e.bodies[contentType]
+	if !ok {
+		return nil, "", false
+	}
+	sh.touch(e)
+	c.bodyHits.Add(1)
+	return b.data, b.etag, true
+}
+
+// bodyETag derives a strong entity tag from the exact serialized
+// bytes: equal bodies get equal tags across restarts.
+func bodyETag(body []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}
+
+// --- intrusive LRU list (shard lock held) ---
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) touch(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// --- counters ---
+
+// Hits counts Get calls answered from the cache.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses counts Get calls that found nothing (snapshot mismatches
+// included).
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Collapsed counts executions avoided by single-flight: followers that
+// received the leader's result.
+func (c *Cache) Collapsed() int64 { return c.collapsed.Load() }
+
+// BodyHits counts serialized-body reuses (Body answered).
+func (c *Cache) BodyHits() int64 { return c.bodyHits.Load() }
+
+// Evictions counts entries dropped by the LRU byte budget.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Rejected counts Put calls refused by admission (below MinCost or
+// over the entry cap).
+func (c *Cache) Rejected() int64 { return c.rejected.Load() }
+
+// Bytes returns the current budgeted size across shards.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].bytes
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Entries returns the resident entry count.
+func (c *Cache) Entries() int {
+	var n int
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

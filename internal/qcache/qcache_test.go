@@ -1,0 +1,321 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlog/internal/rdf"
+)
+
+func testSnapshot(t *testing.T) *rdf.Snapshot {
+	t.Helper()
+	st := rdf.NewStore()
+	for i := 0; i < 8; i++ {
+		st.Add(fmt.Sprintf("<http://g/s%d>", i), "<http://g/p>", fmt.Sprintf("<http://g/o%d>", i))
+	}
+	return st.Freeze()
+}
+
+func TestRoundTripFidelity(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	cases := []struct {
+		name string
+		r    Result
+	}{
+		{"dictionary terms", Result{
+			Vars: []string{"s", "o"},
+			Rows: [][]string{
+				{"<http://g/s0>", "<http://g/o0>"},
+				{"<http://g/s1>", "<http://g/o1>"},
+			},
+		}},
+		{"overflow terms", Result{
+			Vars: []string{"x"},
+			Rows: [][]string{{`"42"^^<http://www.w3.org/2001/XMLSchema#integer>`}, {"<http://g/s2>"}},
+		}},
+		{"unbound cells", Result{
+			Vars: []string{"a", "b"},
+			Rows: [][]string{{"<http://g/s0>", ""}, {"", "<http://g/o1>"}},
+		}},
+		{"empty select", Result{Vars: []string{"s"}, Rows: [][]string{}}},
+		{"ask true", Result{Bool: true}},
+		{"ask false", Result{Bool: false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key := "k:" + tc.name
+			if !c.Put(sn, key, tc.r, time.Second) {
+				t.Fatal("Put refused")
+			}
+			got, ok := c.Get(sn, key)
+			if !ok {
+				t.Fatal("Get missed a resident entry")
+			}
+			if !reflect.DeepEqual(got, tc.r) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, tc.r)
+			}
+			// Rows must be fresh allocations: mutating the hit must not
+			// poison the next one (immutability invariant).
+			if len(got.Rows) > 0 && len(got.Rows[0]) > 0 {
+				got.Rows[0][0] = "mutated"
+				again, _ := c.Get(sn, key)
+				if again.Rows[0][0] == "mutated" {
+					t.Fatal("cache handed out aliased rows")
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotMismatchDegrades(t *testing.T) {
+	sn := testSnapshot(t)
+	other := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	if c.Put(other, "k", r, time.Second) {
+		t.Fatal("Put accepted a foreign snapshot")
+	}
+	if !c.Put(sn, "k", r, time.Second) {
+		t.Fatal("Put refused own snapshot")
+	}
+	if _, ok := c.Get(other, "k"); ok {
+		t.Fatal("Get answered for a foreign snapshot")
+	}
+	if _, ok := c.Get(sn, "k"); !ok {
+		t.Fatal("Get missed own snapshot")
+	}
+}
+
+func TestCostAwareAdmission(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: time.Millisecond})
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	if c.Put(sn, "cheap", r, 100*time.Microsecond) {
+		t.Fatal("admitted a result below MinCost")
+	}
+	if c.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", c.Rejected())
+	}
+	if !c.Put(sn, "heavy", r, 2*time.Millisecond) {
+		t.Fatal("refused a result above MinCost")
+	}
+	if _, ok := c.Get(sn, "cheap"); ok {
+		t.Fatal("cheap result resident")
+	}
+	if _, ok := c.Get(sn, "heavy"); !ok {
+		t.Fatal("heavy result not resident")
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	sn := testSnapshot(t)
+	// One shard so the LRU order is global; budget fits ~4 small entries.
+	c := New(sn, Options{MinCost: -1, Shards: 1, MaxBytes: 1100, MaxEntryBytes: 1 << 20})
+	row := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	for i := 0; i < 6; i++ {
+		if !c.Put(sn, fmt.Sprintf("k%d", i), row, time.Second) {
+			t.Fatalf("Put k%d refused", i)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no evictions under a budget that cannot hold all entries")
+	}
+	if c.Bytes() > 1100 {
+		t.Fatalf("Bytes() = %d exceeds budget", c.Bytes())
+	}
+	// The most recent key must have survived; the oldest must be gone.
+	if _, ok := c.Get(sn, "k5"); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, ok := c.Get(sn, "k0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1, Shards: 1, MaxBytes: 1200, MaxEntryBytes: 1 << 20})
+	row := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	for i := 0; i < 3; i++ {
+		c.Put(sn, fmt.Sprintf("k%d", i), row, time.Second)
+	}
+	// Touch k0 so k1 becomes the eviction candidate.
+	if _, ok := c.Get(sn, "k0"); !ok {
+		t.Skip("budget too small for three entries; eviction already ran")
+	}
+	for i := 3; i < 6; i++ {
+		c.Put(sn, fmt.Sprintf("k%d", i), row, time.Second)
+	}
+	if _, ok := c.Get(sn, "k1"); ok {
+		t.Fatal("LRU candidate k1 survived while touched k0 should outlive it")
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1, MaxEntryBytes: 300})
+	big := Result{Vars: []string{"x"}}
+	for i := 0; i < 100; i++ {
+		big.Rows = append(big.Rows, []string{fmt.Sprintf("\"novel-term-%d\"", i)})
+	}
+	if c.Put(sn, "big", big, time.Second) {
+		t.Fatal("admitted an entry above MaxEntryBytes")
+	}
+	if c.Rejected() == 0 {
+		t.Fatal("oversize rejection not counted")
+	}
+}
+
+func TestBodies(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	if _, ok := c.SetBody("absent", "application/json", []byte("{}")); ok {
+		t.Fatal("SetBody succeeded for a non-resident key")
+	}
+	c.Put(sn, "k", r, time.Second)
+	body := []byte(`{"results":1}`)
+	etag, ok := c.SetBody("k", "application/json", body)
+	if !ok || etag == "" {
+		t.Fatalf("SetBody = %q, %v", etag, ok)
+	}
+	got, tag, ok := c.Body("k", "application/json")
+	if !ok || tag != etag || string(got) != string(body) {
+		t.Fatalf("Body = %q, %q, %v", got, tag, ok)
+	}
+	if _, _, ok := c.Body("k", "text/csv"); ok {
+		t.Fatal("Body answered an unset content type")
+	}
+	// Same content type again: idempotent, keeps the first tag.
+	tag2, ok := c.SetBody("k", "application/json", []byte("other"))
+	if !ok || tag2 != etag {
+		t.Fatalf("second SetBody = %q, want %q", tag2, etag)
+	}
+	if c.BodyHits() != 1 {
+		t.Fatalf("BodyHits = %d, want 1", c.BodyHits())
+	}
+}
+
+func TestSetBodyGrowthCannotEvictOwnEntry(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1, Shards: 1, MaxBytes: 900, MaxEntryBytes: 860})
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	c.Put(sn, "a", r, time.Second)
+	c.Put(sn, "b", r, time.Second)
+	// Growing a must evict b, never a itself.
+	if _, ok := c.SetBody("a", "application/json", make([]byte, 400)); !ok {
+		t.Fatal("SetBody refused although evicting b frees room")
+	}
+	if _, _, ok := c.Body("a", "application/json"); !ok {
+		t.Fatal("grown entry lost its body")
+	}
+	if c.Bytes() > 900 {
+		t.Fatalf("Bytes() = %d exceeds budget after growth", c.Bytes())
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	f, leader := c.Join("k")
+	if !leader {
+		t.Fatal("first Join is not leader")
+	}
+	f2, leader2 := c.Join("k")
+	if leader2 || f2 != f {
+		t.Fatal("second Join did not follow the first flight")
+	}
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+	go c.Complete("k", f, r, true)
+	got, ok, err := f2.Wait(context.Background(), c)
+	if err != nil || !ok || !reflect.DeepEqual(got, r) {
+		t.Fatalf("Wait = %#v, %v, %v", got, ok, err)
+	}
+	if c.Collapsed() != 1 {
+		t.Fatalf("Collapsed = %d, want 1", c.Collapsed())
+	}
+	// The flight is resolved; a new Join leads again.
+	if _, leader := c.Join("k"); !leader {
+		t.Fatal("Join after Complete did not lead")
+	}
+}
+
+func TestFlightUnshareableWakesFollowers(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	f, _ := c.Join("k")
+	go c.Complete("k", f, Result{}, false)
+	_, ok, err := f.Wait(context.Background(), c)
+	if err != nil || ok {
+		t.Fatalf("Wait on unshareable = ok %v, err %v; want self-execute signal", ok, err)
+	}
+	if c.Collapsed() != 0 {
+		t.Fatal("unshareable completion counted as collapsed")
+	}
+}
+
+func TestFlightWaitHonorsContext(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	f, _ := c.Join("k")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := f.Wait(ctx, c); err == nil {
+		t.Fatal("Wait returned without leader completion or context error")
+	}
+	c.Complete("k", f, Result{}, false) // leaders must always complete
+}
+
+func TestFlightStampede(t *testing.T) {
+	sn := testSnapshot(t)
+	c := New(sn, Options{MinCost: -1})
+	const n = 32
+	var executions, collapsed, hits int64
+	var mu sync.Mutex
+	r := Result{Vars: []string{"s"}, Rows: [][]string{{"<http://g/s0>"}}}
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if _, ok := c.Get(sn, "k"); ok {
+				mu.Lock()
+				hits++
+				mu.Unlock()
+				return
+			}
+			fl, leader := c.Join("k")
+			if leader {
+				mu.Lock()
+				executions++
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond) // let followers pile up
+				c.Complete("k", fl, r, true)
+				c.Put(sn, "k", r, time.Second)
+				return
+			}
+			if _, ok, err := fl.Wait(context.Background(), c); err != nil || !ok {
+				t.Errorf("follower Wait = %v, %v", ok, err)
+			}
+			mu.Lock()
+			collapsed++
+			mu.Unlock()
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if executions != 1 {
+		t.Fatalf("executions = %d, want exactly 1", executions)
+	}
+	if hits+collapsed != n-1 {
+		t.Fatalf("hits %d + collapsed %d = %d, want %d", hits, collapsed, hits+collapsed, n-1)
+	}
+}

@@ -93,6 +93,60 @@ func Table1(c *Corpus) string {
 	return sb.String()
 }
 
+// RepeatRates renders the workload repeat-rate table: valid-vs-unique
+// occurrence counts per coarse query shape (core.RepeatShape), ordered
+// by volume. The Repeat column is the mean number of times each
+// distinct query of the shape was asked; MaxHit is the fraction of the
+// shape's traffic a result cache could answer without executing
+// ((Total-Unique)/Total) — the corpus-derived upper bound that makes
+// cache sizing data-driven.
+func RepeatRates(c *Corpus) string {
+	var sb strings.Builder
+	rep := c.Total
+	fmt.Fprintf(&sb, "Repeat rate by query shape (result-cache sizing)\n")
+	fmt.Fprintf(&sb, "%-40s %10s %10s %8s %8s\n", "Shape", "Total #Q", "Unique #Q", "Repeat", "MaxHit")
+	type row struct {
+		label string
+		s     core.RepeatStat
+	}
+	var rows []row
+	for label, s := range rep.Repeats {
+		rows = append(rows, row{label, s})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].s.Total != rows[j].s.Total {
+			return rows[i].s.Total > rows[j].s.Total
+		}
+		return rows[i].label < rows[j].label
+	})
+	const maxRows = 15
+	shown := rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	var totalAll, uniqueAll int
+	for _, r := range rows {
+		totalAll += r.s.Total
+		uniqueAll += r.s.Unique
+	}
+	for _, r := range shown {
+		repeat := "-"
+		if r.s.Unique > 0 {
+			repeat = fmt.Sprintf("%.2fx", float64(r.s.Total)/float64(r.s.Unique))
+		}
+		fmt.Fprintf(&sb, "%-40s %10d %10d %8s %8s\n",
+			r.label, r.s.Total, r.s.Unique, repeat, pct(r.s.Total-r.s.Unique, r.s.Total))
+	}
+	if n := len(rows) - len(shown); n > 0 {
+		fmt.Fprintf(&sb, "(%d further shapes omitted)\n", n)
+	}
+	if totalAll > 0 && uniqueAll > 0 {
+		fmt.Fprintf(&sb, "Overall: %d valid, %d unique, repeat %.2fx, cacheable bound %s\n",
+			totalAll, uniqueAll, float64(totalAll)/float64(uniqueAll), pct(totalAll-uniqueAll, totalAll))
+	}
+	return sb.String()
+}
+
 // Table2 renders keyword counts over the analyzed corpus (Table 2; with a
 // duplicate-keeping corpus it reproduces appendix Table 7).
 func Table2(c *Corpus) string {
@@ -457,6 +511,8 @@ func All(cfg Config) string {
 	var sb strings.Builder
 	c := BuildCorpus(cfg)
 	sb.WriteString(Table1(c))
+	sb.WriteByte('\n')
+	sb.WriteString(RepeatRates(c))
 	sb.WriteByte('\n')
 	sb.WriteString(Table2(c))
 	sb.WriteByte('\n')

@@ -47,6 +47,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sparqld_plan_cache_misses_total", "Shared plan cache misses.", s.plans.Misses())
 	counter("sparqld_path_cache_hits_total", "Shared compiled-path cache hits.", s.paths.Hits())
 	counter("sparqld_path_cache_misses_total", "Shared compiled-path cache misses.", s.paths.Misses())
+	if s.qc != nil {
+		counter("sparqld_result_cache_hits_total", "Result cache lookups answered without executing.", s.qc.Hits())
+		counter("sparqld_result_cache_misses_total", "Result cache lookups that executed.", s.qc.Misses())
+		counter("sparqld_result_cache_collapsed_total", "Executions avoided by single-flight collapse of concurrent identical queries.", s.qc.Collapsed())
+		counter("sparqld_result_cache_body_hits_total", "Serialized response bodies reused verbatim.", s.qc.BodyHits())
+		counter("sparqld_result_cache_evictions_total", "Result cache entries evicted by the LRU byte budget.", s.qc.Evictions())
+		counter("sparqld_result_cache_rejected_total", "Results refused by cost-aware admission.", s.qc.Rejected())
+		gauge("sparqld_result_cache_bytes", "Bytes held by the result cache (rows plus serialized bodies).", s.qc.Bytes())
+		gauge("sparqld_result_cache_entries", "Resident result cache entries.", s.qc.Entries())
+	}
 	gauge("sparqld_inflight_queries", "Queries currently evaluating.", s.gate.InFlight())
 	gauge("sparqld_queued_queries", "Admitted queries waiting for an evaluation slot.", s.gate.Waiting())
 

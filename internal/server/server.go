@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"sparqlog/internal/lint"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
+	"sparqlog/internal/qcache"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/service"
 	"sparqlog/internal/sparql"
@@ -39,6 +41,15 @@ type Config struct {
 	MaxQueryBytes int64
 	// Limits bounds each evaluation (MaxRows etc.).
 	Limits eval.Limits
+	// CacheBytes is the result cache's byte budget: 0 means
+	// qcache.DefaultMaxBytes, negative disables result caching
+	// entirely (every request executes).
+	CacheBytes int64
+	// CacheMinCost is the result cache's cost-aware admission
+	// threshold: only results whose execution took at least this long
+	// are stored. 0 means qcache.DefaultMinCost; negative admits every
+	// successful result.
+	CacheMinCost time.Duration
 	// Analyzer configures the self-analysis pipeline (dedup mode etc.).
 	Analyzer core.Options
 	// LogWriter, when set, receives one Apache-style endpoint log line
@@ -60,6 +71,7 @@ type Server struct {
 	ex    *service.Executor
 	plans *plan.Cache
 	paths *pathcomp.Cache
+	qc    *qcache.Cache // nil when result caching is disabled
 	gate  *Gate
 	live  *service.Live
 	an    *core.LiveAnalyzer
@@ -75,6 +87,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	plans := plan.NewCache(cfg.Snapshot)
 	paths := pathcomp.NewCache(cfg.Snapshot)
+	var qc *qcache.Cache
+	if cfg.CacheBytes >= 0 {
+		qc = qcache.New(cfg.Snapshot, qcache.Options{
+			MaxBytes: cfg.CacheBytes,
+			MinCost:  cfg.CacheMinCost,
+		})
+	}
 	name := cfg.CorpusName
 	if name == "" {
 		name = "sparqld"
@@ -93,6 +112,7 @@ func New(cfg Config) *Server {
 			Timeout: cfg.Timeout,
 			Plans:   plans,
 			Paths:   paths,
+			Results: qc,
 			Limits:  cfg.Limits,
 			// The in-flight gate is the serving pool: budget each
 			// request's intra-query workers against it so a full gate
@@ -101,6 +121,7 @@ func New(cfg Config) *Server {
 		}),
 		plans:         plans,
 		paths:         paths,
+		qc:            qc,
 		gate:          NewGate(cfg.MaxInFlight, cfg.QueueDepth),
 		live:          service.NewLive(0),
 		an:            core.NewLiveAnalyzer(name, cfg.Analyzer, 0),
@@ -134,6 +155,10 @@ func (s *Server) Analyzer() *core.LiveAnalyzer { return s.an }
 
 // Live exposes the serving-statistics collector.
 func (s *Server) Live() *service.Live { return s.live }
+
+// ResultCache exposes the shared result cache; nil when disabled
+// (Config.CacheBytes < 0).
+func (s *Server) ResultCache() *qcache.Cache { return s.qc }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	raw, herr := readQuery(r, s.maxQueryBytes)
@@ -195,13 +220,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		plainError(w, http.StatusInternalServerError, "evaluation failed: "+out.Err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", ct+"; charset=utf-8")
+	if s.qc != nil {
+		w.Header().Set("X-Sparqld-Cache", cacheState(out))
+	}
 	if out.Recovered > 0 {
 		// Silent SERVICE recovery happened inside this answer; surface
 		// it to the client without failing the response.
 		w.Header().Set("X-Sparqld-Recovered", fmt.Sprint(out.Recovered))
 	}
+	if s.qc != nil && res.CacheKey != "" {
+		// Cache-resident result: reuse (or attach) the serialized body
+		// for this content type, with a conditional-GET fast path.
+		s.writeCachedBody(w, r, ct, res, q.Type == sparql.AskQuery)
+		return
+	}
+	w.Header().Set("Content-Type", ct+"; charset=utf-8")
 	_ = writeResult(w, ct, res, q.Type == sparql.AskQuery)
+}
+
+// cacheState renders the X-Sparqld-Cache header value for an outcome.
+func cacheState(out service.QueryOutcome) string {
+	switch {
+	case out.Cached:
+		return "hit"
+	case out.Collapsed:
+		return "collapsed"
+	default:
+		return "miss"
+	}
+}
+
+// writeCachedBody serves a cache-resident result. On a body hit the
+// response is the stored bytes verbatim — a near-zero-alloc Write —
+// with a strong ETag; If-None-Match turns it into an empty 304. On the
+// first serve of a content type the body is serialized once into
+// memory, attached to the entry, and written out.
+func (s *Server) writeCachedBody(w http.ResponseWriter, r *http.Request, ct string, res *eval.Result, isAsk bool) {
+	body, etag, ok := s.qc.Body(res.CacheKey, ct)
+	if !ok {
+		var buf bytes.Buffer
+		if err := writeResult(&buf, ct, res, isAsk); err != nil {
+			plainError(w, http.StatusInternalServerError, "serialization failed: "+err.Error())
+			return
+		}
+		body = buf.Bytes()
+		// SetBody may refuse (entry evicted mid-request, body over the
+		// entry cap); the buffered bytes still serve this response.
+		etag, ok = s.qc.SetBody(res.CacheKey, ct, body)
+		if !ok {
+			w.Header().Set("Content-Type", ct+"; charset=utf-8")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ct+"; charset=utf-8")
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	_, _ = w.Write(body)
 }
 
 // logRequest appends one Apache-style log line for the request. The

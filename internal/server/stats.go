@@ -48,6 +48,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "  silent SERVICE recoveries %d\n", snap.Recoveries)
 	fmt.Fprintf(&sb, "  plan cache        %d hits / %d misses\n", s.plans.Hits(), s.plans.Misses())
 	fmt.Fprintf(&sb, "  path cache        %d hits / %d misses\n", s.paths.Hits(), s.paths.Misses())
+	if s.qc != nil {
+		h, m := s.qc.Hits(), s.qc.Misses()
+		ratio := "-"
+		if h+m > 0 {
+			ratio = fmt.Sprintf("%.2f%%", 100*float64(h)/float64(h+m))
+		}
+		fmt.Fprintf(&sb, "  result cache      %d hits / %d misses (%s), %d collapsed, %d body reuses\n",
+			h, m, ratio, s.qc.Collapsed(), s.qc.BodyHits())
+		fmt.Fprintf(&sb, "                    %d entries, %s, %d evictions, %d admission rejections\n",
+			s.qc.Entries(), fmtBytes(s.qc.Bytes()), s.qc.Evictions(), s.qc.Rejected())
+	}
 	fmt.Fprintf(&sb, "  in flight         %d (+%d queued)\n\n", s.gate.InFlight(), s.gate.Waiting())
 
 	writeWorkloadTables(&sb, rep)
@@ -67,7 +78,23 @@ func (s *Server) statsETag() string {
 		snap.Served, snap.Errors, snap.Timeouts, snap.Rejected, snap.Recoveries,
 		s.plans.Hits(), s.plans.Misses(), s.paths.Hits(), s.paths.Misses(),
 		s.gate.InFlight(), s.gate.Waiting())
+	if s.qc != nil {
+		fmt.Fprintf(h, "|%d|%d|%d|%d|%d",
+			s.qc.Hits(), s.qc.Misses(), s.qc.Collapsed(), s.qc.BodyHits(), s.qc.Evictions())
+	}
 	return fmt.Sprintf("W/\"%016x\"", h.Sum64())
+}
+
+// fmtBytes renders a byte count human-readably for /stats.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // etagMatch implements the If-None-Match weak comparison: any listed
@@ -92,6 +119,8 @@ func writeWorkloadTables(sb *strings.Builder, rep *core.DatasetReport) {
 	fmt.Fprintf(sb, "  %-14s %12s %12s %12s %12s\n", "Source", "Total #Q", "Valid #Q", "Unique #Q", "Noise")
 	fmt.Fprintf(sb, "  %-14s %12d %12d %12d %12d\n\n",
 		rep.Name, rep.Total, rep.Valid, rep.Unique, rep.NoiseRemoved)
+
+	writeRepeatTable(sb, rep)
 
 	if len(rep.Keywords) > 0 {
 		fmt.Fprintf(sb, "Keywords (Table 2 columns, of %d unique)\n", rep.Unique)
@@ -130,6 +159,49 @@ func writeWorkloadTables(sb *strings.Builder, rep *core.DatasetReport) {
 			pct(sc.Flower, sc.Total))
 	}
 	writeTable5(sb, rep.Paths)
+}
+
+// writeRepeatTable renders the workload repeat-rate rows: per coarse
+// query shape, how often the served workload repeats itself — the
+// data that sizes the result cache (MaxHit is the hit-ratio bound
+// (Total-Unique)/Total a cache could reach on that shape).
+func writeRepeatTable(sb *strings.Builder, rep *core.DatasetReport) {
+	if len(rep.Repeats) == 0 {
+		return
+	}
+	type row struct {
+		label string
+		s     core.RepeatStat
+	}
+	var rows []row
+	for label, s := range rep.Repeats {
+		rows = append(rows, row{label, s})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].s.Total != rows[j].s.Total {
+			return rows[i].s.Total > rows[j].s.Total
+		}
+		return rows[i].label < rows[j].label
+	})
+	fmt.Fprintf(sb, "Repeat rate by query shape (result-cache sizing)\n")
+	fmt.Fprintf(sb, "  %-38s %9s %9s %7s %7s\n", "Shape", "Total", "Unique", "Repeat", "MaxHit")
+	const maxRows = 10
+	shown := rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	for _, r := range shown {
+		repeat := "-"
+		if r.s.Unique > 0 {
+			repeat = fmt.Sprintf("%.2fx", float64(r.s.Total)/float64(r.s.Unique))
+		}
+		fmt.Fprintf(sb, "  %-38s %9d %9d %7s %7s\n",
+			r.label, r.s.Total, r.s.Unique, repeat, pct(r.s.Total-r.s.Unique, r.s.Total))
+	}
+	if n := len(rows) - len(shown); n > 0 {
+		fmt.Fprintf(sb, "  (%d further shapes omitted)\n", n)
+	}
+	sb.WriteByte('\n')
 }
 
 // writeLintTable renders the static-analysis aggregates: per-code

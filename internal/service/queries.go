@@ -11,6 +11,7 @@ import (
 	"sparqlog/internal/exec"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
+	"sparqlog/internal/qcache"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -32,6 +33,12 @@ type QueryOptions struct {
 	// (pathcomp.NewCache for the same snapshot): each property-path
 	// shape compiles to its automaton once.
 	Paths *pathcomp.Cache
+	// Results optionally shares one snapshot-keyed query result cache
+	// across the pool (qcache.New for the same snapshot): repeated
+	// queries — the paper's dominant workload pattern — skip execution
+	// entirely, and concurrent identical queries collapse onto one
+	// execution.
+	Results *qcache.Cache
 	// Limits are the per-query evaluation bounds (MaxRows etc.); the
 	// Plans/Paths fields above override the ones inside. Limits.Parallel
 	// (intra-query workers) is treated as a request and clamped so the
@@ -75,6 +82,11 @@ type QueryOutcome struct {
 	// eval.Result.Recovered): nonzero means part of the answer came
 	// from no-op federation rather than an evaluated SERVICE body.
 	Recovered int
+	// Cached marks an answer served from the shared result cache
+	// without executing; Collapsed marks one received from a concurrent
+	// identical execution (single-flight). Both false: evaluated here.
+	Cached    bool
+	Collapsed bool
 }
 
 // QueryReport is the outcome of one SPARQL workload run.
@@ -89,6 +101,11 @@ type QueryReport struct {
 	// deltas on the shared caches (zero when the option was nil).
 	PlanHits, PlanMisses int64
 	PathHits, PathMisses int64
+	// CacheHits/CacheMisses/CacheCollapsed are this run's deltas on the
+	// shared result cache: answers served without executing, lookups
+	// that executed, and executions avoided by single-flight collapse
+	// (zero when Results was nil).
+	CacheHits, CacheMisses, CacheCollapsed int64
 }
 
 // TotalRows sums result rows across completed queries.
@@ -119,7 +136,7 @@ func RunQueries(ctx context.Context, sn *rdf.Snapshot, queries []*sparql.Query, 
 		workers = len(queries)
 	}
 	lim := opt.Limits
-	lim.Plans, lim.Paths = opt.Plans, opt.Paths
+	lim.Plans, lim.Paths, lim.Results = opt.Plans, opt.Paths, opt.Results
 	lim.Parallel = intraBudget(lim.Parallel, workers)
 	var planHits0, planMisses0, pathHits0, pathMisses0 int64
 	if opt.Plans != nil {
@@ -127,6 +144,10 @@ func RunQueries(ctx context.Context, sn *rdf.Snapshot, queries []*sparql.Query, 
 	}
 	if opt.Paths != nil {
 		pathHits0, pathMisses0 = opt.Paths.Hits(), opt.Paths.Misses()
+	}
+	var cacheHits0, cacheMisses0, cacheCollapsed0 int64
+	if opt.Results != nil {
+		cacheHits0, cacheMisses0, cacheCollapsed0 = opt.Results.Hits(), opt.Results.Misses(), opt.Results.Collapsed()
 	}
 	rep := QueryReport{Outcomes: make([]QueryOutcome, len(queries))}
 	start := time.Now()
@@ -189,6 +210,11 @@ dispatch:
 		rep.PathHits = opt.Paths.Hits() - pathHits0
 		rep.PathMisses = opt.Paths.Misses() - pathMisses0
 	}
+	if opt.Results != nil {
+		rep.CacheHits = opt.Results.Hits() - cacheHits0
+		rep.CacheMisses = opt.Results.Misses() - cacheMisses0
+		rep.CacheCollapsed = opt.Results.Collapsed() - cacheCollapsed0
+	}
 	return rep
 }
 
@@ -234,6 +260,8 @@ func executeOne(ctx context.Context, sn *rdf.Snapshot, q *sparql.Query, lim eval
 	out.Rows = len(res.Rows)
 	out.Bool = res.Bool
 	out.Recovered = res.Recovered
+	out.Cached = res.Cached
+	out.Collapsed = res.Collapsed
 	if q.Type == sparql.AskQuery && res.Bool {
 		out.Rows = 1
 	}

@@ -7,6 +7,7 @@ import (
 	"sparqlog/internal/eval"
 	"sparqlog/internal/pathcomp"
 	"sparqlog/internal/plan"
+	"sparqlog/internal/qcache"
 	"sparqlog/internal/rdf"
 	"sparqlog/internal/sparql"
 )
@@ -35,6 +36,10 @@ type ExecutorOptions struct {
 	// Paths optionally shares one compiled-path cache across all
 	// requests (pathcomp.NewCache for the snapshot).
 	Paths *pathcomp.Cache
+	// Results optionally shares one snapshot-keyed query result cache
+	// across all requests (qcache.New for the snapshot): repeats skip
+	// execution, concurrent identical queries collapse onto one.
+	Results *qcache.Cache
 	// Limits bounds each evaluation; the Plans/Paths fields above
 	// override the ones inside. Limits.Parallel is clamped against
 	// MaxConcurrent exactly as the batch pool clamps against its worker
@@ -52,7 +57,7 @@ type ExecutorOptions struct {
 // NewExecutor returns a serving executor over the snapshot.
 func NewExecutor(sn *rdf.Snapshot, opt ExecutorOptions) *Executor {
 	lim := opt.Limits
-	lim.Plans, lim.Paths = opt.Plans, opt.Paths
+	lim.Plans, lim.Paths, lim.Results = opt.Plans, opt.Paths, opt.Results
 	lim.Parallel = intraBudget(lim.Parallel, opt.MaxConcurrent)
 	return &Executor{sn: sn, lim: lim, tmout: opt.Timeout}
 }

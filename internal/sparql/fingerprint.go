@@ -5,14 +5,19 @@ import (
 	"strings"
 )
 
-// Fingerprint returns a canonical text form of the query in which
-// variables are renamed to ?v0, ?v1, ... in first-occurrence order and
-// prefixed names are expanded against the prologue. Two queries that
-// differ only in whitespace, prefix declarations, or variable names get
-// equal fingerprints, enabling structural deduplication — a refinement
-// over the paper's exact-text dedup that its Section 2 implicitly uses
-// (the USEWOD anonymisation already normalized whitespace).
-func Fingerprint(q *Query) string {
+// QueryString returns the canonical text form of the whole query —
+// PatternString extended to a full serialization covering the query
+// form, DISTINCT/REDUCED, VALUES, aggregates, and every solution
+// modifier (GROUP BY/HAVING/ORDER BY/LIMIT/OFFSET). Variables are
+// renamed to ?v0, ?v1, ... in first-occurrence order and prefixed
+// names are expanded against the prologue, so two queries that differ
+// only in whitespace, prefix declarations, or variable names serialize
+// identically. The output re-parses to itself (a fixpoint, fuzz-tested
+// by FuzzQueryString), which makes it usable both as a structural
+// dedup key and as the result-cache fingerprint: the full query
+// including modifiers determines the answer, so nothing less may key a
+// cache.
+func QueryString(q *Query) string {
 	fp := &fingerprinter{
 		prefixes: make(map[string]string, len(q.Prologue.Prefixes)),
 		names:    make(map[string]string),
@@ -24,6 +29,36 @@ func Fingerprint(q *Query) string {
 	// Drop the prologue: prefixes were expanded away.
 	clone.Prologue = Prologue{}
 	return clone.String()
+}
+
+// Fingerprint is the canonical query text used for structural
+// deduplication — a refinement over the paper's exact-text dedup that
+// its Section 2 implicitly uses (the USEWOD anonymisation already
+// normalized whitespace). It is QueryString by construction: the
+// analytics dedup key and the result-cache key are the same canonical
+// form.
+func Fingerprint(q *Query) string { return QueryString(q) }
+
+// CanonPatternStrings canonicalizes several patterns under one shared
+// renaming context (prefixes expanded against prologue, variables
+// renamed in first-occurrence order across all patterns in argument
+// order) and returns their PatternString forms. Sharing the context
+// keeps the comparison sound: UNION branches over the same variables
+// canonicalize equal, while branches over different variables — which
+// bind different solutions — stay distinct.
+func CanonPatternStrings(prologue Prologue, patterns ...Pattern) []string {
+	fp := &fingerprinter{
+		prefixes: make(map[string]string, len(prologue.Prefixes)),
+		names:    make(map[string]string),
+	}
+	for _, p := range prologue.Prefixes {
+		fp.prefixes[p.Name] = p.IRI
+	}
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		out[i] = PatternString(fp.pattern(p))
+	}
+	return out
 }
 
 type fingerprinter struct {
@@ -55,10 +90,16 @@ func (fp *fingerprinter) term(t Term) Term {
 			if i := strings.IndexByte(t.Value, ':'); i >= 0 {
 				if base, ok := fp.prefixes[t.Value[:i]]; ok {
 					t.Value = base + t.Value[i+1:]
-					t.PrefixedForm = false
 				}
 			}
 		}
+		// Canonical rendering: always the bracketed full form. The
+		// parser's predicate-path collapse marks bracketed predicates
+		// PrefixedForm (they render bare), so without this reset the
+		// same IRI would serialize differently by syntactic position
+		// and spelling — and alpha-equivalent queries would miss each
+		// other's cache entries.
+		t.PrefixedForm = false
 	}
 	return t
 }

@@ -1,0 +1,115 @@
+package sparql_test
+
+import (
+	"testing"
+
+	"sparqlog/internal/sparql"
+)
+
+// FuzzQueryString checks the canonical serializer's contract on
+// arbitrary parseable input: QueryString's output must re-parse, and
+// canonicalization must be a fixpoint (canonicalizing the re-parse
+// yields the same text). The result cache keys on this form, so a
+// non-fixpoint would split one logical query across cache entries; a
+// non-re-parsing form would mean the canonical text no longer denotes
+// the query.
+func FuzzQueryString(f *testing.F) {
+	seeds := []string{
+		"SELECT ?s WHERE { ?s ?p ?o }",
+		"SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y . ?y <q> ?z FILTER(?z > 3) } ORDER BY DESC(?x) LIMIT 10 OFFSET 5",
+		"PREFIX dbo: <http://dbpedia.org/ontology/> SELECT ?s WHERE { ?s dbo:birthPlace ?o OPTIONAL { ?s dbo:deathPlace ?d } }",
+		"SELECT ?n (COUNT(*) AS ?c) WHERE { { ?a <p> ?n } UNION { ?b <q> ?n } } GROUP BY ?n HAVING (COUNT(*) > 1)",
+		"SELECT (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE { ?x <val> ?v } GROUP BY ?x ORDER BY ?total",
+		"SELECT ?x WHERE { VALUES ?x { <a> <b> } ?x <p> ?y } VALUES ?y { 1 2 }",
+		"ASK { ?x <knows> ?y MINUS { ?x <blocks> ?y } }",
+		"SELECT ?x WHERE { ?x (<a>|<b>)*/^<c> ?y }",
+		"SELECT ?x { { SELECT DISTINCT ?x WHERE { ?x a <C> } ORDER BY ?x LIMIT 1 } BIND(?x AS ?y) }",
+		"PREFIX : <http://e/> SELECT ?Longname WHERE { ?Longname :p ?b . ?b :q ?Longname }",
+		"CONSTRUCT { ?s <p> ?o } WHERE { ?s <p> ?o } LIMIT 3",
+		"DESCRIBE ?x WHERE { ?x <p> <o> }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := &sparql.Parser{}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		canon := sparql.QueryString(q)
+		q2, err := p.Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\noriginal: %q\ncanonical: %q", err, src, canon)
+		}
+		if canon2 := sparql.QueryString(q2); canon2 != canon {
+			t.Fatalf("canonicalization is not a fixpoint:\n 1: %q\n 2: %q", canon, canon2)
+		}
+	})
+}
+
+// Alpha-equivalent queries — same structure under variable renaming,
+// prefix spelling, and whitespace — must canonicalize identically, and
+// queries differing in any answer-relevant part (modifiers included)
+// must not.
+func TestQueryStringEquivalence(t *testing.T) {
+	equal := [][2]string{
+		{
+			"SELECT ?s WHERE { ?s <p> ?o } LIMIT 5",
+			"SELECT  ?x\nWHERE { ?x <p> ?y }\nLIMIT 5",
+		},
+		{
+			"PREFIX dbo: <http://d/o/> SELECT ?a WHERE { ?a dbo:b ?c }",
+			"SELECT ?x WHERE { ?x <http://d/o/b> ?y }",
+		},
+		{
+			"SELECT DISTINCT ?a ?b WHERE { ?a <p> ?b } ORDER BY DESC(?b)",
+			"SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y } ORDER BY DESC(?y)",
+		},
+	}
+	for _, pair := range equal {
+		a := mustParse(t, pair[0])
+		b := mustParse(t, pair[1])
+		if qa, qb := sparql.QueryString(a), sparql.QueryString(b); qa != qb {
+			t.Errorf("expected equal canonical forms:\n a: %q -> %q\n b: %q -> %q", pair[0], qa, pair[1], qb)
+		}
+	}
+	distinct := [][2]string{
+		{
+			"SELECT ?s WHERE { ?s <p> ?o } LIMIT 5",
+			"SELECT ?s WHERE { ?s <p> ?o } LIMIT 6",
+		},
+		{
+			"SELECT ?s WHERE { ?s <p> ?o }",
+			"SELECT DISTINCT ?s WHERE { ?s <p> ?o }",
+		},
+		{
+			"SELECT ?s WHERE { ?s <p> ?o } ORDER BY ?s",
+			"SELECT ?s WHERE { ?s <p> ?o } ORDER BY DESC(?s)",
+		},
+		{
+			"SELECT ?s WHERE { ?s <p> ?o } OFFSET 1",
+			"SELECT ?s WHERE { ?s <p> ?o }",
+		},
+		{
+			"SELECT ?s WHERE { ?s <p> ?o . ?o <p> ?s }",
+			"SELECT ?s WHERE { ?s <p> ?o . ?s <p> ?o }",
+		},
+	}
+	for _, pair := range distinct {
+		a := mustParse(t, pair[0])
+		b := mustParse(t, pair[1])
+		if qa, qb := sparql.QueryString(a), sparql.QueryString(b); qa == qb {
+			t.Errorf("expected distinct canonical forms for %q vs %q, both %q", pair[0], pair[1], qa)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
